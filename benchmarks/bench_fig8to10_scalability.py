@@ -1,0 +1,64 @@
+"""Figures 8-10 — scalability with target-sequence length.
+
+scale1/2/4/8 repeat a creat+unlink pair 1/2/4/8 times.  The paper's
+observations:
+* SPADE processing grows slowly, roughly doubling by scale8 (Figure 8);
+* OPUS is dominated by the flat Neo4j transformation cost (Figure 9);
+* CamFlow processing grows the fastest with scale (Figure 10).
+"""
+
+import pytest
+
+from repro import ProvMark
+
+from conftest import emit
+
+SCALES = ("scale1", "scale2", "scale4", "scale8")
+FIGURES = {"spade": "fig8", "opus": "fig9", "camflow": "fig10"}
+
+
+def run_column(tool):
+    provmark = ProvMark(tool=tool, seed=5)
+    timings = {}
+    for name in SCALES:
+        result = provmark.run_benchmark(name)
+        assert result.classification.value == "ok"
+        timings[name] = result.timings
+    return timings
+
+
+@pytest.mark.parametrize("tool", list(FIGURES))
+def test_scalability(benchmark, tool):
+    timings = benchmark.pedantic(run_column, args=(tool,), rounds=1, iterations=1)
+    rows = [f"{'case':<8} {'transform':>10} {'generalize':>11} {'compare':>9} {'total':>9}"]
+    for name, timing in timings.items():
+        rows.append(
+            f"{name:<8} {timing.transformation:>9.4f}s "
+            f"{timing.generalization:>10.4f}s {timing.comparison:>8.4f}s "
+            f"{timing.processing:>8.4f}s"
+        )
+    emit(f"{FIGURES[tool]}_scalability_{tool}", rows)
+    # Processing grows with the scale factor for every tool.
+    totals = [timings[name].processing for name in SCALES]
+    assert totals[-1] > totals[0]
+
+
+def test_scalability_shapes(benchmark):
+    def collect():
+        return {tool: run_column(tool) for tool in FIGURES}
+
+    data = benchmark.pedantic(collect, rounds=1, iterations=1)
+    # Figure 9: OPUS's curve is flattened by the constant DB cost — the
+    # scale8/scale1 ratio is the smallest of the three tools.
+    ratios = {
+        tool: timings["scale8"].processing / timings["scale1"].processing
+        for tool, timings in data.items()
+    }
+    emit("fig8to10_ratios", [
+        f"{tool}: scale8/scale1 processing ratio = {ratio:.1f}x"
+        for tool, ratio in ratios.items()
+    ])
+    assert ratios["opus"] == min(ratios.values())
+    # Figures 8/10: matching cost rises clearly with target size.
+    assert ratios["camflow"] > 1.5
+    assert ratios["spade"] > 1.2

@@ -1,0 +1,82 @@
+"""Scalability headroom beyond the paper's scale8 (§5.2, §5.4).
+
+The paper evaluates 10-20 target syscalls and notes that realistic
+suspicious-behaviour analysis needs much larger targets.  This bench
+pushes the reproduction to scale16/scale32 plus a mixed "application"
+workload (~30 heterogeneous syscalls) and records how the matching
+stages behave.
+"""
+
+import pytest
+
+from repro import ProvMark
+from repro.suite.program import Op, Program, create_file
+
+from conftest import emit
+
+
+def scale_program(factor: int) -> Program:
+    ops = []
+    for index in range(factor):
+        ops.append(Op("creat", ("scale.txt", 0o644), result=f"fd{index}",
+                      target=True))
+        ops.append(Op("unlink", ("scale.txt",), target=True))
+    return Program(name=f"headroom_scale{factor}", ops=tuple(ops))
+
+
+def mixed_workload() -> Program:
+    """A build-like session: dirs, copies, permissions, cleanup."""
+    ops = [
+        Op("mkdir", ("build",), target=True),
+        Op("chdir", ("build",), target=True),
+    ]
+    for index in range(4):
+        ops += [
+            Op("creat", (f"obj{index}.o", 0o644), result=f"fd{index}", target=True),
+            Op("write", (f"$fd{index}", b"obj"), target=True),
+            Op("close", (f"$fd{index}",), target=True),
+        ]
+    ops += [
+        Op("creat", ("app", 0o755), result="out", target=True),
+        Op("write", ("$out", b"linked"), target=True),
+        Op("chmod", ("app", 0o755), target=True),
+        Op("link", ("app", "app.release"), target=True),
+        Op("chdir", ("..",), target=True),
+        Op("rename", ("build/app.release", "app.final"), target=True),
+    ]
+    for index in range(4):
+        ops.append(Op("unlink", (f"build/obj{index}.o",), target=True))
+    return Program(name="headroom_mixed", ops=tuple(ops))
+
+
+@pytest.mark.parametrize("factor", [16, 32])
+def test_scale_headroom_spade(benchmark, factor):
+    provmark = ProvMark(tool="spade", seed=5)
+    program = scale_program(factor)
+    result = benchmark.pedantic(
+        provmark.run_benchmark, args=(program,), rounds=1, iterations=1
+    )
+    assert result.classification.value == "ok"
+    emit(f"headroom_scale{factor}", [
+        f"target syscalls: {2 * factor}",
+        f"target graph: {result.target_graph.node_count} nodes, "
+        f"{result.target_graph.edge_count} edges",
+        f"generalization: {result.timings.generalization:.3f}s, "
+        f"comparison: {result.timings.comparison:.3f}s",
+    ])
+
+
+@pytest.mark.parametrize("tool", ["spade", "camflow"])
+def test_mixed_workload(benchmark, tool):
+    provmark = ProvMark(tool=tool, seed=5)
+    result = benchmark.pedantic(
+        provmark.run_benchmark, args=(mixed_workload(),), rounds=1, iterations=1
+    )
+    assert result.classification.value == "ok"
+    emit(f"headroom_mixed_{tool}", [
+        f"target graph: {result.target_graph.node_count} nodes, "
+        f"{result.target_graph.edge_count} edges",
+        f"processing: {result.timings.processing:.3f}s",
+    ])
+    # ~25-syscall targets stay comfortably inside the solver budget.
+    assert result.timings.processing < 30.0

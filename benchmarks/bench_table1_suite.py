@@ -1,0 +1,46 @@
+"""Table 1 — benchmarked syscall families by group.
+
+Regenerates the paper's suite inventory and times a sweep of one
+benchmark execution per group (recording only).
+"""
+
+import pytest
+
+from repro.core.recording import Recorder
+from repro.capture.spade import SpadeCapture
+from repro.suite.registry import (
+    TABLE1_GROUPS,
+    TABLE2_BENCHMARKS,
+    benchmarks_in_group,
+)
+
+from conftest import emit
+
+
+def test_table1_families(benchmark):
+    def collect():
+        rows = []
+        for group, (name, families) in sorted(TABLE1_GROUPS.items()):
+            members = benchmarks_in_group(group)
+            rows.append(
+                f"{group}  {name:<12} {', '.join(families)}  "
+                f"[{len(members)} benchmarks]"
+            )
+        return rows
+
+    rows = benchmark(collect)
+    emit("table1_suite", rows)
+    assert len(TABLE2_BENCHMARKS) == 44
+    counts = [len(benchmarks_in_group(g)) for g in (1, 2, 3, 4)]
+    assert counts == [23, 6, 12, 3]
+
+
+@pytest.mark.parametrize("group", [1, 2, 3, 4])
+def test_record_one_benchmark_per_group(benchmark, group):
+    """Recording cost of a representative benchmark from each group."""
+    program = benchmarks_in_group(group)[0]
+    recorder = Recorder(SpadeCapture(), trials=2, seed=1)
+    session = benchmark.pedantic(
+        recorder.record, args=(program,), rounds=1, iterations=1
+    )
+    assert session.foreground_trials and session.background_trials

@@ -1,0 +1,36 @@
+"""Table 2 — the full validation matrix (44 syscalls x 3 tools).
+
+Regenerates the paper's headline table, checks every cell against the
+published classification, and times one full tool column each.
+"""
+
+import pytest
+
+from repro.analysis.table2 import generate_table2
+
+from conftest import emit
+
+
+@pytest.mark.parametrize("tool", ["spade", "opus", "camflow"])
+def test_table2_column(benchmark, tool):
+    table = benchmark.pedantic(
+        generate_table2, kwargs={"tools": (tool,), "seed": 2019},
+        rounds=1, iterations=1,
+    )
+    mismatches = table.mismatches()
+    rows = [
+        f"{name:<12} {cells[tool].rendered}"
+        for name, cells in table.rows.items()
+    ]
+    rows.append("")
+    rows.append(f"agreement with paper: {table.agreement:.0%}")
+    emit(f"table2_{tool}", rows)
+    assert not mismatches, mismatches
+
+
+def test_table2_full_matrix(benchmark):
+    table = benchmark.pedantic(
+        generate_table2, kwargs={"seed": 2019}, rounds=1, iterations=1
+    )
+    emit("table2_full", table.render().splitlines())
+    assert table.agreement == 1.0

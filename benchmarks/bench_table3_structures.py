@@ -1,0 +1,39 @@
+"""Table 3 — example benchmark result structures.
+
+Regenerates the paper's per-tool target graphs for open, read, write,
+dup, setuid, setresuid and checks the qualitative pattern of which cells
+are empty.
+"""
+
+import pytest
+
+from repro.analysis.table3 import TABLE3_SYSCALLS, generate_table3
+
+from conftest import emit
+
+#: (tool, syscall) cells that the paper shows as Empty in Table 3.
+PAPER_EMPTY_CELLS = {
+    ("spade", "dup"),
+    ("opus", "read"), ("opus", "write"), ("opus", "setresuid"),
+    ("camflow", "dup"),
+}
+
+
+def test_table3(benchmark):
+    table = benchmark.pedantic(generate_table3, rounds=1, iterations=1)
+    emit("table3_structures", table.render().splitlines())
+    for tool, cells in table.cells.items():
+        for syscall, cell in cells.items():
+            expected_empty = (tool, syscall) in PAPER_EMPTY_CELLS
+            actually_empty = cell.summary.nodes == 0
+            assert actually_empty == expected_empty, (tool, syscall)
+
+
+@pytest.mark.parametrize("syscall", TABLE3_SYSCALLS)
+def test_table3_row_timing(benchmark, syscall):
+    """Per-syscall cost of producing one Table 3 row (all three tools)."""
+    table = benchmark.pedantic(
+        generate_table3, kwargs={"syscalls": (syscall,)},
+        rounds=1, iterations=1,
+    )
+    assert set(table.cells) == {"spade", "opus", "camflow"}

@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table or figure of the paper.  The
+regenerated rows are printed (run with ``-s`` to see them) and collected
+into ``benchmarks/output/`` so EXPERIMENTS.md can reference them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+OUTPUT_DIR = Path(__file__).resolve().parent / "output"
+
+
+def emit(name: str, lines: Iterable[str]) -> None:
+    """Print regenerated rows and persist them under benchmarks/output/."""
+    body = "\n".join(lines)
+    print(f"\n=== {name} ===\n{body}")
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{name}.txt").write_text(body + "\n")

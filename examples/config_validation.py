@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Use case: configuration validation (paper §3.1, Bob).
+
+Bob, a system administrator, uses ProvMark to check SPADE configurations
+against his security policy — and trips over two real bugs the paper
+reports:
+
+1. With ``simplify`` disabled (so ``setresuid``/``setresgid`` are audited
+   explicitly), one property of the emitted edge was initialized to a
+   random value, showing up as a *disconnected subgraph* in the benchmark.
+2. The ``IORuns`` filter, which should coalesce runs of reads/writes,
+   matched a stale property name and therefore had no effect.
+
+Both are modelled with ``bug-fixed`` switches so the before/after can be
+benchmarked.
+"""
+
+from repro import PipelineConfig, ProvMark
+from repro.capture.spade import SpadeCapture, SpadeConfig
+from repro.graph.stats import connected_components, summarize
+from repro.suite.program import Op, Program, create_file
+
+
+def provmark_with(config: SpadeConfig, trials: int = 2) -> ProvMark:
+    return ProvMark(
+        capture=SpadeCapture(config),
+        config=PipelineConfig(tool="spade", seed=23, trials=trials),
+    )
+
+
+def check_simplify_bug() -> None:
+    print("1) Disabling `simplify` to audit setresgid explicitly")
+    for fixed in (False, True):
+        config = SpadeConfig(simplify=False, simplify_bug_fixed=fixed)
+        result = provmark_with(config).run_benchmark("setresgid")
+        graph = result.target_graph
+        components = connected_components(graph)
+        labels = sorted(node.label for node in graph.nodes())
+        state = "fixed SPADE" if fixed else "buggy SPADE"
+        anchored = any(node.label == "Dummy" for node in graph.nodes())
+        print(f"   {state}: {summarize(graph).describe()}")
+        if fixed:
+            print(
+                "   -> structure anchors to the background process via a "
+                "dummy node: connected, as intended"
+            )
+        else:
+            uninitialized = [
+                node for node in graph.nodes()
+                if node.props.get("source") == "uninitialized"
+            ]
+            print(
+                "   -> no anchor into the background graph "
+                f"(dummy nodes: {anchored}); the edge points at "
+                f"{len(uninitialized)} uninitialized vertex — the benchmark "
+                "surfaces it as a disconnected subgraph (Bob's bug report)"
+            )
+    print()
+
+
+def io_runs_program() -> Program:
+    """Three consecutive writes — a 'run' the IORuns filter should coalesce."""
+    return Program(
+        name="write_run",
+        ops=(
+            Op("open", ("test.txt", "O_RDWR"), result="id"),
+            Op("write", ("$id", b"aaaa"), target=True),
+            Op("write", ("$id", b"bbbb"), target=True),
+            Op("write", ("$id", b"cccc"), target=True),
+        ),
+        setup=(create_file("test.txt"),),
+    )
+
+
+def check_ioruns_bug() -> None:
+    print("2) Enabling the IORuns filter (coalesce repeated writes)")
+    program = io_runs_program()
+    for fixed in (False, True):
+        config = SpadeConfig(ioruns_filter=True, ioruns_bug_fixed=fixed)
+        result = provmark_with(config).run_benchmark(program)
+        writes = [
+            edge for edge in result.target_graph.edges()
+            if edge.props.get("operation") == "write"
+        ]
+        state = "fixed SPADE" if fixed else "buggy SPADE"
+        counts = sorted(edge.props.get("count", "1") for edge in writes)
+        print(
+            f"   {state}: {len(writes)} write edge(s), counts {counts}"
+            + ("  <- filter had no effect (the bug)" if not fixed and len(writes) > 1 else "")
+        )
+    print()
+
+
+def main() -> None:
+    check_simplify_bug()
+    check_ioruns_bug()
+    print(
+        "Bob's conclusion: benchmark every configuration you deploy —\n"
+        "both issues were invisible in normal operation but obvious in\n"
+        "the benchmark graphs (paper §3.1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Use case: tracking failed calls (paper §3.1, Alice).
+
+Alice, a security analyst, wants to know which recorders track syscalls
+that fail due to access-control violations — e.g. a non-privileged user
+attempting to overwrite /etc/passwd by renaming another file over it.
+
+Expected outcome (paper):
+* SPADE's default audit rules report successful calls only → empty;
+* OPUS intercepts libc, sees the attempt, and renders the same structure
+  as a successful rename but with retval -1 → recorded;
+* CamFlow could observe the permission denial at the LSM layer but does
+  not record it in this configuration → empty.
+"""
+
+from repro import ProvMark
+from repro.graph.stats import summarize
+from repro.suite.registry import FAILURE_BENCHMARKS
+
+
+def main() -> None:
+    print("Failed-call coverage (who records denied operations?)\n")
+    verdicts = {}
+    for benchmark in FAILURE_BENCHMARKS:
+        print(f"benchmark: {benchmark} "
+              f"({FAILURE_BENCHMARKS[benchmark].description})")
+        for tool in ("spade", "opus", "camflow"):
+            result = ProvMark(tool=tool, seed=13).run_benchmark(benchmark)
+            recorded = result.is_ok
+            verdicts.setdefault(tool, []).append(recorded)
+            detail = summarize(result.target_graph).describe()
+            print(f"  {tool:<8} {'RECORDED' if recorded else 'missed':<9} {detail}")
+            if tool == "opus" and recorded:
+                retvals = sorted({
+                    node.props["retval"]
+                    for node in result.target_graph.nodes()
+                    if node.label == "Call"
+                })
+                print(f"           call retval(s): {retvals} (failure visible)")
+        print()
+    best = max(verdicts, key=lambda t: sum(verdicts[t]))
+    print(
+        f"Alice's conclusion: for auditing failed calls, {best} provides\n"
+        "the best default coverage — worth raising with the SPADE and\n"
+        "CamFlow developers (paper §3.1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Benchmarking a nondeterministic target (paper §5.4, future work).
+
+ProvMark assumes deterministic targets; the paper sketches the extension
+for nondeterminism: fingerprint the trial graphs, group them by schedule,
+and benchmark each observed schedule separately.  This example runs that
+prototype on a "race": depending on the scheduler, a worker either just
+writes its output file, or first snapshots it to a backup via link.
+
+Each schedule gets its own benchmark result; the run also reports whether
+every declared schedule was observed (completeness is *not* guaranteed —
+the number of schedules can grow exponentially, as the paper warns).
+"""
+
+from repro.core.nondet import NondetProgram, NondetProvMark
+from repro.graph.stats import summarize
+from repro.suite.program import Op, Program, create_file
+
+
+def racy_worker() -> NondetProgram:
+    background = Program(
+        name="worker_bg",
+        ops=(Op("open", ("input.txt", "O_RDONLY"), result="src"),),
+        setup=(create_file("input.txt"),),
+    )
+    return NondetProgram(
+        name="racy_worker",
+        background=background,
+        schedules=(
+            # schedule 0: plain output write
+            (Op("creat", ("out.txt", 0o644), result="out"),),
+            # schedule 1: the backup thread won the race first
+            (
+                Op("creat", ("out.txt", 0o644), result="out"),
+                Op("link", ("out.txt", "out.bak")),
+            ),
+        ),
+    )
+
+
+def main() -> None:
+    program = racy_worker()
+    runner = NondetProvMark(tool="spade", trials=14, seed=3)
+    outcome = runner.run_benchmark(program)
+
+    print(f"program: {outcome.program}")
+    print(f"trials: {outcome.total_trials} "
+          f"(unmatched singletons: {outcome.unmatched_trials})")
+    print(f"schedules declared: {outcome.possible_schedules}, "
+          f"observed: {outcome.observed_schedules} "
+          f"({'complete' if outcome.complete else 'INCOMPLETE — more trials needed'})\n")
+
+    for schedule in outcome.schedules:
+        result = schedule.result
+        print(f"[{result.benchmark}] {schedule.trials_in_class} trials")
+        print(f"  classification: {result.classification}")
+        print(f"  target graph:   {summarize(result.target_graph).describe()}")
+    print(
+        "\nThe two schedules produce different target graphs — exactly why\n"
+        "nondeterministic activity needs schedule grouping before the\n"
+        "foreground/background subtraction (paper §5.4)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Quickstart: benchmark one syscall under all three capture systems.
+
+Runs the full four-stage ProvMark pipeline (record, transform,
+generalize, compare) for the ``open`` benchmark and prints what each
+tool's provenance graph says about the call.
+"""
+
+from repro import ProvMark
+from repro.graph.dot import graph_to_dot
+from repro.graph.stats import summarize
+
+
+def main() -> None:
+    for tool in ("spade", "opus", "camflow"):
+        provmark = ProvMark(tool=tool, seed=7)
+        result = provmark.run_benchmark("open")
+        summary = summarize(result.target_graph)
+        print(f"=== {tool} ===")
+        print(f"  classification : {result.classification}")
+        print(f"  target graph   : {summary.describe()}")
+        print(f"  trials         : {result.trials}")
+        print(
+            "  stage times    : "
+            f"transform {result.timings.transformation * 1000:.1f} ms, "
+            f"generalize {result.timings.generalization * 1000:.1f} ms, "
+            f"compare {result.timings.comparison * 1000:.1f} ms"
+        )
+        print(
+            "  virtual record : "
+            f"{result.timings.virtual_recording:.0f} s "
+            "(what the real tool would take, paper §5.1)"
+        )
+        if not result.target_graph.is_empty():
+            print("  DOT source:")
+            for line in graph_to_dot(result.target_graph).splitlines():
+                print("    " + line)
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Figure 1: the same rename syscall as three very different graphs.
+
+The paper opens with this example: SPADE, OPUS, and CamFlow each record a
+``rename`` with completely different structure.  This script reproduces
+the comparison and prints the per-tool structures side by side.
+"""
+
+from repro import ProvMark
+from repro.graph.dot import graph_to_dot
+from repro.graph.stats import summarize
+
+
+def main() -> None:
+    print("A rename system call, as recorded by three provenance recorders")
+    print("(paper Figure 1)\n")
+    for tool in ("spade", "camflow", "opus"):
+        result = ProvMark(tool=tool, seed=1).run_benchmark("rename")
+        graph = result.target_graph
+        print(f"--- {tool} ---")
+        print(f"  {summarize(graph).describe()}")
+        # Describe the shape in words, like the paper's §4.1 discussion.
+        labels = sorted(node.label for node in graph.nodes())
+        edges = sorted(edge.label for edge in graph.edges())
+        print(f"  node labels: {labels}")
+        print(f"  edge labels: {edges}")
+        print(graph_to_dot(graph, name=f"rename_{tool}"))
+    print(
+        "Note how SPADE links old and new name artifacts to the process,\n"
+        "OPUS surrounds the call node with versioned globals, and CamFlow\n"
+        "adds a new path to the file object (the old path never appears)."
+    )
+
+
+if __name__ == "__main__":
+    main()

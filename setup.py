@@ -1,0 +1,6 @@
+"""Legacy setup shim: lets ``pip install -e .`` work offline
+(without the ``wheel`` package PEP 660 editable builds would need)."""
+
+from setuptools import setup
+
+setup()

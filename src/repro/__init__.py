@@ -1,0 +1,30 @@
+"""repro — a reproduction of ProvMark (Middleware 2019).
+
+ProvMark is an automated expressiveness benchmarking system for
+system-level provenance capture tools.  This package reimplements the
+whole stack in Python: the property-graph/Datalog core, the graph-matching
+solvers (native and mini-ASP), a simulated Linux-like kernel substrate,
+three simulated capture systems (SPADE, OPUS, CamFlow), the four-stage
+ProvMark pipeline, the benchmark suite, and the analysis tooling that
+regenerates every table and figure of the paper.
+
+Quickstart::
+
+    from repro import ProvMark
+    provmark = ProvMark(tool="spade")
+    result = provmark.run_benchmark("open")
+    print(result.classification, result.target_graph.size)
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.pipeline import PipelineConfig, ProvMark  # noqa: E402
+from repro.core.result import BenchmarkResult, Classification  # noqa: E402
+
+__all__ = [
+    "BenchmarkResult",
+    "Classification",
+    "PipelineConfig",
+    "ProvMark",
+    "__version__",
+]

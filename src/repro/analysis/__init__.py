@@ -1,0 +1,61 @@
+"""Analysis: regenerating the paper's tables and coverage queries."""
+
+from repro.analysis.coverage import (
+    CoverageReport,
+    blind_spot_overlap,
+    coverage_for,
+    group_coverage,
+    render_group_coverage,
+)
+from repro.analysis.loc import Table4, count_loc, generate_table4
+from repro.analysis.queries import (
+    ancestry,
+    by_label,
+    by_prop,
+    find_nodes,
+    flows_between,
+    influence,
+    match_pattern,
+    reachable,
+    shortest_path,
+)
+from repro.analysis.table2 import (
+    NOTE_MEANINGS,
+    Table2,
+    Table2Cell,
+    generate_table2,
+)
+from repro.analysis.table3 import (
+    TABLE3_SYSCALLS,
+    Table3,
+    Table3Cell,
+    generate_table3,
+)
+
+__all__ = [
+    "CoverageReport",
+    "NOTE_MEANINGS",
+    "TABLE3_SYSCALLS",
+    "Table2",
+    "Table2Cell",
+    "Table3",
+    "Table3Cell",
+    "Table4",
+    "ancestry",
+    "blind_spot_overlap",
+    "by_label",
+    "by_prop",
+    "find_nodes",
+    "flows_between",
+    "influence",
+    "match_pattern",
+    "reachable",
+    "shortest_path",
+    "count_loc",
+    "coverage_for",
+    "generate_table2",
+    "generate_table3",
+    "generate_table4",
+    "group_coverage",
+    "render_group_coverage",
+]

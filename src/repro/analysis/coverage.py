@@ -1,0 +1,90 @@
+"""Coverage queries over benchmark results.
+
+Answers the expressiveness questions the paper motivates: what does each
+tool record, where are the blind spots, and how do tools compare per
+syscall group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.result import BenchmarkResult, Classification
+from repro.suite.registry import TABLE1_GROUPS, TABLE2_BENCHMARKS
+
+
+@dataclass
+class CoverageReport:
+    """Per-tool coverage statistics over a set of results."""
+
+    tool: str
+    recorded: List[str]
+    blind_spots: List[str]
+    failed: List[str]
+
+    @property
+    def coverage_ratio(self) -> float:
+        total = len(self.recorded) + len(self.blind_spots)
+        return len(self.recorded) / total if total else 0.0
+
+
+def coverage_for(results: Sequence[BenchmarkResult]) -> Dict[str, CoverageReport]:
+    """Group results by tool and split into recorded/blind/failed."""
+    by_tool: Dict[str, CoverageReport] = {}
+    for result in results:
+        report = by_tool.setdefault(
+            result.tool, CoverageReport(result.tool, [], [], [])
+        )
+        if result.classification is Classification.OK:
+            report.recorded.append(result.benchmark)
+        elif result.classification is Classification.EMPTY:
+            report.blind_spots.append(result.benchmark)
+        else:
+            report.failed.append(result.benchmark)
+    return by_tool
+
+
+def group_coverage(
+    results: Sequence[BenchmarkResult],
+) -> Dict[str, Dict[int, Tuple[int, int]]]:
+    """tool -> group -> (recorded, total) over Table 2 benchmarks."""
+    out: Dict[str, Dict[int, Tuple[int, int]]] = {}
+    for result in results:
+        program = TABLE2_BENCHMARKS.get(result.benchmark)
+        if program is None:
+            continue
+        groups = out.setdefault(result.tool, {})
+        recorded, total = groups.get(program.group, (0, 0))
+        if result.classification is Classification.OK:
+            recorded += 1
+        groups[program.group] = (recorded, total + 1)
+    return out
+
+
+def blind_spot_overlap(
+    results: Sequence[BenchmarkResult],
+) -> List[str]:
+    """Syscalls no tool records — the ecosystem-wide blind spots."""
+    by_benchmark: Dict[str, List[Classification]] = {}
+    for result in results:
+        by_benchmark.setdefault(result.benchmark, []).append(
+            result.classification
+        )
+    return sorted(
+        name
+        for name, classes in by_benchmark.items()
+        if classes and all(c is Classification.EMPTY for c in classes)
+    )
+
+
+def render_group_coverage(results: Sequence[BenchmarkResult]) -> str:
+    coverage = group_coverage(results)
+    lines = ["Per-group coverage (recorded/total):"]
+    for tool in sorted(coverage):
+        parts = []
+        for group, (name, _) in sorted(TABLE1_GROUPS.items()):
+            recorded, total = coverage[tool].get(group, (0, 0))
+            parts.append(f"{name} {recorded}/{total}")
+        lines.append(f"  {tool:<8} " + "  ".join(parts))
+    return "\n".join(lines)

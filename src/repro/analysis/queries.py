@@ -1,0 +1,181 @@
+"""Provenance-graph queries.
+
+The applications the paper motivates — forensic audit, intrusion
+detection, compliance — all reduce to queries over provenance graphs:
+*where did this come from*, *what did this process touch*, *does this
+attack pattern occur*.  This module provides those primitives over the
+common property-graph representation, so benchmark outputs (and any graph
+a capture system produced) can be interrogated directly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.graph.model import Edge, Node, PropertyGraph
+
+NodePredicate = Callable[[Node], bool]
+
+
+def find_nodes(graph: PropertyGraph, predicate: NodePredicate) -> List[Node]:
+    return [node for node in graph.nodes() if predicate(node)]
+
+
+def by_label(label: str) -> NodePredicate:
+    return lambda node: node.label == label
+
+def by_prop(key: str, value: Optional[str] = None) -> NodePredicate:
+    if value is None:
+        return lambda node: key in node.props
+    return lambda node: node.props.get(key) == value
+
+
+def _neighbors(
+    graph: PropertyGraph, node_id: str, forward: bool
+) -> Iterator[Tuple[Edge, str]]:
+    edges = graph.out_edges(node_id) if forward else graph.in_edges(node_id)
+    for edge in edges:
+        yield edge, (edge.tgt if forward else edge.src)
+
+
+def reachable(
+    graph: PropertyGraph,
+    start: str,
+    forward: bool = True,
+    max_depth: Optional[int] = None,
+) -> Set[str]:
+    """Nodes reachable from ``start`` following edge direction.
+
+    In provenance terms, following *outgoing* edges walks toward what an
+    element depends on (its ancestry), since provenance edges point from
+    effect to cause.
+    """
+    seen: Set[str] = set()
+    queue = deque([(start, 0)])
+    while queue:
+        node_id, depth = queue.popleft()
+        if max_depth is not None and depth >= max_depth:
+            continue
+        for _, neighbor in _neighbors(graph, node_id, forward):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                queue.append((neighbor, depth + 1))
+    seen.discard(start)
+    return seen
+
+
+def ancestry(graph: PropertyGraph, node_id: str) -> Set[str]:
+    """Everything ``node_id`` causally depends on (provenance closure)."""
+    return reachable(graph, node_id, forward=True)
+
+
+def influence(graph: PropertyGraph, node_id: str) -> Set[str]:
+    """Everything that causally depends on ``node_id``."""
+    return reachable(graph, node_id, forward=False)
+
+
+def shortest_path(
+    graph: PropertyGraph, source: str, target: str
+) -> Optional[List[Edge]]:
+    """Shortest directed edge path from ``source`` to ``target``."""
+    if source == target:
+        return []
+    parents: Dict[str, Tuple[str, Edge]] = {}
+    queue = deque([source])
+    while queue:
+        node_id = queue.popleft()
+        for edge, neighbor in _neighbors(graph, node_id, forward=True):
+            if neighbor in parents or neighbor == source:
+                continue
+            parents[neighbor] = (node_id, edge)
+            if neighbor == target:
+                path: List[Edge] = []
+                current = target
+                while current != source:
+                    previous, via = parents[current]
+                    path.append(via)
+                    current = previous
+                path.reverse()
+                return path
+            queue.append(neighbor)
+    return None
+
+
+def flows_between(
+    graph: PropertyGraph,
+    source_predicate: NodePredicate,
+    sink_predicate: NodePredicate,
+) -> List[Tuple[str, str, List[Edge]]]:
+    """Information-flow witnesses: paths from a source to a sink node.
+
+    The classic detection query: does anything read from X (e.g.
+    /etc/shadow) flow into Y (e.g. a socket)?  Provenance edges point
+    effect→cause, so data flowing source→sink appears as a path
+    *sink→...→source*; we search that direction and report it
+    source-first.
+    """
+    sources = {n.id for n in find_nodes(graph, source_predicate)}
+    flows: List[Tuple[str, str, List[Edge]]] = []
+    for sink in find_nodes(graph, sink_predicate):
+        if sink.id in sources:
+            continue
+        for source_id in sources:
+            path = shortest_path(graph, sink.id, source_id)
+            if path is not None and path:
+                flows.append((source_id, sink.id, path))
+    return flows
+
+
+def match_pattern(
+    graph: PropertyGraph,
+    node_constraints: Dict[str, NodePredicate],
+    edge_constraints: Sequence[Tuple[str, str, Optional[str]]],
+) -> List[Dict[str, str]]:
+    """Small subgraph-pattern matcher for detection rules.
+
+    ``node_constraints`` binds pattern variables to predicates;
+    ``edge_constraints`` is a list of (src_var, tgt_var, edge_label-or-None)
+    requirements.  Returns all assignments of variables to node ids.
+
+    >>> # a task that read some inode and generated another
+    >>> match_pattern(g, {"t": by_label("task"),
+    ...                   "r": by_label("inode"),
+    ...                   "w": by_label("inode")},
+    ...               [("t", "r", "used"), ("w", "t", "wasGeneratedBy")])
+    """
+    variables = list(node_constraints)
+    candidates: Dict[str, List[str]] = {
+        var: [n.id for n in find_nodes(graph, predicate)]
+        for var, predicate in node_constraints.items()
+    }
+    results: List[Dict[str, str]] = []
+
+    def satisfied(assignment: Dict[str, str]) -> bool:
+        for src_var, tgt_var, label in edge_constraints:
+            if src_var not in assignment or tgt_var not in assignment:
+                continue
+            found = any(
+                edge.tgt == assignment[tgt_var]
+                and (label is None or edge.label == label)
+                for edge in graph.out_edges(assignment[src_var])
+            )
+            if not found:
+                return False
+        return True
+
+    def search(index: int, assignment: Dict[str, str]) -> None:
+        if index == len(variables):
+            results.append(dict(assignment))
+            return
+        var = variables[index]
+        for candidate in candidates[var]:
+            if candidate in assignment.values():
+                continue
+            assignment[var] = candidate
+            if satisfied(assignment):
+                search(index + 1, assignment)
+            del assignment[var]
+
+    search(0, {})
+    return results

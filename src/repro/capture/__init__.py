@@ -1,0 +1,57 @@
+"""Simulated provenance capture systems (paper Figure 2)."""
+
+from typing import Optional
+
+from repro.capture.base import CaptureSystem, RawOutput, RecordingCost
+from repro.capture.camflow import CamFlowCapture, CamFlowConfig, RECORDED_HOOKS
+from repro.capture.opus import OpusCapture, OpusConfig, WRAPPED_FUNCTIONS
+from repro.capture.spade import (
+    BASE_RENDER_SET,
+    NO_SIMPLIFY_EXTRA,
+    SpadeCapture,
+    SpadeConfig,
+)
+from repro.capture.spade_camflow import SpadeCamFlowCapture, SpadeCamFlowConfig
+
+#: Tool name -> capture class, mirroring ProvMark's tool profiles
+#: (``spg``/``opu``/``cam`` in the paper's appendix).
+TOOLS = {
+    "spade": SpadeCapture,
+    "opus": OpusCapture,
+    "camflow": CamFlowCapture,
+    "spade-camflow": SpadeCamFlowCapture,
+}
+
+
+def make_capture(tool: str, config: Optional[object] = None) -> CaptureSystem:
+    """Instantiate a capture system by name with an optional config."""
+    try:
+        cls = TOOLS[tool]
+    except KeyError:
+        raise ValueError(
+            f"unknown tool {tool!r}; available: {sorted(TOOLS)}"
+        ) from None
+    if config is None:
+        return cls()
+    return cls(config)  # type: ignore[arg-type]
+
+
+__all__ = [
+    "BASE_RENDER_SET",
+    "CamFlowCapture",
+    "CamFlowConfig",
+    "CaptureSystem",
+    "NO_SIMPLIFY_EXTRA",
+    "OpusCapture",
+    "OpusConfig",
+    "RECORDED_HOOKS",
+    "RawOutput",
+    "RecordingCost",
+    "SpadeCamFlowCapture",
+    "SpadeCamFlowConfig",
+    "SpadeCapture",
+    "SpadeConfig",
+    "TOOLS",
+    "WRAPPED_FUNCTIONS",
+    "make_capture",
+]

@@ -1,0 +1,246 @@
+"""Command-line interface, mirroring ProvMark's ``fullAutomation.py``.
+
+Examples::
+
+    provmark run --tool spade --benchmark open
+    provmark batch --tool camflow --trials 5 --result-type rh --out results.html
+    provmark table2
+    provmark list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.table2 import generate_table2
+from repro.analysis.table3 import generate_table3
+from repro.analysis.loc import generate_table4
+from repro.config import default_config_ini, get_profile
+from repro.core.pipeline import PipelineConfig, ProvMark
+from repro.core.regression import RegressionStore
+from repro.core.report import render_text, write_html
+from repro.graph.dot import graph_to_dot
+from repro.suite import ALL_BENCHMARKS, TABLE2_ORDER, get_benchmark
+
+
+def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--tool", choices=("spade", "opus", "camflow"), default="spade",
+        help="provenance capture tool to benchmark",
+    )
+    parser.add_argument(
+        "--profile", default=None,
+        help="tool profile (spg/spn/opu/cam or one from --config), "
+        "overrides --tool",
+    )
+    parser.add_argument(
+        "--config", default=None, help="path to a config.ini with profiles",
+    )
+    parser.add_argument(
+        "--trials", type=int, default=None,
+        help="recording trials per program variant (default: tool profile)",
+    )
+    parser.add_argument(
+        "--engine", choices=("native", "asp"), default="native",
+        help="graph matching engine (asp runs the paper's Listing 3/4)",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="master seed")
+    parser.add_argument(
+        "--filtergraphs", action="store_true", default=None,
+        help="drop obviously incomplete graphs before generalization",
+    )
+
+
+def _make_provmark(args: argparse.Namespace) -> ProvMark:
+    if args.profile:
+        profile = get_profile(args.profile, config_path=args.config)
+        provmark = profile.make_provmark(seed=args.seed, engine=args.engine)
+        if args.trials is not None:
+            provmark.config.trials = args.trials
+        if args.filtergraphs is not None:
+            provmark.config.filtergraphs = args.filtergraphs
+        return provmark
+    config = PipelineConfig(
+        tool=args.tool,
+        trials=args.trials,
+        engine=args.engine,
+        seed=args.seed,
+        filtergraphs=args.filtergraphs,
+    )
+    return ProvMark(config=config)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    provmark = _make_provmark(args)
+    result = provmark.run_benchmark(args.benchmark)
+    print(result.summary())
+    if args.show_graph and not result.target_graph.is_empty():
+        print(graph_to_dot(result.target_graph), end="")
+    return 0 if result.classification.value != "failed" else 1
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    provmark = _make_provmark(args)
+    names = args.benchmarks or list(TABLE2_ORDER)
+    results = [provmark.run_benchmark(name) for name in names]
+    if args.result_type == "rh":
+        path = write_html(results, args.out or "finalResult/index.html")
+        print(f"wrote {path}")
+    else:
+        print(render_text(results), end="")
+    failed = sum(1 for r in results if r.classification.value == "failed")
+    return 1 if failed else 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    table = generate_table2(seed=args.seed if args.seed is not None else 2019)
+    print(table.render())
+    mismatches = table.mismatches()
+    print(
+        f"\nagreement with paper Table 2: {table.agreement:.0%}"
+        f" ({len(mismatches)} mismatches)"
+    )
+    return 0 if not mismatches else 1
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    print(generate_table3().render())
+    return 0
+
+
+def _cmd_table4(args: argparse.Namespace) -> int:
+    print(generate_table4().render())
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    for name, program in sorted(ALL_BENCHMARKS.items()):
+        print(f"{name:<14} group {program.group} ({program.group_name})"
+              + (f" — {program.description}" if program.description else ""))
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    program = get_benchmark(args.benchmark)
+    print(program.to_c_source(), end="")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="provmark",
+        description="ProvMark: provenance expressiveness benchmarking "
+        "(Middleware 2019 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a single benchmark")
+    _add_pipeline_options(run)
+    run.add_argument("--benchmark", required=True)
+    run.add_argument("--show-graph", action="store_true")
+    run.set_defaults(func=_cmd_run)
+
+    batch = sub.add_parser("batch", help="run many benchmarks (runTests.sh)")
+    _add_pipeline_options(batch)
+    batch.add_argument("--benchmarks", nargs="*", default=None)
+    batch.add_argument(
+        "--result-type", choices=("rb", "rh"), default="rb",
+        help="rb: text summary; rh: HTML page",
+    )
+    batch.add_argument("--out", default=None, help="HTML output path")
+    batch.set_defaults(func=_cmd_batch)
+
+    table2 = sub.add_parser("table2", help="regenerate paper Table 2")
+    table2.add_argument("--seed", type=int, default=None)
+    table2.set_defaults(func=_cmd_table2)
+
+    table3 = sub.add_parser("table3", help="regenerate paper Table 3")
+    table3.set_defaults(func=_cmd_table3)
+
+    table4 = sub.add_parser("table4", help="regenerate paper Table 4")
+    table4.set_defaults(func=_cmd_table4)
+
+    listing = sub.add_parser("list", help="list available benchmarks")
+    listing.set_defaults(func=_cmd_list)
+
+    show = sub.add_parser("show", help="show a benchmark's C source")
+    show.add_argument("--benchmark", required=True)
+    show.set_defaults(func=_cmd_show)
+
+    regress = sub.add_parser(
+        "regress", help="regression-test a recorder against stored baselines"
+    )
+    _add_pipeline_options(regress)
+    regress.add_argument("--store", required=True, help="baseline directory")
+    regress.add_argument("--benchmarks", nargs="*", default=None)
+    regress.add_argument(
+        "--accept", action="store_true",
+        help="accept detected changes as the new baselines",
+    )
+    regress.set_defaults(func=_cmd_regress)
+
+    config = sub.add_parser(
+        "config", help="print the default config.ini (paper appendix A.4)"
+    )
+    config.set_defaults(func=_cmd_config)
+
+    coverage = sub.add_parser(
+        "coverage", help="per-tool, per-group coverage over the suite"
+    )
+    coverage.add_argument("--seed", type=int, default=2019)
+    coverage.add_argument("--benchmarks", nargs="*", default=None)
+    coverage.set_defaults(func=_cmd_coverage)
+
+    return parser
+
+
+def _cmd_coverage(args: argparse.Namespace) -> int:
+    from repro.analysis.coverage import (
+        blind_spot_overlap,
+        render_group_coverage,
+    )
+    names = args.benchmarks or list(TABLE2_ORDER)
+    results = []
+    for tool in ("spade", "opus", "camflow"):
+        provmark = ProvMark(config=PipelineConfig(tool=tool, seed=args.seed))
+        results.extend(provmark.run_benchmark(name) for name in names)
+    print(render_group_coverage(results))
+    universal = blind_spot_overlap(results)
+    if universal:
+        print(f"\nblind everywhere: {', '.join(universal)}")
+    return 0
+
+
+def _cmd_regress(args: argparse.Namespace) -> int:
+    provmark = _make_provmark(args)
+    store = RegressionStore(args.store)
+    names = args.benchmarks or list(TABLE2_ORDER)
+    changed = 0
+    for name in names:
+        result = provmark.run_benchmark(name)
+        report = store.check_and_update(result, accept_changes=args.accept)
+        detail = f"  ({report.detail})" if report.detail else ""
+        print(f"{name:<14} {report.status}{detail}")
+        changed += report.changed
+    if changed and not args.accept:
+        print(f"\n{changed} benchmark(s) changed; re-run with --accept "
+              "if the changes are expected")
+        return 1
+    return 0
+
+
+def _cmd_config(args: argparse.Namespace) -> int:
+    print(default_config_ini(), end="")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

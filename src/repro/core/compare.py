@@ -1,0 +1,70 @@
+"""Stage 4 — graph comparison (paper §3.5).
+
+Embeds the generalized background graph into the generalized foreground
+graph (approximate subgraph isomorphism, minimizing mismatched
+properties), subtracts the match, and keeps anchor nodes as dummies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.graph.model import PropertyGraph
+from repro.solver import subgraph_embedding
+from repro.solver.native import DUMMY_LABEL, Matching
+
+
+class ComparisonError(Exception):
+    """The background graph could not be embedded into the foreground."""
+
+
+@dataclass
+class ComparisonOutcome:
+    target: PropertyGraph
+    matching: Matching
+
+    @property
+    def is_empty(self) -> bool:
+        return self.target.is_empty()
+
+
+def compare(
+    foreground: PropertyGraph,
+    background: PropertyGraph,
+    engine: str = "native",
+) -> ComparisonOutcome:
+    """Subtract the background from the foreground graph."""
+    matching = subgraph_embedding(background, foreground, engine=engine)
+    if matching is None:
+        raise ComparisonError(
+            "background does not embed into foreground "
+            f"(bg {background.size} elements, fg {foreground.size})"
+        )
+    target = _subtract(foreground, matching)
+    return ComparisonOutcome(target=target, matching=matching)
+
+
+def _subtract(foreground: PropertyGraph, matching: Matching) -> PropertyGraph:
+    matched_nodes = set(matching.node_map.values())
+    matched_edges = set(matching.edge_map.values())
+    result = PropertyGraph(foreground.gid + "_target")
+    kept_edges = [
+        edge for edge in foreground.edges() if edge.id not in matched_edges
+    ]
+    kept_nodes = {
+        node.id for node in foreground.nodes() if node.id not in matched_nodes
+    }
+    anchors = set()
+    for edge in kept_edges:
+        for endpoint in (edge.src, edge.tgt):
+            if endpoint not in kept_nodes:
+                anchors.add(endpoint)
+    for node in foreground.nodes():
+        if node.id in kept_nodes:
+            result.add_node(node.id, node.label, node.props)
+        elif node.id in anchors:
+            result.add_node(node.id, DUMMY_LABEL, {"was": node.label})
+    for edge in kept_edges:
+        result.add_edge(edge.id, edge.src, edge.tgt, edge.label, edge.props)
+    return result

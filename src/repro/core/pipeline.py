@@ -1,0 +1,198 @@
+"""The ProvMark pipeline driver (paper Figure 3).
+
+Wires the four subsystems together:
+
+1. **recording** — run fg/bg trials under the selected capture tool;
+2. **transformation** — native output → Datalog property graphs;
+3. **generalization** — similarity classes → one generalized graph per
+   program variant;
+4. **comparison** — subtract background from foreground → target graph.
+
+The public entry point is :class:`ProvMark`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.capture import CaptureSystem, make_capture
+from repro.core.compare import ComparisonError, compare
+from repro.core.generalize import GeneralizationError, generalize_trials
+from repro.core.recording import Recorder, RecordingSession
+from repro.core.result import BenchmarkResult, Classification, StageTimings
+from repro.core.transform import transform
+from repro.graph.model import PropertyGraph
+from repro.suite.program import Program
+from repro.suite.registry import get_benchmark
+
+#: Tool profiles mirroring ProvMark's config.ini: CamFlow defaults to graph
+#: filtering and more trials (paper appendix A.4/A.6 runs CamFlow with 11).
+TOOL_PROFILES: Dict[str, Dict[str, object]] = {
+    "spade": {"trials": 2, "filtergraphs": False},
+    "opus": {"trials": 2, "filtergraphs": False},
+    "camflow": {"trials": 5, "filtergraphs": True},
+    "spade-camflow": {"trials": 2, "filtergraphs": False},
+}
+
+
+@dataclass
+class PipelineConfig:
+    """User-facing configuration (the paper's config.ini + CLI options)."""
+
+    tool: str = "spade"
+    trials: Optional[int] = None  # None = tool profile default
+    filtergraphs: Optional[bool] = None  # None = tool profile default
+    engine: str = "native"  # "native" | "asp"
+    seed: Optional[int] = None
+    truncation_rate: float = 0.0
+    #: similarity-class choice per program variant (paper §3.4):
+    #: "smallest"/"largest"; setting them differently reproduces the
+    #: paper's remark about mismatched choices.
+    fg_pair_policy: str = "smallest"
+    bg_pair_policy: str = "smallest"
+
+    def resolved_trials(self) -> int:
+        if self.trials is not None:
+            return self.trials
+        return int(TOOL_PROFILES.get(self.tool, {}).get("trials", 2))
+
+    def resolved_filtergraphs(self) -> bool:
+        if self.filtergraphs is not None:
+            return self.filtergraphs
+        return bool(TOOL_PROFILES.get(self.tool, {}).get("filtergraphs", False))
+
+
+class ProvMark:
+    """Automated provenance expressiveness benchmarking.
+
+    >>> provmark = ProvMark(tool="spade", seed=7)
+    >>> result = provmark.run_benchmark("open")
+    >>> result.classification.value
+    'ok'
+    """
+
+    def __init__(
+        self,
+        tool: str = "spade",
+        capture: Optional[CaptureSystem] = None,
+        config: Optional[PipelineConfig] = None,
+        **config_kwargs: object,
+    ) -> None:
+        if config is None:
+            config = PipelineConfig(tool=tool, **config_kwargs)  # type: ignore[arg-type]
+        self.config = config
+        self.capture = capture or make_capture(config.tool)
+
+    # -- public API ----------------------------------------------------------
+
+    def run_benchmark(self, benchmark: Union[str, Program]) -> BenchmarkResult:
+        """Run the full four-stage pipeline for one benchmark."""
+        program = (
+            benchmark if isinstance(benchmark, Program)
+            else get_benchmark(benchmark)
+        )
+        timings = StageTimings()
+
+        started = time.perf_counter()
+        recorder = Recorder(
+            self.capture,
+            trials=self.config.resolved_trials(),
+            seed=self.config.seed,
+            truncation_rate=self.config.truncation_rate,
+        )
+        session = recorder.record(program)
+        timings.recording = time.perf_counter() - started
+        timings.virtual_recording = session.virtual_seconds
+
+        started = time.perf_counter()
+        fg_graphs = self._transform_trials(session, foreground=True)
+        bg_graphs = self._transform_trials(session, foreground=False)
+        timings.transformation = time.perf_counter() - started
+
+        filtergraphs = self.config.resolved_filtergraphs()
+        started = time.perf_counter()
+        try:
+            fg_outcome = generalize_trials(
+                fg_graphs, filtergraphs=filtergraphs,
+                engine=self.config.engine,
+                pair_policy=self.config.fg_pair_policy,
+            )
+            bg_outcome = generalize_trials(
+                bg_graphs, filtergraphs=filtergraphs,
+                engine=self.config.engine,
+                pair_policy=self.config.bg_pair_policy,
+            )
+        except GeneralizationError as error:
+            timings.generalization = time.perf_counter() - started
+            return self._failure(program, timings, str(error))
+        timings.generalization = time.perf_counter() - started
+
+        started = time.perf_counter()
+        try:
+            outcome = compare(
+                fg_outcome.graph, bg_outcome.graph, engine=self.config.engine
+            )
+        except ComparisonError as error:
+            timings.comparison = time.perf_counter() - started
+            return self._failure(
+                program, timings, str(error),
+                foreground=fg_outcome.graph, background=bg_outcome.graph,
+            )
+        timings.comparison = time.perf_counter() - started
+
+        classification = (
+            Classification.EMPTY if outcome.is_empty else Classification.OK
+        )
+        expectation = program.expectation(self.capture.name)
+        note = expectation[1] if expectation else ""
+        return BenchmarkResult(
+            benchmark=program.name,
+            tool=self.capture.name,
+            classification=classification,
+            target_graph=outcome.target,
+            foreground=fg_outcome.graph,
+            background=bg_outcome.graph,
+            timings=timings,
+            trials=self.config.resolved_trials(),
+            discarded_trials=fg_outcome.discarded + bg_outcome.discarded,
+            note=note if classification is Classification.EMPTY or note in ("DV", "SC") else "",
+        )
+
+    def run_many(self, names: List[str]) -> List[BenchmarkResult]:
+        return [self.run_benchmark(name) for name in names]
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _transform_trials(
+        self, session: RecordingSession, foreground: bool
+    ) -> List[PropertyGraph]:
+        trials = (
+            session.foreground_trials if foreground else session.background_trials
+        )
+        prefix = "fg" if foreground else "bg"
+        return [
+            transform(trial.raw, self.capture.output_format, gid=f"{prefix}{i}")
+            for i, trial in enumerate(trials)
+        ]
+
+    def _failure(
+        self,
+        program: Program,
+        timings: StageTimings,
+        message: str,
+        foreground: Optional[PropertyGraph] = None,
+        background: Optional[PropertyGraph] = None,
+    ) -> BenchmarkResult:
+        return BenchmarkResult(
+            benchmark=program.name,
+            tool=self.capture.name,
+            classification=Classification.FAILED,
+            target_graph=PropertyGraph("empty"),
+            foreground=foreground,
+            background=background,
+            timings=timings,
+            trials=self.config.resolved_trials(),
+            error=message,
+        )

@@ -1,0 +1,101 @@
+"""Stage 1 — recording (paper §3.2).
+
+Runs the benchmark program repeatedly under the selected capture system.
+Each trial gets its own freshly booted machine with a distinct seed, so
+pids/inodes/timestamps vary across trials exactly as they would across
+real recording sessions.  Optional flakiness models the paper's
+observations: SPADE output occasionally truncated by an early stop,
+CamFlow occasionally structurally jittered by recording restarts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.capture.base import CaptureSystem, RawOutput
+from repro.suite.executor import ProgramExecutor
+from repro.suite.program import Program
+
+
+@dataclass
+class RecordedTrial:
+    """Native capture output for one program variant execution."""
+
+    raw: RawOutput
+    seed: int
+    foreground: bool
+    virtual_seconds: float
+
+
+@dataclass
+class RecordingSession:
+    """All trials for one benchmark under one tool."""
+
+    program: Program
+    tool: str
+    foreground_trials: List[RecordedTrial] = field(default_factory=list)
+    background_trials: List[RecordedTrial] = field(default_factory=list)
+
+    @property
+    def virtual_seconds(self) -> float:
+        return sum(
+            t.virtual_seconds
+            for t in self.foreground_trials + self.background_trials
+        )
+
+
+class Recorder:
+    """Drives the capture tool over multiple trials.
+
+    ``truncation_rate`` models SPADE's occasional garbled output when the
+    recording session is stopped too early (§3.2); the affected trial's
+    last audit record is lost before graph construction.
+    """
+
+    def __init__(
+        self,
+        capture: CaptureSystem,
+        trials: int = 2,
+        seed: Optional[int] = None,
+        truncation_rate: float = 0.0,
+    ) -> None:
+        if trials < 2:
+            raise ValueError("generalization needs at least 2 trials")
+        self.capture = capture
+        self.trials = trials
+        self.truncation_rate = truncation_rate
+        self._rng = random.Random(seed)
+
+    def record(self, program: Program) -> RecordingSession:
+        session = RecordingSession(program=program, tool=self.capture.name)
+        for foreground in (False, True):
+            bucket = (
+                session.foreground_trials
+                if foreground
+                else session.background_trials
+            )
+            for _ in range(self.trials):
+                bucket.append(self._one_trial(program, foreground))
+        return session
+
+    def _one_trial(self, program: Program, foreground: bool) -> RecordedTrial:
+        trial_seed = self._rng.randrange(2**31)
+        executor = ProgramExecutor(program, seed=trial_seed)
+        execution = executor.run(foreground)
+        trace = execution.trace
+        if self.truncation_rate and self._rng.random() < self.truncation_rate:
+            # An early stop loses the tail of the audit log (the final
+            # flush): drop the last two records, garbling this trial.
+            if len(trace.audit) > 2:
+                trace = trace.window(0, trace.audit[-3].seq)
+        tool_rng = random.Random(trial_seed ^ 0x5EED)
+        raw = self.capture.record(trace, tool_rng)
+        cost = self.capture.recording_cost(tool_rng)
+        return RecordedTrial(
+            raw=raw,
+            seed=trial_seed,
+            foreground=foreground,
+            virtual_seconds=cost.seconds,
+        )

@@ -1,0 +1,105 @@
+"""Regression testing of provenance recorders (paper §3.1, Charlie).
+
+Benchmark target graphs are stored on disk as Datalog; later runs are
+compared against the stored baselines with the same isomorphism machinery
+ProvMark already uses.  Differences are reported so that expected changes
+can be accepted (the baseline is replaced) and unexpected ones
+investigated as potential bugs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.core.result import BenchmarkResult
+from repro.graph.datalog import datalog_to_graph, graph_to_datalog
+from repro.graph.model import PropertyGraph
+from repro.solver import are_similar, find_isomorphism
+
+
+@dataclass
+class RegressionReport:
+    """Outcome of comparing one benchmark against its stored baseline."""
+
+    benchmark: str
+    tool: str
+    status: str  # "unchanged" | "changed" | "new"
+    detail: str = ""
+
+    @property
+    def changed(self) -> bool:
+        return self.status == "changed"
+
+
+class RegressionStore:
+    """Directory of stored benchmark graphs, one Datalog file per result."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, tool: str, benchmark: str) -> Path:
+        return self.root / f"{tool}__{benchmark}.datalog"
+
+    def save(self, result: BenchmarkResult) -> Path:
+        """Store a result's target graph as the new baseline."""
+        path = self._path(result.tool, result.benchmark)
+        header = json.dumps({
+            "benchmark": result.benchmark,
+            "tool": result.tool,
+            "classification": result.classification.value,
+        })
+        body = graph_to_datalog(result.target_graph, gid="t")
+        path.write_text(f"% {header}\n{body}")
+        return path
+
+    def load(self, tool: str, benchmark: str) -> Optional[PropertyGraph]:
+        path = self._path(tool, benchmark)
+        if not path.exists():
+            return None
+        return datalog_to_graph(path.read_text(), gid="t")
+
+    def baselines(self) -> List[str]:
+        return sorted(p.stem for p in self.root.glob("*.datalog"))
+
+    def check(self, result: BenchmarkResult) -> RegressionReport:
+        """Compare a fresh result against the stored baseline.
+
+        Graphs are compared by *similarity* (structure-only isomorphism) —
+        the same notion ProvMark uses to group trials — so volatile
+        properties never cause false alarms; property-level drift on a
+        structurally identical graph is reported as changed only when the
+        stable (generalized) properties differ under the best matching.
+        """
+        baseline = self.load(result.tool, result.benchmark)
+        if baseline is None:
+            return RegressionReport(result.benchmark, result.tool, "new")
+        current = result.target_graph
+        if not are_similar(baseline, current):
+            return RegressionReport(
+                result.benchmark, result.tool, "changed",
+                detail=(
+                    f"structure drifted: baseline {baseline.node_count}n/"
+                    f"{baseline.edge_count}e vs current "
+                    f"{current.node_count}n/{current.edge_count}e"
+                ),
+            )
+        matching = find_isomorphism(baseline, current, minimize_properties=True)
+        if matching is not None and matching.cost > 0:
+            return RegressionReport(
+                result.benchmark, result.tool, "changed",
+                detail=f"{matching.cost} stable properties differ",
+            )
+        return RegressionReport(result.benchmark, result.tool, "unchanged")
+
+    def check_and_update(
+        self, result: BenchmarkResult, accept_changes: bool = False
+    ) -> RegressionReport:
+        """Charlie's loop: check; store new baselines; optionally accept."""
+        report = self.check(result)
+        if report.status == "new" or (report.changed and accept_changes):
+            self.save(result)
+        return report

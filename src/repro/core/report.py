@@ -1,0 +1,113 @@
+"""HTML and text report generation (the paper's ``finalResult/index.html``).
+
+ProvMark's ``rh`` result type renders an HTML page showing, per benchmark,
+the target graph plus the generalized foreground and background graphs.
+We embed the graphs as DOT sources and structural summaries instead of
+rendered images.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+from repro.core.result import BenchmarkResult
+from repro.graph.dot import graph_to_dot
+from repro.graph.stats import summarize
+
+_PAGE_TEMPLATE = """<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>ProvMark benchmark results</title>
+<style>
+body {{ font-family: sans-serif; margin: 2em; }}
+table {{ border-collapse: collapse; }}
+td, th {{ border: 1px solid #999; padding: 4px 10px; }}
+.ok {{ background: #cfc; }}
+.empty {{ background: #eee; }}
+.failed {{ background: #fcc; }}
+pre {{ background: #f7f7f7; padding: 8px; overflow-x: auto; }}
+details {{ margin: 0.5em 0; }}
+</style>
+</head>
+<body>
+<h1>ProvMark benchmark results</h1>
+{summary_table}
+{sections}
+</body>
+</html>
+"""
+
+
+def _summary_table(results: List[BenchmarkResult]) -> str:
+    rows = [
+        "<table><tr><th>benchmark</th><th>tool</th><th>result</th>"
+        "<th>nodes</th><th>edges</th><th>note</th></tr>"
+    ]
+    for result in results:
+        cls = result.classification.value
+        rows.append(
+            f'<tr class="{cls}"><td>{html.escape(result.benchmark)}</td>'
+            f"<td>{html.escape(result.tool)}</td><td>{cls}</td>"
+            f"<td>{result.target_graph.node_count}</td>"
+            f"<td>{result.target_graph.edge_count}</td>"
+            f"<td>{html.escape(result.note or result.error)}</td></tr>"
+        )
+    rows.append("</table>")
+    return "\n".join(rows)
+
+
+def _graph_details(title: str, graph, open_by_default: bool = False) -> str:
+    if graph is None:
+        return f"<details><summary>{title}: (unavailable)</summary></details>"
+    summary = summarize(graph)
+    dot = html.escape(graph_to_dot(graph))
+    open_attr = " open" if open_by_default else ""
+    return (
+        f"<details{open_attr}><summary>{title}: "
+        f"{html.escape(summary.describe())}</summary>"
+        f"<pre>{dot}</pre></details>"
+    )
+
+
+def _result_section(result: BenchmarkResult) -> str:
+    parts = [f"<h2>{html.escape(result.benchmark)} / {html.escape(result.tool)}</h2>"]
+    if result.error:
+        parts.append(f"<p><b>error:</b> {html.escape(result.error)}</p>")
+    parts.append(_graph_details("target graph", result.target_graph, True))
+    parts.append(_graph_details("generalized foreground", result.foreground))
+    parts.append(_graph_details("generalized background", result.background))
+    timing = result.timings
+    parts.append(
+        "<p>timing: "
+        f"transformation {timing.transformation:.3f}s, "
+        f"generalization {timing.generalization:.3f}s, "
+        f"comparison {timing.comparison:.3f}s "
+        f"(virtual recording {timing.virtual_recording:.1f}s)</p>"
+    )
+    return "\n".join(parts)
+
+
+def render_html(results: Iterable[BenchmarkResult]) -> str:
+    """Render results as a standalone HTML page."""
+    result_list = list(results)
+    return _PAGE_TEMPLATE.format(
+        summary_table=_summary_table(result_list),
+        sections="\n".join(_result_section(r) for r in result_list),
+    )
+
+
+def write_html(
+    results: Iterable[BenchmarkResult], path: Union[str, Path]
+) -> Path:
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(render_html(results))
+    return target
+
+
+def render_text(results: Iterable[BenchmarkResult]) -> str:
+    """Plain-text summary, one line per result (the ``rb`` result type)."""
+    return "\n".join(result.summary() for result in results) + "\n"

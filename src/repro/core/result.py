@@ -1,0 +1,78 @@
+"""Result types for benchmark runs."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.graph.model import PropertyGraph
+
+
+class Classification(enum.Enum):
+    """Outcome of one benchmark (Table 2 cell)."""
+
+    OK = "ok"          # target activity produced graph structure
+    EMPTY = "empty"    # fg and bg generalized to similar graphs
+    FAILED = "failed"  # no consistent trial pair / embedding failed
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass
+class StageTimings:
+    """Wall-clock seconds per ProvMark subsystem (Figures 5-10)."""
+
+    recording: float = 0.0
+    transformation: float = 0.0
+    generalization: float = 0.0
+    comparison: float = 0.0
+    #: virtual recording seconds the real tools would have taken (§5.1)
+    virtual_recording: float = 0.0
+
+    @property
+    def processing(self) -> float:
+        return self.transformation + self.generalization + self.comparison
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "transformation": self.transformation,
+            "generalization": self.generalization,
+            "comparison": self.comparison,
+        }
+
+
+@dataclass
+class BenchmarkResult:
+    """Everything ProvMark produces for one (tool, benchmark) pair."""
+
+    benchmark: str
+    tool: str
+    classification: Classification
+    target_graph: PropertyGraph
+    foreground: Optional[PropertyGraph]
+    background: Optional[PropertyGraph]
+    timings: StageTimings
+    trials: int
+    discarded_trials: int = 0
+    note: str = ""
+    error: str = ""
+
+    @property
+    def is_empty(self) -> bool:
+        return self.classification is Classification.EMPTY
+
+    @property
+    def is_ok(self) -> bool:
+        return self.classification is Classification.OK
+
+    def summary(self) -> str:
+        if self.classification is Classification.OK:
+            return (
+                f"{self.benchmark}/{self.tool}: ok "
+                f"({self.target_graph.node_count} nodes, "
+                f"{self.target_graph.edge_count} edges)"
+            )
+        detail = f" ({self.note})" if self.note else ""
+        return f"{self.benchmark}/{self.tool}: {self.classification}{detail}"

@@ -1,0 +1,37 @@
+"""Property-graph model, Datalog format, and serializers."""
+
+from repro.graph.datalog import (
+    DatalogError,
+    datalog_to_graph,
+    graph_to_datalog,
+)
+from repro.graph.dot import DotError, dot_to_graph, graph_to_dot
+from repro.graph.model import Edge, GraphError, Node, PropertyGraph
+from repro.graph.provjson import (
+    ProvJsonError,
+    graph_to_provjson,
+    provjson_to_graph,
+)
+from repro.graph.stats import GraphSummary, connected_components, summarize
+from repro.graph.visualize import render_ascii, render_benchmark
+
+__all__ = [
+    "DatalogError",
+    "DotError",
+    "Edge",
+    "GraphError",
+    "GraphSummary",
+    "Node",
+    "PropertyGraph",
+    "ProvJsonError",
+    "connected_components",
+    "datalog_to_graph",
+    "dot_to_graph",
+    "graph_to_datalog",
+    "graph_to_dot",
+    "graph_to_provjson",
+    "provjson_to_graph",
+    "render_ascii",
+    "render_benchmark",
+    "summarize",
+]

@@ -1,0 +1,120 @@
+"""Graphviz DOT serialization.
+
+SPADE's Graphviz storage emits one DOT statement per vertex and edge with
+the provenance annotations packed into the ``label`` attribute
+(``key1:value1\\nkey2:value2``) and the element kind in ``shape``
+(box = Process, ellipse = Artifact, octagon = Agent).  The transformation
+stage parses exactly this dialect; the writer is also used to visualize
+benchmark results.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.graph.model import PropertyGraph
+
+_SHAPE_FOR_LABEL = {
+    "Process": "box",
+    "Activity": "box",
+    "Artifact": "ellipse",
+    "Entity": "ellipse",
+    "Agent": "octagon",
+    "Dummy": "egg",
+}
+
+_LABEL_FOR_SHAPE = {
+    "box": "Process",
+    "ellipse": "Artifact",
+    "octagon": "Agent",
+    "egg": "Dummy",
+}
+
+_NODE_RE = re.compile(r'^\s*"?([\w.]+)"?\s*\[(.*)\];?\s*$')
+_EDGE_RE = re.compile(r'^\s*"?([\w.]+)"?\s*->\s*"?([\w.]+)"?\s*\[(.*)\];?\s*$')
+_ATTR_RE = re.compile(r'(\w+)\s*=\s*"((?:[^"\\]|\\.)*)"')
+
+
+class DotError(Exception):
+    """Raised when DOT text cannot be parsed."""
+
+
+def _pack_label(label: str, props: Dict[str, str]) -> str:
+    parts = [f"type:{label}"]
+    for key in sorted(props):
+        parts.append(f"{key}:{props[key]}")
+    return "\\n".join(parts)
+
+
+def _unpack_label(packed: str) -> Tuple[str, Dict[str, str]]:
+    label = ""
+    props: Dict[str, str] = {}
+    for part in packed.split("\\n"):
+        if not part:
+            continue
+        key, _, value = part.partition(":")
+        if key == "type" and not label:
+            label = value
+        else:
+            props[key] = value
+    return label or "Unknown", props
+
+
+def graph_to_dot(graph: PropertyGraph, name: str = "provenance") -> str:
+    """Render ``graph`` in the SPADE-like DOT dialect."""
+    lines = [f"digraph {name} {{"]
+    for node in sorted(graph.nodes(), key=lambda n: n.id):
+        shape = _SHAPE_FOR_LABEL.get(node.label, "ellipse")
+        packed = _pack_label(node.label, dict(node.props))
+        lines.append(f'  "{node.id}" [label="{packed}" shape="{shape}"];')
+    for edge in sorted(graph.edges(), key=lambda e: e.id):
+        packed = _pack_label(edge.label, dict(edge.props))
+        lines.append(
+            f'  "{edge.src}" -> "{edge.tgt}" [id="{edge.id}" label="{packed}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def dot_to_graph(text: str, gid: str = "dot") -> PropertyGraph:
+    """Parse the SPADE-like DOT dialect back into a property graph."""
+    graph = PropertyGraph(gid)
+    edge_seq = 0
+    pending_edges: List[Tuple[str, str, str, Dict[str, str]]] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if (
+            not line
+            or line.startswith(("digraph", "}", "//", "#"))
+            or line in ("{",)
+        ):
+            continue
+        edge_match = _EDGE_RE.match(line)
+        if edge_match:
+            src, tgt, attrs_text = edge_match.groups()
+            attrs = dict(_ATTR_RE.findall(attrs_text))
+            label, props = _unpack_label(attrs.get("label", ""))
+            edge_id = attrs.get("id") or f"e{edge_seq}"
+            edge_seq += 1
+            pending_edges.append((edge_id, src, tgt, {"label": label, **props}))
+            continue
+        node_match = _NODE_RE.match(line)
+        if node_match:
+            node_id, attrs_text = node_match.groups()
+            attrs = dict(_ATTR_RE.findall(attrs_text))
+            if "label" in attrs:
+                label, props = _unpack_label(attrs["label"])
+            else:
+                label = _LABEL_FOR_SHAPE.get(attrs.get("shape", ""), "Unknown")
+                props = {}
+            graph.add_node(node_id, label, props)
+            continue
+        raise DotError(f"unparseable DOT line: {raw!r}")
+    for edge_id, src, tgt, attrs in pending_edges:
+        label = attrs.pop("label")
+        for endpoint in (src, tgt):
+            if not graph.has_node(endpoint):
+                graph.add_node(endpoint, "Unknown")
+        graph.add_edge(edge_id, src, tgt, label, attrs)
+    return graph

@@ -1,0 +1,274 @@
+"""Property-graph data model.
+
+This is the common representation every other subsystem works on.  It
+follows Section 3.3 of the paper: a property graph
+``G = (V, E, src, tgt, lab, prop)`` where nodes and edges carry a label
+from a label alphabet and a partial map of string properties.
+
+Node and edge identifiers live in disjoint namespaces (the paper requires
+``V`` and ``E`` disjoint); :class:`PropertyGraph` enforces this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+
+
+class GraphError(Exception):
+    """Raised on malformed graph operations (duplicate ids, dangling edges)."""
+
+
+@dataclass(frozen=True)
+class Node:
+    """A labelled vertex with string properties."""
+
+    id: str
+    label: str
+    props: Mapping[str, str] = field(default_factory=dict)
+
+    def prop(self, key: str, default: Optional[str] = None) -> Optional[str]:
+        return self.props.get(key, default)
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A labelled, directed edge with string properties."""
+
+    id: str
+    src: str
+    tgt: str
+    label: str
+    props: Mapping[str, str] = field(default_factory=dict)
+
+    def prop(self, key: str, default: Optional[str] = None) -> Optional[str]:
+        return self.props.get(key, default)
+
+
+class PropertyGraph:
+    """A mutable directed multigraph with labelled, attributed nodes and edges.
+
+    >>> g = PropertyGraph()
+    >>> g.add_node("n1", "File", {"name": "test.txt"})
+    >>> g.add_node("n2", "Process")
+    >>> g.add_edge("e1", "n1", "n2", "Used")
+    >>> g.node_count, g.edge_count
+    (2, 1)
+    """
+
+    def __init__(self, gid: str = "g") -> None:
+        self.gid = gid
+        self._nodes: Dict[str, Node] = {}
+        self._edges: Dict[str, Edge] = {}
+        self._out: Dict[str, List[str]] = {}
+        self._in: Dict[str, List[str]] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_node(
+        self, node_id: str, label: str, props: Optional[Mapping[str, str]] = None
+    ) -> Node:
+        if node_id in self._nodes or node_id in self._edges:
+            raise GraphError(f"duplicate identifier {node_id!r}")
+        node = Node(node_id, label, dict(props or {}))
+        self._nodes[node_id] = node
+        self._out[node_id] = []
+        self._in[node_id] = []
+        return node
+
+    def add_edge(
+        self,
+        edge_id: str,
+        src: str,
+        tgt: str,
+        label: str,
+        props: Optional[Mapping[str, str]] = None,
+    ) -> Edge:
+        if edge_id in self._edges or edge_id in self._nodes:
+            raise GraphError(f"duplicate identifier {edge_id!r}")
+        if src not in self._nodes:
+            raise GraphError(f"edge {edge_id!r} has unknown source {src!r}")
+        if tgt not in self._nodes:
+            raise GraphError(f"edge {edge_id!r} has unknown target {tgt!r}")
+        edge = Edge(edge_id, src, tgt, label, dict(props or {}))
+        self._edges[edge_id] = edge
+        self._out[src].append(edge_id)
+        self._in[tgt].append(edge_id)
+        return edge
+
+    def set_prop(self, element_id: str, key: str, value: str) -> None:
+        """Set one property on a node or edge (replacing the element)."""
+        if element_id in self._nodes:
+            node = self._nodes[element_id]
+            props = dict(node.props)
+            props[key] = value
+            self._nodes[element_id] = Node(node.id, node.label, props)
+        elif element_id in self._edges:
+            edge = self._edges[element_id]
+            props = dict(edge.props)
+            props[key] = value
+            self._edges[element_id] = Edge(
+                edge.id, edge.src, edge.tgt, edge.label, props
+            )
+        else:
+            raise GraphError(f"unknown element {element_id!r}")
+
+    def remove_node(self, node_id: str) -> None:
+        """Remove a node and every edge incident to it."""
+        if node_id not in self._nodes:
+            raise GraphError(f"unknown node {node_id!r}")
+        for edge_id in list(self._out[node_id]) + list(self._in[node_id]):
+            if edge_id in self._edges:
+                self.remove_edge(edge_id)
+        del self._nodes[node_id]
+        del self._out[node_id]
+        del self._in[node_id]
+
+    def remove_edge(self, edge_id: str) -> None:
+        if edge_id not in self._edges:
+            raise GraphError(f"unknown edge {edge_id!r}")
+        edge = self._edges.pop(edge_id)
+        self._out[edge.src].remove(edge_id)
+        self._in[edge.tgt].remove(edge_id)
+
+    # -- access -----------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self._edges)
+
+    @property
+    def size(self) -> int:
+        """Total number of elements (the paper's size measure for trials)."""
+        return len(self._nodes) + len(self._edges)
+
+    def node(self, node_id: str) -> Node:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise GraphError(f"unknown node {node_id!r}") from None
+
+    def edge(self, edge_id: str) -> Edge:
+        try:
+            return self._edges[edge_id]
+        except KeyError:
+            raise GraphError(f"unknown edge {edge_id!r}") from None
+
+    def has_node(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def has_edge(self, edge_id: str) -> bool:
+        return edge_id in self._edges
+
+    def nodes(self) -> Iterator[Node]:
+        return iter(self._nodes.values())
+
+    def edges(self) -> Iterator[Edge]:
+        return iter(self._edges.values())
+
+    def node_ids(self) -> Iterator[str]:
+        return iter(self._nodes)
+
+    def edge_ids(self) -> Iterator[str]:
+        return iter(self._edges)
+
+    def out_edges(self, node_id: str) -> List[Edge]:
+        return [self._edges[e] for e in self._out.get(node_id, [])]
+
+    def in_edges(self, node_id: str) -> List[Edge]:
+        return [self._edges[e] for e in self._in.get(node_id, [])]
+
+    def degree(self, node_id: str) -> int:
+        return len(self._out.get(node_id, [])) + len(self._in.get(node_id, []))
+
+    def element_props(self, element_id: str) -> Mapping[str, str]:
+        if element_id in self._nodes:
+            return self._nodes[element_id].props
+        if element_id in self._edges:
+            return self._edges[element_id].props
+        raise GraphError(f"unknown element {element_id!r}")
+
+    # -- derived graphs ---------------------------------------------------
+
+    def copy(self, gid: Optional[str] = None) -> "PropertyGraph":
+        out = PropertyGraph(gid or self.gid)
+        for node in self.nodes():
+            out.add_node(node.id, node.label, node.props)
+        for edge in self.edges():
+            out.add_edge(edge.id, edge.src, edge.tgt, edge.label, edge.props)
+        return out
+
+    def subgraph(self, node_ids: Iterable[str], edge_ids: Iterable[str]) -> "PropertyGraph":
+        """Induced sub-multigraph over explicit node and edge id sets."""
+        keep_nodes: Set[str] = set(node_ids)
+        keep_edges: Set[str] = set(edge_ids)
+        out = PropertyGraph(self.gid)
+        for node_id in keep_nodes:
+            node = self.node(node_id)
+            out.add_node(node.id, node.label, node.props)
+        for edge_id in keep_edges:
+            edge = self.edge(edge_id)
+            if edge.src not in keep_nodes or edge.tgt not in keep_nodes:
+                raise GraphError(f"edge {edge_id!r} endpoints outside subgraph")
+            out.add_edge(edge.id, edge.src, edge.tgt, edge.label, edge.props)
+        return out
+
+    def relabel(self, prefix: str) -> "PropertyGraph":
+        """Return an isomorphic copy with fresh, prefixed element ids."""
+        mapping: Dict[str, str] = {}
+        out = PropertyGraph(self.gid)
+        for i, node in enumerate(self.nodes()):
+            mapping[node.id] = f"{prefix}n{i}"
+            out.add_node(mapping[node.id], node.label, node.props)
+        for i, edge in enumerate(self.edges()):
+            mapping[edge.id] = f"{prefix}e{i}"
+            out.add_edge(
+                mapping[edge.id], mapping[edge.src], mapping[edge.tgt],
+                edge.label, edge.props,
+            )
+        return out
+
+    # -- structural summaries ----------------------------------------------
+
+    def label_histogram(self) -> Dict[str, int]:
+        hist: Dict[str, int] = {}
+        for node in self.nodes():
+            hist[node.label] = hist.get(node.label, 0) + 1
+        for edge in self.edges():
+            hist[edge.label] = hist.get(edge.label, 0) + 1
+        return hist
+
+    def structural_signature(self) -> Tuple:
+        """A cheap isomorphism-invariant used to pre-partition trial graphs.
+
+        Two isomorphic graphs always share a signature; unequal signatures
+        prove non-similarity without running the solver.
+        """
+        node_part = sorted(
+            (n.label, len(self._out[n.id]), len(self._in[n.id]))
+            for n in self.nodes()
+        )
+        edge_part = sorted(
+            (e.label, self.node(e.src).label, self.node(e.tgt).label)
+            for e in self.edges()
+        )
+        return (tuple(node_part), tuple(edge_part))
+
+    def is_empty(self) -> bool:
+        return not self._nodes and not self._edges
+
+    def __eq__(self, other: object) -> bool:
+        """Exact equality (same ids, labels, props) — *not* isomorphism."""
+        if not isinstance(other, PropertyGraph):
+            return NotImplemented
+        return self._nodes == other._nodes and self._edges == other._edges
+
+    def __repr__(self) -> str:
+        return (
+            f"PropertyGraph(gid={self.gid!r}, nodes={self.node_count}, "
+            f"edges={self.edge_count})"
+        )

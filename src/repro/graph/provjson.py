@@ -1,0 +1,102 @@
+"""W3C PROV-JSON serialization (CamFlow's output format).
+
+PROV-JSON groups elements by PROV type::
+
+    {"entity":   {"id": {props...}},
+     "activity": {"id": {props...}},
+     "agent":    {"id": {props...}},
+     "used":     {"id": {"prov:activity": a, "prov:entity": e, props...}},
+     "wasGeneratedBy": {...},  ...}
+
+CamFlow labels its nodes with ``prov:type`` values such as ``task``,
+``inode``, ``path``; we keep that value as the property-graph label.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Tuple
+
+from repro.graph.model import PropertyGraph
+
+# PROV relation name -> (source key, target key).  Source/target follow the
+# PROV-DM direction (effect -> cause), which is also how CamFlow emits them.
+RELATION_KEYS: Dict[str, Tuple[str, str]] = {
+    "used": ("prov:activity", "prov:entity"),
+    "wasGeneratedBy": ("prov:entity", "prov:activity"),
+    "wasInformedBy": ("prov:informed", "prov:informant"),
+    "wasDerivedFrom": ("prov:generatedEntity", "prov:usedEntity"),
+    "wasAssociatedWith": ("prov:activity", "prov:agent"),
+    "wasAttributedTo": ("prov:entity", "prov:agent"),
+}
+
+_NODE_KINDS = ("entity", "activity", "agent")
+
+
+class ProvJsonError(Exception):
+    """Raised when PROV-JSON input is malformed."""
+
+
+def graph_to_provjson(graph: PropertyGraph) -> str:
+    """Render ``graph`` as a PROV-JSON document string."""
+    doc: Dict[str, Dict[str, Dict[str, str]]] = {}
+    for node in graph.nodes():
+        kind = node.props.get("prov:kind", "entity")
+        if kind not in _NODE_KINDS:
+            kind = "entity"
+        body = {"prov:type": node.label}
+        body.update(
+            {k: v for k, v in node.props.items() if k != "prov:kind"}
+        )
+        doc.setdefault(kind, {})[node.id] = body
+    for edge in graph.edges():
+        relation = edge.label if edge.label in RELATION_KEYS else "used"
+        src_key, tgt_key = RELATION_KEYS[relation]
+        body = {src_key: edge.src, tgt_key: edge.tgt}
+        if edge.label not in RELATION_KEYS:
+            body["prov:type"] = edge.label
+        body.update(edge.props)
+        doc.setdefault(relation, {})[edge.id] = body
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def _node_kind_of(kind: str) -> str:
+    return kind
+
+
+def provjson_to_graph(text: str, gid: str = "prov") -> PropertyGraph:
+    """Parse a PROV-JSON document into a property graph."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ProvJsonError(f"invalid JSON: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise ProvJsonError("top level must be an object")
+    graph = PropertyGraph(gid)
+    for kind in _NODE_KINDS:
+        for node_id, body in doc.get(kind, {}).items():
+            props = {k: str(v) for k, v in body.items() if k != "prov:type"}
+            props["prov:kind"] = kind
+            label = str(body.get("prov:type", kind))
+            graph.add_node(node_id, label, props)
+    for relation, (src_key, tgt_key) in RELATION_KEYS.items():
+        for edge_id, body in doc.get(relation, {}).items():
+            src = body.get(src_key)
+            tgt = body.get(tgt_key)
+            if src is None or tgt is None:
+                raise ProvJsonError(
+                    f"relation {edge_id!r} missing {src_key}/{tgt_key}"
+                )
+            label = str(body.get("prov:type", relation))
+            if label == relation or "prov:type" not in body:
+                label = relation if "prov:type" not in body else str(body["prov:type"])
+            props = {
+                k: str(v)
+                for k, v in body.items()
+                if k not in (src_key, tgt_key, "prov:type")
+            }
+            for endpoint in (src, tgt):
+                if not graph.has_node(endpoint):
+                    graph.add_node(endpoint, "entity", {"prov:kind": "entity"})
+            graph.add_edge(edge_id, src, tgt, label, props)
+    return graph

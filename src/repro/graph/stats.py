@@ -1,0 +1,72 @@
+"""Structural summaries of provenance graphs.
+
+Used by the Table 3 reproduction (example benchmark graph shapes) and by
+the analysis package to describe results without rendering images.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.graph.model import PropertyGraph
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """Shape summary of one graph: counts and label/edge-type histograms."""
+
+    nodes: int
+    edges: int
+    node_labels: Tuple[Tuple[str, int], ...]
+    edge_labels: Tuple[Tuple[str, int], ...]
+    components: int
+
+    def describe(self) -> str:
+        if self.nodes == 0 and self.edges == 0:
+            return "Empty"
+        node_part = ", ".join(f"{count}x {label}" for label, count in self.node_labels)
+        edge_part = ", ".join(f"{count}x {label}" for label, count in self.edge_labels)
+        pieces = [f"{self.nodes} nodes ({node_part})", f"{self.edges} edges"]
+        if edge_part:
+            pieces.append(f"({edge_part})")
+        if self.components > 1:
+            pieces.append(f"[{self.components} components]")
+        return " ".join(pieces)
+
+
+def connected_components(graph: PropertyGraph) -> int:
+    """Number of weakly connected components."""
+    parent: Dict[str, str] = {node_id: node_id for node_id in graph.node_ids()}
+
+    def find(x: str) -> str:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for edge in graph.edges():
+        root_a, root_b = find(edge.src), find(edge.tgt)
+        if root_a != root_b:
+            parent[root_a] = root_b
+    return len({find(node_id) for node_id in graph.node_ids()})
+
+
+def summarize(graph: PropertyGraph) -> GraphSummary:
+    node_hist: Dict[str, int] = {}
+    for node in graph.nodes():
+        node_hist[node.label] = node_hist.get(node.label, 0) + 1
+    edge_hist: Dict[str, int] = {}
+    for edge in graph.edges():
+        edge_hist[edge.label] = edge_hist.get(edge.label, 0) + 1
+    return GraphSummary(
+        nodes=graph.node_count,
+        edges=graph.edge_count,
+        node_labels=tuple(sorted(node_hist.items())),
+        edge_labels=tuple(sorted(edge_hist.items())),
+        components=connected_components(graph) if graph.node_count else 0,
+    )
+
+
+def degree_sequence(graph: PropertyGraph) -> List[int]:
+    return sorted(graph.degree(node_id) for node_id in graph.node_ids())

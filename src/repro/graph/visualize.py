@@ -1,0 +1,99 @@
+"""Terminal-friendly rendering of provenance graphs.
+
+The paper's results pages show clickable graph images; in a library
+setting an ASCII rendering is more useful.  :func:`render_ascii` prints a
+topologically-ordered adjacency view; :func:`render_benchmark` adds the
+benchmark framing (target vs. dummy context nodes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.graph.model import PropertyGraph
+
+_GLYPHS = {
+    "Process": "[{}]",
+    "Activity": "[{}]",
+    "task": "[{}]",
+    "Agent": "<{}>",
+    "Dummy": "({})",
+    "machine": "<{}>",
+}
+
+
+def _glyph(label: str, text: str) -> str:
+    return _GLYPHS.get(label, "({})").format(text)
+
+
+def _display_name(graph: PropertyGraph, node_id: str) -> str:
+    node = graph.node(node_id)
+    for key in ("path", "name", "cf:pathname", "comm", "exe", "function"):
+        value = node.props.get(key)
+        if value:
+            return f"{node.label}:{value.rsplit('/', 1)[-1]}"
+    if node.label == "Dummy":
+        was = node.props.get("was", "")
+        return f"dummy:{was}" if was else "dummy"
+    return node.label
+
+
+def _topological_order(graph: PropertyGraph) -> List[str]:
+    """Kahn's algorithm; cycles fall back to insertion order at the end."""
+    indegree: Dict[str, int] = {n: 0 for n in graph.node_ids()}
+    for edge in graph.edges():
+        indegree[edge.tgt] += 1
+    queue = sorted(n for n, d in indegree.items() if d == 0)
+    order: List[str] = []
+    while queue:
+        node_id = queue.pop(0)
+        order.append(node_id)
+        for edge in sorted(graph.out_edges(node_id), key=lambda e: e.id):
+            indegree[edge.tgt] -= 1
+            if indegree[edge.tgt] == 0:
+                queue.append(edge.tgt)
+    for node_id in graph.node_ids():
+        if node_id not in order:
+            order.append(node_id)
+    return order
+
+
+def render_ascii(graph: PropertyGraph, show_props: bool = False) -> str:
+    """Adjacency rendering, one node per block::
+
+        [Process:sh]
+          --Used--> (Artifact:test.txt)
+    """
+    if graph.is_empty():
+        return "(empty graph)\n"
+    lines: List[str] = []
+    for node_id in _topological_order(graph):
+        node = graph.node(node_id)
+        lines.append(_glyph(node.label, _display_name(graph, node_id)))
+        if show_props:
+            for key in sorted(node.props):
+                lines.append(f"    . {key} = {node.props[key]}")
+        for edge in sorted(graph.out_edges(node_id), key=lambda e: e.id):
+            target = _glyph(
+                graph.node(edge.tgt).label, _display_name(graph, edge.tgt)
+            )
+            operation = edge.props.get("operation") or edge.props.get("cf:type")
+            suffix = f" ({operation})" if operation else ""
+            lines.append(f"  --{edge.label}--> {target}{suffix}")
+    return "\n".join(lines) + "\n"
+
+
+def render_benchmark(
+    target: PropertyGraph,
+    title: Optional[str] = None,
+    show_props: bool = False,
+) -> str:
+    """Benchmark-result framing around :func:`render_ascii`."""
+    dummies = sum(1 for n in target.nodes() if n.label == "Dummy")
+    real_nodes = target.node_count - dummies
+    header = title or "benchmark target"
+    summary = (
+        f"{header}: {real_nodes} new node(s), {target.edge_count} new "
+        f"edge(s), {dummies} anchor(s) into the background"
+    )
+    return summary + "\n" + render_ascii(target, show_props=show_props)

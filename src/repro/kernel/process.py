@@ -1,0 +1,120 @@
+"""Processes, credentials, and file descriptor tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.kernel.errors import Errno, KernelError
+
+
+@dataclass
+class Credentials:
+    """POSIX real/effective/saved user and group ids."""
+
+    uid: int = 0
+    gid: int = 0
+    euid: int = 0
+    egid: int = 0
+    suid: int = 0
+    sgid: int = 0
+
+    @classmethod
+    def for_user(cls, uid: int, gid: int) -> "Credentials":
+        return cls(uid=uid, gid=gid, euid=uid, egid=gid, suid=uid, sgid=gid)
+
+    def copy(self) -> "Credentials":
+        return replace(self)
+
+    def as_props(self) -> Dict[str, str]:
+        return {
+            "uid": str(self.uid),
+            "gid": str(self.gid),
+            "euid": str(self.euid),
+            "egid": str(self.egid),
+            "suid": str(self.suid),
+            "sgid": str(self.sgid),
+        }
+
+
+@dataclass
+class OpenFileDescription:
+    """A kernel open-file description (shared by dup'ed descriptors).
+
+    ``object_kind`` distinguishes files from pipe ends so the capture
+    systems can label artifacts correctly.
+    """
+
+    ino: int
+    path: str
+    flags: str
+    offset: int = 0
+    object_kind: str = "file"
+    pipe_id: Optional[int] = None
+    pipe_end: Optional[str] = None  # "read" | "write"
+    refcount: int = 1
+
+
+@dataclass
+class Process:
+    """A simulated task."""
+
+    pid: int
+    ppid: int
+    creds: Credentials
+    exe: str
+    comm: str
+    cwd: str = "/"
+    argv: List[str] = field(default_factory=list)
+    env: Dict[str, str] = field(default_factory=dict)
+    alive: bool = True
+    exit_code: Optional[int] = None
+    task_id: int = 0  # volatile kernel task identifier (CamFlow node id)
+    fds: Dict[int, OpenFileDescription] = field(default_factory=dict)
+    next_fd: int = 3
+    start_time_ns: int = 0
+    vfork_parent_suspended: bool = False
+
+    # -- descriptor table -----------------------------------------------------
+
+    def alloc_fd(self, description: OpenFileDescription, at_least: int = 0) -> int:
+        fd = max(self.next_fd, at_least)
+        while fd in self.fds:
+            fd += 1
+        self.fds[fd] = description
+        self.next_fd = max(self.next_fd, fd + 1)
+        return fd
+
+    def get_fd(self, fd: int) -> OpenFileDescription:
+        try:
+            return self.fds[fd]
+        except KeyError:
+            raise KernelError(Errno.EBADF, f"fd {fd}") from None
+
+    def install_fd(self, fd: int, description: OpenFileDescription) -> None:
+        self.fds[fd] = description
+        description.refcount += 1
+
+    def drop_fd(self, fd: int) -> OpenFileDescription:
+        description = self.get_fd(fd)
+        del self.fds[fd]
+        description.refcount -= 1
+        return description
+
+    def clone_fd_table(self) -> Dict[int, OpenFileDescription]:
+        """fork/vfork share open-file descriptions, not the table itself."""
+        table = dict(self.fds)
+        for description in table.values():
+            description.refcount += 1
+        return table
+
+    def as_props(self) -> Dict[str, str]:
+        props = {
+            "pid": str(self.pid),
+            "ppid": str(self.ppid),
+            "exe": self.exe,
+            "comm": self.comm,
+            "cwd": self.cwd,
+        }
+        props.update(self.creds.as_props())
+        return props

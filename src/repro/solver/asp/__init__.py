@@ -1,0 +1,30 @@
+"""Mini-ASP engine executing the paper's Listing 3/4 programs."""
+
+from repro.solver.asp.bridge import (
+    asp_are_similar,
+    asp_embed_subgraph,
+    asp_find_isomorphism,
+    graph_facts,
+)
+from repro.solver.asp.ground import Grounder, GroundingError, ground_program
+from repro.solver.asp.parser import AspSyntaxError, parse_program
+from repro.solver.asp.programs import LISTING3, LISTING3_MINIMIZED, LISTING4
+from repro.solver.asp.solve import Model, SolveLimit, solve
+
+__all__ = [
+    "AspSyntaxError",
+    "Grounder",
+    "GroundingError",
+    "LISTING3",
+    "LISTING3_MINIMIZED",
+    "LISTING4",
+    "Model",
+    "SolveLimit",
+    "asp_are_similar",
+    "asp_embed_subgraph",
+    "asp_find_isomorphism",
+    "graph_facts",
+    "ground_program",
+    "parse_program",
+    "solve",
+]

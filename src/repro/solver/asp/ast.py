@@ -1,0 +1,140 @@
+"""AST for the ASP language subset used by the paper's Listings 3 and 4.
+
+Supported statements:
+
+* facts: ``n1(a,"File").``
+* normal rules: ``cost(X,K,1) :- p1(X,K,V), h(X,Y), not p2(Y,K,_).``
+* integrity constraints: ``:- X <> Y, h(X,Z), h(Y,Z).``
+* cardinality choice rules: ``{h(X,Y) : n2(Y,_)} = 1 :- n1(X,_).``
+* minimize statements: ``#minimize { PC,X,K : cost(X,K,PC) }.``
+
+Terms are constants (strings or integers), variables (capitalized), or the
+anonymous variable ``_``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Const:
+    value: Union[str, int]
+
+    def __str__(self) -> str:
+        if isinstance(self.value, int):
+            return str(self.value)
+        return self.value
+
+
+@dataclass(frozen=True)
+class Var:
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Anon:
+    def __str__(self) -> str:
+        return "_"
+
+
+Term = Union[Const, Var, Anon]
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A predicate applied to terms, e.g. ``h(X,Y)``."""
+
+    name: str
+    args: Tuple[Term, ...]
+
+    def __str__(self) -> str:
+        return f"{self.name}({','.join(str(a) for a in self.args)})"
+
+
+@dataclass(frozen=True)
+class Literal:
+    """An atom or its negation-as-failure (``not atom``)."""
+
+    atom: Atom
+    negated: bool = False
+
+    def __str__(self) -> str:
+        return f"not {self.atom}" if self.negated else str(self.atom)
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``X <> Y``, ``X = Y``, ``X < Y`` etc. between two terms."""
+
+    op: str
+    left: Term
+    right: Term
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+BodyElement = Union[Literal, Comparison]
+
+
+@dataclass(frozen=True)
+class Fact:
+    atom: Atom
+
+
+@dataclass(frozen=True)
+class NormalRule:
+    head: Atom
+    body: Tuple[BodyElement, ...]
+
+
+@dataclass(frozen=True)
+class Constraint:
+    body: Tuple[BodyElement, ...]
+
+
+@dataclass(frozen=True)
+class ChoiceRule:
+    """``{head : condition} = bound :- body.``"""
+
+    head: Atom
+    condition: Atom
+    bound: int
+    body: Tuple[BodyElement, ...]
+
+
+@dataclass(frozen=True)
+class Minimize:
+    """``#minimize { weight, tiebreak... : literal }.``"""
+
+    weight: Term
+    terms: Tuple[Term, ...]
+    condition: Atom
+
+
+Statement = Union[Fact, NormalRule, Constraint, ChoiceRule, Minimize]
+
+
+@dataclass(frozen=True)
+class Program:
+    statements: Tuple[Statement, ...]
+
+    def facts(self) -> Tuple[Fact, ...]:
+        return tuple(s for s in self.statements if isinstance(s, Fact))
+
+    def choice_rules(self) -> Tuple[ChoiceRule, ...]:
+        return tuple(s for s in self.statements if isinstance(s, ChoiceRule))
+
+    def constraints(self) -> Tuple[Constraint, ...]:
+        return tuple(s for s in self.statements if isinstance(s, Constraint))
+
+    def normal_rules(self) -> Tuple[NormalRule, ...]:
+        return tuple(s for s in self.statements if isinstance(s, NormalRule))
+
+    def minimize_statements(self) -> Tuple[Minimize, ...]:
+        return tuple(s for s in self.statements if isinstance(s, Minimize))

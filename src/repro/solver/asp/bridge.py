@@ -1,0 +1,99 @@
+"""Bridge between property graphs and the mini-ASP engine.
+
+Encodes two graphs as ``n1/e1/p1`` and ``n2/e2/p2`` facts (paper
+Listing 1/2), runs the Listing 3 or Listing 4 programs, and decodes the
+``h/2`` atoms of the optimal model back into a
+:class:`~repro.solver.native.Matching`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.graph.model import PropertyGraph
+from repro.solver.asp.ast import Program
+from repro.solver.asp.ground import Grounder
+from repro.solver.asp.parser import parse_program
+from repro.solver.asp.programs import LISTING3, LISTING3_MINIMIZED, LISTING4
+from repro.solver.asp.solve import Model, solve
+from repro.solver.native import Matching
+
+
+def _quote(value: str) -> str:
+    escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def graph_facts(graph: PropertyGraph, suffix: str) -> str:
+    """Encode a graph as Datalog facts with every argument quoted.
+
+    Quoting keeps arbitrary node-id strings (uuids, dotted ids) inside the
+    ASP term language.
+    """
+    lines: List[str] = []
+    for node in sorted(graph.nodes(), key=lambda n: n.id):
+        lines.append(f"n{suffix}({_quote(node.id)},{_quote(node.label)}).")
+        for key in sorted(node.props):
+            lines.append(
+                f"p{suffix}({_quote(node.id)},{_quote(key)},"
+                f"{_quote(node.props[key])})."
+            )
+    for edge in sorted(graph.edges(), key=lambda e: e.id):
+        lines.append(
+            f"e{suffix}({_quote(edge.id)},{_quote(edge.src)},"
+            f"{_quote(edge.tgt)},{_quote(edge.label)})."
+        )
+        for key in sorted(edge.props):
+            lines.append(
+                f"p{suffix}({_quote(edge.id)},{_quote(key)},"
+                f"{_quote(edge.props[key])})."
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _run(program_text: str, g1: PropertyGraph, g2: PropertyGraph) -> Optional[Model]:
+    source = graph_facts(g1, "1") + graph_facts(g2, "2") + program_text
+    program: Program = parse_program(source)
+    problem = Grounder(program).ground()
+    return solve(problem)
+
+
+def _model_to_matching(
+    model: Model, g1: PropertyGraph
+) -> Matching:
+    node_map = {}
+    edge_map = {}
+    for name, args in model.true_atoms:
+        if name != "h":
+            continue
+        src, tgt = str(args[0]), str(args[1])
+        if g1.has_node(src):
+            node_map[src] = tgt
+        else:
+            edge_map[src] = tgt
+    return Matching(node_map, edge_map, model.cost)
+
+
+def asp_find_isomorphism(
+    g1: PropertyGraph, g2: PropertyGraph, minimize_properties: bool = False
+) -> Optional[Matching]:
+    """Run Listing 3 (optionally with the cost model) via the ASP engine."""
+    program = LISTING3_MINIMIZED if minimize_properties else LISTING3
+    model = _run(program, g1, g2)
+    if model is None:
+        return None
+    return _model_to_matching(model, g1)
+
+
+def asp_are_similar(g1: PropertyGraph, g2: PropertyGraph) -> bool:
+    return asp_find_isomorphism(g1, g2) is not None
+
+
+def asp_embed_subgraph(
+    g1: PropertyGraph, g2: PropertyGraph
+) -> Optional[Matching]:
+    """Run Listing 4 (approximate subgraph isomorphism) via the ASP engine."""
+    model = _run(LISTING4, g1, g2)
+    if model is None:
+        return None
+    return _model_to_matching(model, g1)

@@ -1,0 +1,399 @@
+"""Grounder: instantiate an ASP program over its facts.
+
+The output is a :class:`GroundProblem`:
+
+* *choice groups* — sets of ground decision atoms with an exact cardinality
+  (from choice rules such as ``{h(X,Y) : n2(Y,_)} = 1 :- n1(X,_).``);
+* *nogoods* — sets of signed ground decision literals that must not all
+  hold (from integrity constraints);
+* *weights* — a per-decision-atom cost derived from normal rules feeding a
+  ``#minimize`` statement.
+
+The engine supports the (stratified) structure of the paper's programs:
+normal-rule heads are *derived* predicates that appear only in minimize
+conditions, negation is applied to EDB or decision atoms only, and every
+ground cost rule depends on exactly one positive decision atom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.solver.asp.ast import (
+    Anon,
+    Atom,
+    BodyElement,
+    ChoiceRule,
+    Comparison,
+    Const,
+    Literal,
+    Minimize,
+    NormalRule,
+    Program,
+    Term,
+    Var,
+)
+
+Value = Union[str, int]
+GroundAtom = Tuple[str, Tuple[Value, ...]]
+SignedLiteral = Tuple[GroundAtom, bool]
+Bindings = Dict[str, Value]
+
+
+class GroundingError(Exception):
+    """Raised when the program falls outside the supported subset."""
+
+
+@dataclass
+class GroundProblem:
+    """A ground decision problem over choice atoms."""
+
+    atoms: Set[GroundAtom] = field(default_factory=set)
+    groups: List[Tuple[List[GroundAtom], int]] = field(default_factory=list)
+    nogoods: List[FrozenSet[SignedLiteral]] = field(default_factory=list)
+    weights: Dict[GroundAtom, int] = field(default_factory=dict)
+    unsatisfiable: bool = False
+
+
+class _Relation:
+    """Tuple store with lazily built hash indexes on bound-position masks."""
+
+    def __init__(self) -> None:
+        self.tuples: List[Tuple[Value, ...]] = []
+        self._indexes: Dict[Tuple[int, ...], Dict[Tuple[Value, ...], List[Tuple[Value, ...]]]] = {}
+
+    def add(self, row: Tuple[Value, ...]) -> None:
+        self.tuples.append(row)
+        self._indexes.clear()
+
+    def lookup(
+        self, pattern: Sequence[Optional[Value]]
+    ) -> List[Tuple[Value, ...]]:
+        """Rows matching a pattern with ``None`` as wildcard."""
+        mask = tuple(i for i, v in enumerate(pattern) if v is not None)
+        if not mask:
+            return self.tuples
+        index = self._indexes.get(mask)
+        if index is None:
+            index = {}
+            for row in self.tuples:
+                if len(row) != len(pattern):
+                    continue
+                key = tuple(row[i] for i in mask)
+                index.setdefault(key, []).append(row)
+            self._indexes[mask] = index
+        key = tuple(pattern[i] for i in mask)
+        return index.get(key, [])
+
+
+def _pattern(atom: Atom, bindings: Bindings) -> List[Optional[Value]]:
+    pattern: List[Optional[Value]] = []
+    for term in atom.args:
+        if isinstance(term, Const):
+            pattern.append(term.value)
+        elif isinstance(term, Var) and term.name in bindings:
+            pattern.append(bindings[term.name])
+        else:
+            pattern.append(None)
+    return pattern
+
+
+def _bind(atom: Atom, row: Tuple[Value, ...], bindings: Bindings) -> Optional[Bindings]:
+    """Extend ``bindings`` by unifying ``atom`` args with ``row``."""
+    if len(atom.args) != len(row):
+        return None
+    new = dict(bindings)
+    for term, value in zip(atom.args, row):
+        if isinstance(term, Const):
+            if term.value != value:
+                return None
+        elif isinstance(term, Var):
+            if term.name in new:
+                if new[term.name] != value:
+                    return None
+            else:
+                new[term.name] = value
+    return new
+
+
+def _eval_term(term: Term, bindings: Bindings) -> Value:
+    if isinstance(term, Const):
+        return term.value
+    if isinstance(term, Var):
+        if term.name not in bindings:
+            raise GroundingError(f"unbound variable {term.name}")
+        return bindings[term.name]
+    raise GroundingError("anonymous variable where value required")
+
+
+def _term_bound(term: Term, bindings: Bindings) -> bool:
+    if isinstance(term, Var):
+        return term.name in bindings
+    return not isinstance(term, Anon)
+
+
+_COMPARE_OPS = {
+    "<>": lambda a, b: a != b,
+    "=": lambda a, b: a == b,
+    "<": lambda a, b: _cmp_key(a) < _cmp_key(b),
+    ">": lambda a, b: _cmp_key(a) > _cmp_key(b),
+    "<=": lambda a, b: _cmp_key(a) <= _cmp_key(b),
+    ">=": lambda a, b: _cmp_key(a) >= _cmp_key(b),
+}
+
+
+def _cmp_key(value: Value) -> Tuple[int, str]:
+    if isinstance(value, int):
+        return (0, f"{value:020d}")
+    return (1, value)
+
+
+class Grounder:
+    """Grounds one parsed :class:`Program`."""
+
+    def __init__(self, program: Program, max_instances: int = 5_000_000) -> None:
+        self.program = program
+        self.max_instances = max_instances
+        self.instances = 0
+        self.edb: Dict[str, _Relation] = {}
+        for fact in program.facts():
+            row = tuple(
+                term.value for term in fact.atom.args if isinstance(term, Const)
+            )
+            if len(row) != len(fact.atom.args):
+                raise GroundingError(f"non-ground fact {fact.atom}")
+            self.edb.setdefault(fact.atom.name, _Relation()).add(row)
+        self.decision_predicates = {
+            rule.head.name for rule in program.choice_rules()
+        }
+        self.derived_predicates = {
+            rule.head.name for rule in program.normal_rules()
+        }
+        overlap = self.decision_predicates & set(self.edb)
+        if overlap:
+            raise GroundingError(f"choice predicates also facts: {overlap}")
+        self.domain: Set[GroundAtom] = set()
+        self._domain_index: Dict[str, _Relation] = {}
+
+    # -- body evaluation ----------------------------------------------------
+
+    def _element_ready(self, element: BodyElement, bindings: Bindings) -> bool:
+        if isinstance(element, Comparison):
+            return _term_bound(element.left, bindings) and _term_bound(
+                element.right, bindings
+            )
+        if element.negated:
+            # Negation requires all non-anonymous args bound.
+            return all(
+                isinstance(t, Anon) or _term_bound(t, bindings)
+                for t in element.atom.args
+            )
+        return True
+
+    def _element_priority(self, element: BodyElement, bindings: Bindings) -> int:
+        """Lower runs earlier: bound EDB atoms, then decision atoms, then
+        comparisons/negations (which only filter)."""
+        if isinstance(element, Comparison):
+            return 0 if self._element_ready(element, bindings) else 99
+        if element.negated:
+            return 1 if self._element_ready(element, bindings) else 99
+        if element.atom.name in self.edb or element.atom.name not in self.decision_predicates:
+            return 2
+        return 3
+
+    def _solutions(
+        self,
+        body: Sequence[BodyElement],
+        bindings: Bindings,
+        decision_pos: List[GroundAtom],
+        decision_neg: List[GroundAtom],
+        collect: List[Tuple[Bindings, List[GroundAtom], List[GroundAtom]]],
+    ) -> None:
+        self.instances += 1
+        if self.instances > self.max_instances:
+            raise GroundingError("grounding exceeded instance budget")
+        if not body:
+            collect.append((dict(bindings), list(decision_pos), list(decision_neg)))
+            return
+        ready = [e for e in body if self._element_ready(e, bindings)]
+        pool = ready or list(body)
+        element = min(pool, key=lambda e: self._element_priority(e, bindings))
+        rest = list(body)
+        rest.remove(element)
+
+        if isinstance(element, Comparison):
+            if not self._element_ready(element, bindings):
+                raise GroundingError(f"comparison {element} never bound")
+            left = _eval_term(element.left, bindings)
+            right = _eval_term(element.right, bindings)
+            if _COMPARE_OPS[element.op](left, right):
+                self._solutions(rest, bindings, decision_pos, decision_neg, collect)
+            return
+
+        atom = element.atom
+        if element.negated:
+            if atom.name in self.decision_predicates:
+                ground = self._ground_decision_atom(atom, bindings)
+                if ground not in self.domain:
+                    # Not a candidate: negation trivially holds.
+                    self._solutions(rest, bindings, decision_pos, decision_neg, collect)
+                else:
+                    decision_neg.append(ground)
+                    self._solutions(rest, bindings, decision_pos, decision_neg, collect)
+                    decision_neg.pop()
+            else:
+                relation = self.edb.get(atom.name, _Relation())
+                if not relation.lookup(_pattern(atom, bindings)):
+                    self._solutions(rest, bindings, decision_pos, decision_neg, collect)
+            return
+
+        if atom.name in self.decision_predicates:
+            relation = self._domain_relation(atom.name)
+            for row in relation.lookup(_pattern(atom, bindings)):
+                new = _bind(atom, row, bindings)
+                if new is None:
+                    continue
+                decision_pos.append((atom.name, row))
+                self._solutions(rest, new, decision_pos, decision_neg, collect)
+                decision_pos.pop()
+            return
+
+        relation = self.edb.get(atom.name)
+        if relation is None:
+            if atom.name in self.derived_predicates:
+                raise GroundingError(
+                    f"derived predicate {atom.name} used in a rule body"
+                )
+            return  # empty relation: no solutions
+        for row in relation.lookup(_pattern(atom, bindings)):
+            new = _bind(atom, row, bindings)
+            if new is not None:
+                self._solutions(rest, new, decision_pos, decision_neg, collect)
+
+    def _ground_decision_atom(self, atom: Atom, bindings: Bindings) -> GroundAtom:
+        return (
+            atom.name,
+            tuple(_eval_term(term, bindings) for term in atom.args),
+        )
+
+    def _domain_relation(self, name: str) -> _Relation:
+        relation = self._domain_index.get(name)
+        if relation is None:
+            relation = _Relation()
+            for atom_name, row in sorted(self.domain):
+                if atom_name == name:
+                    relation.add(row)
+            self._domain_index[name] = relation
+        return relation
+
+    # -- grounding stages ---------------------------------------------------
+
+    def ground(self) -> GroundProblem:
+        problem = GroundProblem()
+        self._ground_choices(problem)
+        self.domain = set(problem.atoms)
+        self._domain_index.clear()
+        self._ground_constraints(problem)
+        self._ground_minimize(problem)
+        return problem
+
+    def _ground_choices(self, problem: GroundProblem) -> None:
+        for rule in self.program.choice_rules():
+            body_solutions: List[Tuple[Bindings, List[GroundAtom], List[GroundAtom]]] = []
+            self._solutions(list(rule.body), {}, [], [], body_solutions)
+            for bindings, pos, neg in body_solutions:
+                if pos or neg:
+                    raise GroundingError("choice-rule bodies must be EDB-only")
+                members: List[GroundAtom] = []
+                cond_solutions: List[Tuple[Bindings, List[GroundAtom], List[GroundAtom]]] = []
+                self._solutions([Literal(rule.condition)], dict(bindings), [], [], cond_solutions)
+                seen: Set[GroundAtom] = set()
+                for cond_bindings, _, _ in cond_solutions:
+                    ground = self._ground_decision_atom(rule.head, cond_bindings)
+                    if ground not in seen:
+                        seen.add(ground)
+                        members.append(ground)
+                if len(members) < rule.bound:
+                    problem.unsatisfiable = True
+                problem.atoms.update(members)
+                problem.groups.append((members, rule.bound))
+
+    def _ground_constraints(self, problem: GroundProblem) -> None:
+        for constraint in self.program.constraints():
+            solutions: List[Tuple[Bindings, List[GroundAtom], List[GroundAtom]]] = []
+            self._solutions(list(constraint.body), {}, [], [], solutions)
+            for _, pos, neg in solutions:
+                literals: Set[SignedLiteral] = set()
+                for atom in pos:
+                    literals.add((atom, True))
+                for atom in neg:
+                    literals.add((atom, False))
+                if not literals:
+                    problem.unsatisfiable = True
+                    continue
+                # A constraint with both polarities of one atom is vacuous.
+                atoms_pos = {a for a, sign in literals if sign}
+                atoms_neg = {a for a, sign in literals if not sign}
+                if atoms_pos & atoms_neg:
+                    continue
+                problem.nogoods.append(frozenset(literals))
+
+    def _ground_minimize(self, problem: GroundProblem) -> None:
+        minimizes = self.program.minimize_statements()
+        if not minimizes:
+            return
+        # Derived-tuple weights: tuple -> (weight, deriving decision atoms).
+        derivations: Dict[Tuple[Value, ...], Tuple[int, Set[GroundAtom]]] = {}
+        for minimize in minimizes:
+            for rule in self.program.normal_rules():
+                if rule.head.name != minimize.condition.name:
+                    continue
+                solutions: List[Tuple[Bindings, List[GroundAtom], List[GroundAtom]]] = []
+                self._solutions(list(rule.body), {}, [], [], solutions)
+                for bindings, pos, neg in solutions:
+                    if neg:
+                        raise GroundingError(
+                            "negated decision atoms unsupported in cost rules"
+                        )
+                    head_values = tuple(
+                        _eval_term(term, bindings) for term in rule.head.args
+                    )
+                    cond_bindings = _bind(minimize.condition, head_values, {})
+                    if cond_bindings is None:
+                        continue
+                    weight_value = _eval_term(minimize.weight, cond_bindings)
+                    if not isinstance(weight_value, int):
+                        raise GroundingError("minimize weight must be integer")
+                    key_terms = tuple(
+                        _eval_term(term, cond_bindings) for term in minimize.terms
+                    )
+                    tuple_key = (weight_value,) + key_terms
+                    if len(pos) == 0:
+                        # Unconditionally derived: constant cost, ignore.
+                        continue
+                    if len(pos) != 1:
+                        raise GroundingError(
+                            "cost rules must depend on exactly one decision atom"
+                        )
+                    weight, derivers = derivations.get(tuple_key, (weight_value, set()))
+                    derivers.add(pos[0])
+                    derivations[tuple_key] = (weight_value, derivers)
+        group_of: Dict[GroundAtom, int] = {}
+        for index, (members, _) in enumerate(problem.groups):
+            for atom in members:
+                group_of.setdefault(atom, index)
+        for tuple_key, (weight, derivers) in derivations.items():
+            if weight == 0:
+                continue
+            owner_groups = {group_of.get(a) for a in derivers}
+            if len(owner_groups) > 1:
+                raise GroundingError(
+                    "cost tuple derivable from multiple choice groups"
+                )
+            for atom in derivers:
+                problem.weights[atom] = problem.weights.get(atom, 0) + weight
+
+
+def ground_program(program: Program) -> GroundProblem:
+    return Grounder(program).ground()

@@ -1,0 +1,230 @@
+"""Tokenizer and recursive-descent parser for the mini-ASP language."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.solver.asp.ast import (
+    Anon,
+    Atom,
+    BodyElement,
+    ChoiceRule,
+    Comparison,
+    Const,
+    Constraint,
+    Fact,
+    Literal,
+    Minimize,
+    NormalRule,
+    Program,
+    Statement,
+    Term,
+    Var,
+)
+
+
+class AspSyntaxError(Exception):
+    """Raised on malformed ASP source."""
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    pos: int
+
+
+_TOKEN_SPEC = [
+    ("COMMENT", r"%[^\n]*"),
+    ("WS", r"\s+"),
+    ("MINIMIZE", r"#minimize\b"),
+    ("IMPLIES", r":-"),
+    ("NEQ", r"<>|!="),
+    ("LE", r"<="),
+    ("GE", r">="),
+    ("EQ", r"="),
+    ("LT", r"<"),
+    ("GT", r">"),
+    ("LBRACE", r"\{"),
+    ("RBRACE", r"\}"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("COMMA", r","),
+    ("COLON", r":"),
+    ("DOT", r"\."),
+    ("NOT", r"not\b"),
+    ("NUMBER", r"-?\d+"),
+    ("STRING", r'"(?:[^"\\]|\\.)*"'),
+    ("NAME", r"[a-z_]\w*"),
+    ("VAR", r"[A-Z]\w*"),
+]
+
+_MASTER_RE = re.compile("|".join(f"(?P<{k}>{p})" for k, p in _TOKEN_SPEC))
+
+
+def tokenize(source: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(source):
+        match = _MASTER_RE.match(source, pos)
+        if not match:
+            raise AspSyntaxError(f"unexpected character at {pos}: {source[pos]!r}")
+        kind = match.lastgroup or ""
+        if kind not in ("WS", "COMMENT"):
+            tokens.append(_Token(kind, match.group(), pos))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    def _peek(self) -> Optional[_Token]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise AspSyntaxError("unexpected end of input")
+        self.index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._next()
+        if token.kind != kind:
+            raise AspSyntaxError(
+                f"expected {kind} at {token.pos}, found {token.kind} {token.text!r}"
+            )
+        return token
+
+    def _at(self, kind: str) -> bool:
+        token = self._peek()
+        return token is not None and token.kind == kind
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        statements: List[Statement] = []
+        while self._peek() is not None:
+            statements.append(self._statement())
+        return Program(tuple(statements))
+
+    def _statement(self) -> Statement:
+        if self._at("MINIMIZE"):
+            return self._minimize()
+        if self._at("LBRACE"):
+            return self._choice_rule()
+        if self._at("IMPLIES"):
+            self._next()
+            body = self._body()
+            self._expect("DOT")
+            return Constraint(tuple(body))
+        head = self._atom()
+        if self._at("DOT"):
+            self._next()
+            if any(isinstance(t, (Var, Anon)) for t in head.args):
+                raise AspSyntaxError(f"fact {head} contains variables")
+            return Fact(head)
+        self._expect("IMPLIES")
+        body = self._body()
+        self._expect("DOT")
+        return NormalRule(head, tuple(body))
+
+    def _choice_rule(self) -> ChoiceRule:
+        self._expect("LBRACE")
+        head = self._atom()
+        self._expect("COLON")
+        condition = self._atom()
+        self._expect("RBRACE")
+        self._expect("EQ")
+        bound = int(self._expect("NUMBER").text)
+        body: Tuple[BodyElement, ...] = ()
+        if self._at("IMPLIES"):
+            self._next()
+            body = tuple(self._body())
+        self._expect("DOT")
+        return ChoiceRule(head, condition, bound, body)
+
+    def _minimize(self) -> Minimize:
+        self._expect("MINIMIZE")
+        self._expect("LBRACE")
+        weight = self._term()
+        terms: List[Term] = []
+        while self._at("COMMA"):
+            self._next()
+            terms.append(self._term())
+        self._expect("COLON")
+        condition = self._atom()
+        self._expect("RBRACE")
+        self._expect("DOT")
+        return Minimize(weight, tuple(terms), condition)
+
+    def _body(self) -> List[BodyElement]:
+        elements = [self._body_element()]
+        while self._at("COMMA"):
+            self._next()
+            elements.append(self._body_element())
+        return elements
+
+    def _body_element(self) -> BodyElement:
+        if self._at("NOT"):
+            self._next()
+            return Literal(self._atom(), negated=True)
+        # Could be a comparison (term op term) or an atom.  An atom starts
+        # with NAME followed by LPAREN; a comparison's left side may be a
+        # variable, number, or string.
+        if self._at("NAME"):
+            save = self.index
+            name = self._next()
+            if self._at("LPAREN"):
+                self.index = save
+                return Literal(self._atom())
+            self.index = save
+        left = self._term()
+        op_token = self._next()
+        op_map = {
+            "NEQ": "<>", "EQ": "=", "LT": "<", "GT": ">", "LE": "<=", "GE": ">=",
+        }
+        if op_token.kind not in op_map:
+            raise AspSyntaxError(
+                f"expected comparison operator at {op_token.pos}, "
+                f"found {op_token.text!r}"
+            )
+        right = self._term()
+        return Comparison(op_map[op_token.kind], left, right)
+
+    def _atom(self) -> Atom:
+        name = self._expect("NAME").text
+        self._expect("LPAREN")
+        args: List[Term] = [self._term()]
+        while self._at("COMMA"):
+            self._next()
+            args.append(self._term())
+        self._expect("RPAREN")
+        return Atom(name, tuple(args))
+
+    def _term(self) -> Term:
+        token = self._next()
+        if token.kind == "VAR":
+            return Var(token.text)
+        if token.kind == "NAME":
+            if token.text == "_":
+                return Anon()
+            return Const(token.text)
+        if token.kind == "NUMBER":
+            return Const(int(token.text))
+        if token.kind == "STRING":
+            body = token.text[1:-1].replace('\\"', '"').replace("\\\\", "\\")
+            return Const(body)
+        raise AspSyntaxError(f"expected term at {token.pos}, found {token.text!r}")
+
+
+def parse_program(source: str) -> Program:
+    """Parse ASP source text into a :class:`Program`."""
+    return _Parser(tokenize(source)).parse_program()

@@ -1,0 +1,43 @@
+"""The paper's ASP programs, verbatim.
+
+``LISTING3`` is the graph-similarity specification (paper Listing 3) and
+``LISTING4`` the approximate subgraph isomorphism with property-mismatch
+minimization (paper Listing 4).  ``LISTING3_MINIMIZED`` extends Listing 3
+with Listing 4's cost model; it is what the generalization stage needs — an
+*isomorphism* that minimizes mismatched properties.
+"""
+
+LISTING3 = """
+{h(X,Y) : n2(Y,_)} = 1 :- n1(X,_).
+{h(X,Y) : n1(X,_)} = 1 :- n2(Y,_).
+{h(X,Y) : e2(Y,_,_,_)} = 1 :- e1(X,_,_,_).
+{h(X,Y) : e1(X,_,_,_)} = 1 :- e2(Y,_,_,_).
+:- X <> Y, h(X,Z), h(Y,Z).
+:- X <> Y, h(Z,Y), h(Z,X).
+:- n1(X,L), h(X,Y), not n2(Y,L).
+:- n2(Y,L), h(X,Y), not n1(X,L).
+:- e1(E1,_,_,L), h(E1,E2), not e2(E2,_,_,L).
+:- e2(E2,_,_,L), h(E1,E2), not e1(E1,_,_,L).
+:- e1(E1,X,_,_), h(E1,E2), e2(E2,Y,_,_), not h(X,Y).
+:- e1(E1,_,X,_), h(E1,E2), e2(E2,_,Y,_), not h(X,Y).
+"""
+
+_COST_MODEL = """
+cost(X,K,0) :- p1(X,K,V), h(X,Y), p2(Y,K,V).
+cost(X,K,1) :- p1(X,K,V), h(X,Y), p2(Y,K,W), V <> W.
+cost(X,K,1) :- p1(X,K,V), h(X,Y), not p2(Y,K,_).
+#minimize { PC,X,K : cost(X,K,PC) }.
+"""
+
+LISTING4 = """
+{h(X,Y) : n2(Y,_)} = 1 :- n1(X,_).
+{h(X,Y) : e2(Y,_,_,_)} = 1 :- e1(X,_,_,_).
+:- X <> Y, h(X,Z), h(Y,Z).
+:- X <> Y, h(Z,Y), h(Z,X).
+:- n1(X,L), h(X,Y), not n2(Y,L).
+:- e1(E1,_,_,L), h(E1,E2), not e2(E2,_,_,L).
+:- e1(E1,X,_,_), h(E1,E2), e2(E2,Y,_,_), not h(X,Y).
+:- e1(E1,_,X,_), h(E1,E2), e2(E2,_,Y,_), not h(X,Y).
+""" + _COST_MODEL
+
+LISTING3_MINIMIZED = LISTING3 + _COST_MODEL

@@ -1,0 +1,488 @@
+"""Native branch-and-bound matchers for property graphs.
+
+ProvMark reduces three problems to (sub)graph matching (paper §3.4–3.5):
+
+* **similarity** — structure-only isomorphism: same shape, labels, and
+  incidence, ignoring properties;
+* **generalization** — among all isomorphisms between two similar graphs,
+  find one minimizing the number of mismatched properties, then keep only
+  the properties that agree;
+* **comparison** — an *approximate subgraph isomorphism*: embed the
+  background graph into the foreground graph, minimizing the number of
+  background properties with no matching foreground property (Listing 4's
+  cost model).
+
+The paper solves these with clingo; this module is the fast native engine.
+:mod:`repro.solver.asp` executes the paper's actual ASP programs and is
+cross-checked against this implementation in the test suite.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.graph.model import Edge, Node, PropertyGraph
+
+
+class SolverLimit(Exception):
+    """Raised when the backtracking search exceeds its step budget."""
+
+
+@dataclass
+class Matching:
+    """A solution: node/edge mapping from graph 1 into graph 2 plus cost."""
+
+    node_map: Dict[str, str]
+    edge_map: Dict[str, str]
+    cost: int
+
+    def mapped_elements(self) -> Dict[str, str]:
+        combined = dict(self.node_map)
+        combined.update(self.edge_map)
+        return combined
+
+
+def property_mismatch_cost(
+    props1: Mapping[str, str], props2: Mapping[str, str]
+) -> int:
+    """Listing 4 cost: properties of element 1 absent or different in 2."""
+    return sum(1 for key, value in props1.items() if props2.get(key) != value)
+
+
+def _edge_group_key(graph: PropertyGraph, edge: Edge) -> Tuple[str, str, str]:
+    return (edge.src, edge.tgt, edge.label)
+
+
+def _group_edges(graph: PropertyGraph) -> Dict[Tuple[str, str, str], List[Edge]]:
+    groups: Dict[Tuple[str, str, str], List[Edge]] = {}
+    for edge in graph.edges():
+        groups.setdefault(_edge_group_key(graph, edge), []).append(edge)
+    return groups
+
+
+def _optimal_group_assignment(
+    edges1: Sequence[Edge], edges2: Sequence[Edge]
+) -> Tuple[int, List[Tuple[str, str]]]:
+    """Min-cost injective assignment of parallel-edge group 1 into group 2.
+
+    Groups are small (parallel edges with identical endpoints and label), so
+    exhaustive permutation search is fine up to a threshold, after which we
+    fall back to a greedy assignment (still injective, possibly suboptimal
+    by a property or two — never affecting structural feasibility).
+    """
+    if len(edges1) > len(edges2):
+        raise ValueError("group 1 larger than group 2")
+    cost_matrix = [
+        [property_mismatch_cost(e1.props, e2.props) for e2 in edges2]
+        for e1 in edges1
+    ]
+    n1, n2 = len(edges1), len(edges2)
+    if n1 == 1:
+        best_j = min(range(n2), key=lambda j: cost_matrix[0][j])
+        return cost_matrix[0][best_j], [(edges1[0].id, edges2[best_j].id)]
+    if n2 <= 6:
+        best_cost: Optional[int] = None
+        best_perm: Optional[Tuple[int, ...]] = None
+        for perm in itertools.permutations(range(n2), n1):
+            cost = sum(cost_matrix[i][perm[i]] for i in range(n1))
+            if best_cost is None or cost < best_cost:
+                best_cost, best_perm = cost, perm
+        assert best_perm is not None and best_cost is not None
+        pairs = [(edges1[i].id, edges2[best_perm[i]].id) for i in range(n1)]
+        return best_cost, pairs
+    # Greedy fallback for unusually wide groups.
+    used: set = set()
+    total = 0
+    pairs = []
+    for i in range(n1):
+        candidates = [j for j in range(n2) if j not in used]
+        best_j = min(candidates, key=lambda j: cost_matrix[i][j])
+        used.add(best_j)
+        total += cost_matrix[i][best_j]
+        pairs.append((edges1[i].id, edges2[best_j].id))
+    return total, pairs
+
+
+class _MatchSearch:
+    """Backtracking search shared by isomorphism and subgraph embedding."""
+
+    def __init__(
+        self,
+        g1: PropertyGraph,
+        g2: PropertyGraph,
+        exact: bool,
+        minimize_cost: bool,
+        max_steps: int,
+    ) -> None:
+        self.g1 = g1
+        self.g2 = g2
+        self.exact = exact
+        self.minimize_cost = minimize_cost
+        self.max_steps = max_steps
+        self.steps = 0
+        self.groups1 = _group_edges(g1)
+        self.groups2 = _group_edges(g2)
+        self.best: Optional[Matching] = None
+        self.nodes1 = self._order_nodes()
+        self.candidates = {
+            node.id: self._node_candidates(node) for node in g1.nodes()
+        }
+        # Admissible lower bound: from depth d onward at least the minimum
+        # candidate property cost of every remaining node must be paid.
+        # Without it, symmetric nodes whose every pairing costs the same
+        # (e.g. volatile timestamps on interchangeable Call nodes) force an
+        # exhaustive permutation sweep.
+        min_cost = []
+        for node_id in self.nodes1:
+            props = g1.node(node_id).props
+            costs = [
+                property_mismatch_cost(props, g2.node(v).props)
+                for v in self.candidates[node_id]
+            ]
+            min_cost.append(min(costs) if costs else 0)
+        # Edge bound: an edge's cost is realized at the depth its second
+        # endpoint is assigned; until then at least the cheapest
+        # label-compatible g2 edge must be paid.
+        position = {node_id: i for i, node_id in enumerate(self.nodes1)}
+        edges2_by_label: Dict[str, List[Edge]] = {}
+        for edge in g2.edges():
+            edges2_by_label.setdefault(edge.label, []).append(edge)
+        edge_min_at = [0] * (len(self.nodes1) + 1)
+        for edge in g1.edges():
+            compatible = edges2_by_label.get(edge.label, [])
+            if not compatible:
+                continue
+            cheapest = min(
+                property_mismatch_cost(edge.props, other.props)
+                for other in compatible
+            )
+            completion = max(position[edge.src], position[edge.tgt])
+            edge_min_at[completion] += cheapest
+        self._suffix_min = [0] * (len(min_cost) + 1)
+        for index in range(len(min_cost) - 1, -1, -1):
+            self._suffix_min[index] = (
+                self._suffix_min[index + 1] + min_cost[index] + edge_min_at[index]
+            )
+
+    # -- candidate computation --------------------------------------------
+
+    def _node_candidates(self, node: Node) -> List[str]:
+        result = []
+        deg1_out = len(self.g1.out_edges(node.id))
+        deg1_in = len(self.g1.in_edges(node.id))
+        for other in self.g2.nodes():
+            if other.label != node.label:
+                continue
+            deg2_out = len(self.g2.out_edges(other.id))
+            deg2_in = len(self.g2.in_edges(other.id))
+            if self.exact:
+                if deg1_out != deg2_out or deg1_in != deg2_in:
+                    continue
+            else:
+                if deg1_out > deg2_out or deg1_in > deg2_in:
+                    continue
+            result.append(other.id)
+        return result
+
+    def _order_nodes(self) -> List[str]:
+        """Most-constrained-first ordering, preferring connected expansion."""
+        remaining = {node.id for node in self.g1.nodes()}
+        order: List[str] = []
+        placed: set = set()
+        while remaining:
+            adjacent = [
+                node_id
+                for node_id in remaining
+                if any(
+                    e.src in placed or e.tgt in placed
+                    for e in self.g1.out_edges(node_id) + self.g1.in_edges(node_id)
+                )
+            ]
+            pool = adjacent or list(remaining)
+            pick = max(pool, key=lambda n: self.g1.degree(n))
+            order.append(pick)
+            placed.add(pick)
+            remaining.remove(pick)
+        return order
+
+    # -- feasibility and cost ---------------------------------------------
+
+    def _group_feasible(self, node_map: Dict[str, str], u: str, v: str) -> bool:
+        """Check parallel-edge-group counts for edges between mapped nodes."""
+        for key, edges1 in self.groups1.items():
+            src, tgt, label = key
+            if u not in (src, tgt):
+                continue
+            if src in node_map and tgt in node_map:
+                mapped_key = (node_map[src], node_map[tgt], label)
+                edges2 = self.groups2.get(mapped_key, [])
+                if self.exact:
+                    if len(edges2) != len(edges1):
+                        return False
+                elif len(edges2) < len(edges1):
+                    return False
+        if self.exact:
+            # Reverse direction: mapped g2 nodes must not have extra edges
+            # between them that g1 lacks.
+            for key, edges2 in self.groups2.items():
+                src2, tgt2, label = key
+                if v not in (src2, tgt2):
+                    continue
+                inv = {b: a for a, b in node_map.items()}
+                if src2 in inv and tgt2 in inv:
+                    edges1 = self.groups1.get((inv[src2], inv[tgt2], label), [])
+                    if len(edges1) != len(edges2):
+                        return False
+        return True
+
+    def _edge_cost_for(
+        self, node_map: Dict[str, str], u: str
+    ) -> Tuple[int, List[Tuple[str, str]]]:
+        """Cost and pairing of edge groups completed by mapping node ``u``."""
+        total = 0
+        pairs: List[Tuple[str, str]] = []
+        for key, edges1 in self.groups1.items():
+            src, tgt, label = key
+            if u not in (src, tgt):
+                continue
+            # A self-loop group completes on its single endpoint; a normal
+            # group completes when its second endpoint is mapped.
+            other = tgt if u == src else src
+            if other != u and other not in node_map:
+                continue
+            if src == tgt and u != src:
+                continue
+            mapped_key = (node_map[src], node_map[tgt], label)
+            edges2 = self.groups2.get(mapped_key, [])
+            cost, group_pairs = _optimal_group_assignment(edges1, edges2)
+            total += cost
+            pairs.extend(group_pairs)
+        return total, pairs
+
+    # -- search -------------------------------------------------------------
+
+    def run(self) -> Optional[Matching]:
+        if self.exact:
+            if self.g1.node_count != self.g2.node_count:
+                return None
+            if self.g1.edge_count != self.g2.edge_count:
+                return None
+        else:
+            if self.g1.node_count > self.g2.node_count:
+                return None
+            if self.g1.edge_count > self.g2.edge_count:
+                return None
+        if any(not cands for cands in self.candidates.values()):
+            return None
+        self._search(0, {}, {}, 0)
+        return self.best
+
+    def _search(
+        self,
+        depth: int,
+        node_map: Dict[str, str],
+        edge_map: Dict[str, str],
+        cost: int,
+    ) -> None:
+        self.steps += 1
+        if self.steps > self.max_steps:
+            raise SolverLimit(
+                f"matching exceeded {self.max_steps} search steps"
+            )
+        if self.best is not None:
+            if not self.minimize_cost:
+                return
+            if cost + self._suffix_min[depth] >= self.best.cost:
+                return
+        if depth == len(self.nodes1):
+            if self.best is None or cost < self.best.cost:
+                self.best = Matching(dict(node_map), dict(edge_map), cost)
+            return
+        u = self.nodes1[depth]
+        used = set(node_map.values())
+        props_u = self.g1.node(u).props
+        candidates = [v for v in self.candidates[u] if v not in used]
+        if self.minimize_cost:
+            # Cheapest-first ordering finds a low-cost solution early, after
+            # which branch-and-bound prunes the symmetric alternatives
+            # (e.g. OPUS's many interchangeable Env nodes).
+            candidates.sort(
+                key=lambda v: property_mismatch_cost(
+                    props_u, self.g2.node(v).props
+                )
+            )
+        for v in candidates:
+            if not self._group_feasible({**node_map, u: v}, u, v):
+                continue
+            node_map[u] = v
+            node_cost = property_mismatch_cost(
+                props_u, self.g2.node(v).props
+            )
+            edge_cost, pairs = self._edge_cost_for(node_map, u)
+            for edge1_id, edge2_id in pairs:
+                edge_map[edge1_id] = edge2_id
+            self._search(depth + 1, node_map, edge_map, cost + node_cost + edge_cost)
+            for edge1_id, _ in pairs:
+                del edge_map[edge1_id]
+            del node_map[u]
+
+
+DEFAULT_MAX_STEPS = 2_000_000
+
+
+def find_isomorphism(
+    g1: PropertyGraph,
+    g2: PropertyGraph,
+    minimize_properties: bool = False,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> Optional[Matching]:
+    """Find a structure-preserving bijection between ``g1`` and ``g2``.
+
+    With ``minimize_properties`` the search continues past the first
+    solution and returns the isomorphism with the fewest property
+    mismatches (the generalization objective).  Returns ``None`` when the
+    graphs are not similar.
+    """
+    if g1.is_empty() and g2.is_empty():
+        return Matching({}, {}, 0)
+    search = _MatchSearch(
+        g1, g2, exact=True, minimize_cost=minimize_properties, max_steps=max_steps
+    )
+    return search.run()
+
+
+def are_similar(
+    g1: PropertyGraph, g2: PropertyGraph, max_steps: int = DEFAULT_MAX_STEPS
+) -> bool:
+    """Paper §3.4: same shape and labels, properties ignored."""
+    if g1.structural_signature() != g2.structural_signature():
+        return False
+    return find_isomorphism(g1, g2, max_steps=max_steps) is not None
+
+
+def embed_subgraph(
+    g1: PropertyGraph,
+    g2: PropertyGraph,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> Optional[Matching]:
+    """Min-cost embedding of ``g1`` into ``g2`` (Listing 4).
+
+    Finds an injective mapping of every node and edge of ``g1`` onto nodes
+    and edges of ``g2`` preserving labels and incidence, minimizing the
+    number of ``g1`` properties with no matching ``g2`` property.  Extra
+    ``g2`` structure is allowed (non-induced embedding).
+    """
+    if g1.is_empty():
+        return Matching({}, {}, 0)
+    search = _MatchSearch(
+        g1, g2, exact=False, minimize_cost=True, max_steps=max_steps
+    )
+    return search.run()
+
+
+def generalize_pair(
+    g1: PropertyGraph,
+    g2: PropertyGraph,
+    gid: Optional[str] = None,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> Optional[PropertyGraph]:
+    """Paper §3.4: generalize two similar graphs into one.
+
+    Searches for the isomorphism minimizing property mismatches, then keeps
+    exactly the properties on which both graphs agree (discarding volatile
+    values such as timestamps and identifiers).  Returns ``None`` when the
+    graphs are not similar.  Element ids of ``g1`` are kept.
+    """
+    matching = find_isomorphism(g1, g2, minimize_properties=True, max_steps=max_steps)
+    if matching is None:
+        return None
+    out = PropertyGraph(gid or g1.gid)
+    for node in g1.nodes():
+        other = g2.node(matching.node_map[node.id])
+        props = {
+            key: value
+            for key, value in node.props.items()
+            if other.props.get(key) == value
+        }
+        out.add_node(node.id, node.label, props)
+    for edge in g1.edges():
+        other_edge = g2.edge(matching.edge_map[edge.id])
+        props = {
+            key: value
+            for key, value in edge.props.items()
+            if other_edge.props.get(key) == value
+        }
+        out.add_edge(edge.id, edge.src, edge.tgt, edge.label, props)
+    return out
+
+
+DUMMY_LABEL = "Dummy"
+
+
+def subtract_background(
+    foreground: PropertyGraph,
+    background: PropertyGraph,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> Optional[PropertyGraph]:
+    """Paper §3.5: remove the background embedding from the foreground.
+
+    Returns the difference graph — the benchmark *target graph* — or
+    ``None`` when the background cannot be embedded into the foreground
+    (a failed comparison, reported upstream as a mismatched run).
+
+    Matched nodes that anchor unmatched edges are retained as ``Dummy``
+    placeholder nodes (the paper's green/gray nodes), so the result is a
+    well-formed graph.
+    """
+    matching = embed_subgraph(background, foreground, max_steps=max_steps)
+    if matching is None:
+        return None
+    matched_nodes = set(matching.node_map.values())
+    matched_edges = set(matching.edge_map.values())
+    result = PropertyGraph(foreground.gid + "_target")
+    kept_edges = [
+        edge for edge in foreground.edges() if edge.id not in matched_edges
+    ]
+    kept_nodes = {
+        node.id for node in foreground.nodes() if node.id not in matched_nodes
+    }
+    anchors = set()
+    for edge in kept_edges:
+        for endpoint in (edge.src, edge.tgt):
+            if endpoint not in kept_nodes:
+                anchors.add(endpoint)
+    for node in foreground.nodes():
+        if node.id in kept_nodes:
+            result.add_node(node.id, node.label, node.props)
+        elif node.id in anchors:
+            result.add_node(node.id, DUMMY_LABEL, {"was": node.label})
+    for edge in kept_edges:
+        result.add_edge(edge.id, edge.src, edge.tgt, edge.label, edge.props)
+    return result
+
+
+def partition_similarity_classes(
+    graphs: Sequence[PropertyGraph], max_steps: int = DEFAULT_MAX_STEPS
+) -> List[List[int]]:
+    """Partition trial graphs into similarity classes (paper §3.4).
+
+    Returns lists of indices into ``graphs``.  A cheap structural signature
+    pre-partitions; exact isomorphism confirms membership within buckets.
+    """
+    buckets: Dict[Tuple, List[List[int]]] = {}
+    for index, graph in enumerate(graphs):
+        signature = graph.structural_signature()
+        classes = buckets.setdefault(signature, [])
+        for cls in classes:
+            if find_isomorphism(graphs[cls[0]], graph, max_steps=max_steps):
+                cls.append(index)
+                break
+        else:
+            classes.append([index])
+    result: List[List[int]] = []
+    for classes in buckets.values():
+        result.extend(classes)
+    result.sort(key=lambda cls: cls[0])
+    return result

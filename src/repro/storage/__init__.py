@@ -1,0 +1,5 @@
+"""Storage backends for capture-system output."""
+
+from repro.storage.neo4jsim import Neo4jSim, Neo4jSimError
+
+__all__ = ["Neo4jSim", "Neo4jSimError"]

@@ -1,0 +1,154 @@
+"""An embedded property-graph store standing in for OPUS's Neo4j backend.
+
+OPUS persists its PVM graph into Neo4j; ProvMark's transformation stage
+must start the database, run queries to extract every node and
+relationship, and convert the rows (paper §5.1 attributes OPUS's large
+transformation times to exactly this: JVM warm-up, database initialization,
+and query execution over larger graphs).
+
+This store reproduces the *shape* of that cost at laptop scale: records are
+persisted as serialized JSON rows, opening a session replays the log to
+rebuild indexes (the "startup cost"), and every query deserializes the rows
+it returns.  All of it is real, measurable work proportional to graph
+size — not a ``sleep``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+class Neo4jSimError(Exception):
+    """Raised on malformed queries or closed-session access."""
+
+
+class Neo4jSim:
+    """A tiny log-structured node/relationship store with a query layer."""
+
+    #: How many times the startup replay scans the log, modelling JVM +
+    #: page-cache warm-up being much more expensive than a single pass.
+    #: Calibrated so that, as in the paper's Figure 6, the OPUS
+    #: transformation stage dominates its pipeline and OPUS stage times
+    #: dwarf SPADE's and CamFlow's.
+    WARMUP_PASSES = 100
+
+    def __init__(self) -> None:
+        self._log: List[str] = []
+        self._open = False
+        self._node_index: Dict[int, str] = {}
+        self._rel_index: Dict[int, str] = {}
+        self._label_index: Dict[str, List[int]] = {}
+
+    # -- write path (used by the OPUS capture system) -------------------------
+
+    def create_node(
+        self, node_id: int, label: str, props: Optional[Dict[str, str]] = None
+    ) -> None:
+        record = {
+            "kind": "node",
+            "id": node_id,
+            "label": label,
+            "props": dict(props or {}),
+        }
+        self._log.append(json.dumps(record, sort_keys=True))
+
+    def create_relationship(
+        self,
+        rel_id: int,
+        start: int,
+        end: int,
+        rel_type: str,
+        props: Optional[Dict[str, str]] = None,
+    ) -> None:
+        record = {
+            "kind": "rel",
+            "id": rel_id,
+            "start": start,
+            "end": end,
+            "type": rel_type,
+            "props": dict(props or {}),
+        }
+        self._log.append(json.dumps(record, sort_keys=True))
+
+    # -- session lifecycle ------------------------------------------------------
+
+    def start(self) -> None:
+        """Replay the log and build indexes (the Neo4j/JVM startup cost)."""
+        for _ in range(self.WARMUP_PASSES):
+            node_index: Dict[int, str] = {}
+            rel_index: Dict[int, str] = {}
+            label_index: Dict[str, List[int]] = {}
+            for line in self._log:
+                record = json.loads(line)
+                if record["kind"] == "node":
+                    node_index[record["id"]] = line
+                    label_index.setdefault(record["label"], []).append(record["id"])
+                else:
+                    rel_index[record["id"]] = line
+            self._node_index = node_index
+            self._rel_index = rel_index
+            self._label_index = label_index
+        self._open = True
+
+    def shutdown(self) -> None:
+        self._open = False
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    def _require_open(self) -> None:
+        if not self._open:
+            raise Neo4jSimError("session not started; call start() first")
+
+    # -- query layer ----------------------------------------------------------------
+
+    def match_nodes(
+        self, label: Optional[str] = None
+    ) -> Iterator[Tuple[int, str, Dict[str, str]]]:
+        """``MATCH (n[:label]) RETURN n`` — deserializes each row."""
+        self._require_open()
+        if label is not None:
+            ids = self._label_index.get(label, [])
+            rows = [self._node_index[node_id] for node_id in ids]
+        else:
+            rows = list(self._node_index.values())
+        for line in rows:
+            record = json.loads(line)
+            yield record["id"], record["label"], dict(record["props"])
+
+    def match_relationships(
+        self, rel_type: Optional[str] = None
+    ) -> Iterator[Tuple[int, int, int, str, Dict[str, str]]]:
+        """``MATCH ()-[r[:type]]->() RETURN r`` — deserializes each row."""
+        self._require_open()
+        for line in self._rel_index.values():
+            record = json.loads(line)
+            if rel_type is not None and record["type"] != rel_type:
+                continue
+            yield (
+                record["id"],
+                record["start"],
+                record["end"],
+                record["type"],
+                dict(record["props"]),
+            )
+
+    def node_count(self) -> int:
+        self._require_open()
+        return len(self._node_index)
+
+    def relationship_count(self) -> int:
+        self._require_open()
+        return len(self._rel_index)
+
+    def dump_log(self) -> str:
+        """Serialized store contents (for regression snapshots)."""
+        return "\n".join(self._log)
+
+    @classmethod
+    def from_log(cls, text: str) -> "Neo4jSim":
+        store = cls()
+        store._log = [line for line in text.splitlines() if line.strip()]
+        return store

@@ -1,0 +1,78 @@
+"""Extended benchmarks beyond the paper's Table 2.
+
+The paper's introduction motivates expressiveness benchmarking with the
+local-socket blind spot: "if a provenance capture system does not record
+edges linking reads and writes to local sockets, then attackers can evade
+notice by using these communication channels".  These benchmarks measure
+exactly that: local socket creation and traffic are invisible to SPADE's
+default audit rules and to OPUS's interposition set, while CamFlow's LSM
+vantage records them.
+
+Also includes multi-syscall *sequence* benchmarks (the paper's §3.2 and
+§5.2 note that ProvMark generalizes to deterministic sequences).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.suite.program import Op, Program, create_file
+from repro.suite.registry import _bench, _expected
+
+
+def _build_socket_benchmarks() -> Dict[str, Program]:
+    benchmarks = [
+        _bench("socketpair", 4, [
+            Op("socketpair", (), result="s", target=True),
+        ], expected=_expected("empty:NR", "empty:NR", "ok"),
+            description="create a connected local socket pair"),
+        _bench("send", 4, [
+            Op("socketpair", (), result="s"),
+            Op("send", ("$s_a", b"covert payload"), target=True),
+        ], expected=_expected("empty:NR", "empty:NR", "ok"),
+            description="send over a local socket (intro's covert channel)"),
+        _bench("recv", 4, [
+            Op("socketpair", (), result="s"),
+            Op("send", ("$s_a", b"covert payload")),
+            Op("recv", ("$s_b", 64), target=True),
+        ], expected=_expected("empty:NR", "empty:NR", "ok"),
+            description="receive over a local socket"),
+    ]
+    return {program.name: program for program in benchmarks}
+
+
+def _build_sequence_benchmarks() -> Dict[str, Program]:
+    """Deterministic multi-syscall target sequences (paper §5.2)."""
+    benchmarks = [
+        _bench("seq_copy", 1, [
+            Op("open", ("source.txt", "O_RDONLY"), result="src"),
+            # target: the whole copy operation
+            Op("creat", ("copy.txt", 0o644), result="dst", target=True),
+            Op("read", ("$src", 64), target=True),
+            Op("write", ("$dst", b"benchmark data"), target=True),
+            Op("close", ("$dst",), target=True),
+        ], setup=(create_file("source.txt"),),
+            expected=_expected("ok", "ok", "ok"),
+            description="a file copy as one multi-syscall target"),
+        _bench("seq_lockdown", 3, [
+            Op("creat", ("secret.txt", 0o644), result="fd"),
+            # target: restrict then disown the file
+            Op("chmod", ("secret.txt", 0o600), target=True),
+            Op("chown", ("secret.txt", 1000, 1000), target=True),
+        ], expected=_expected("ok", "ok", "ok"),
+            description="permission lockdown sequence"),
+    ]
+    return {program.name: program for program in benchmarks}
+
+
+SOCKET_BENCHMARKS: Dict[str, Program] = _build_socket_benchmarks()
+SEQUENCE_BENCHMARKS: Dict[str, Program] = _build_sequence_benchmarks()
+EXTENDED_BENCHMARKS: Dict[str, Program] = {
+    **SOCKET_BENCHMARKS,
+    **SEQUENCE_BENCHMARKS,
+}
+
+# Make the extended suite reachable through the normal lookup path.
+from repro.suite import registry as _registry  # noqa: E402
+
+_registry.ALL_BENCHMARKS.update(EXTENDED_BENCHMARKS)

@@ -1,0 +1,311 @@
+"""The benchmark suite: all 44 rows of Table 2, grouped as in Table 1.
+
+Every benchmark declares the Table 2 expectation — ``ok`` or ``empty`` per
+tool with the paper's note (NR = behaviour not recorded by the default
+configuration, SC = only state changes monitored, LP = limitation in
+ProvMark, DV = disconnected vforked process) — which the analysis stage
+checks the pipeline's output against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.suite.program import Op, Program, create_file
+
+#: Table 1 — benchmarked syscall families.
+TABLE1_GROUPS: Dict[int, Tuple[str, Tuple[str, ...]]] = {
+    1: ("Files", (
+        "close", "creat", "dup[2,3]", "[sym]link[at]", "mknod[at]",
+        "open[at]", "[p]read", "rename[at]", "[f]truncate", "unlink[at]",
+        "[p]write",
+    )),
+    2: ("Processes", ("clone", "execve", "exit", "[v]fork", "kill")),
+    3: ("Permissions", (
+        "[f]chmod[at]", "[f]chown[at]", "set[re[s]]gid", "set[re[s]]uid",
+    )),
+    4: ("Pipes", ("pipe[2]", "tee")),
+}
+
+_GROUP_NAMES = {num: name for num, (name, _) in TABLE1_GROUPS.items()}
+
+
+def _expected(spade: str, opus: str, camflow: str) -> Tuple[Tuple[str, str, str], ...]:
+    """Parse compact expectations like ``"ok"`` / ``"empty:NR"`` / ``"ok:DV"``."""
+    out = []
+    for tool, spec in (("spade", spade), ("opus", opus), ("camflow", camflow)):
+        classification, _, note = spec.partition(":")
+        out.append((tool, classification, note))
+    return tuple(out)
+
+
+def _bench(
+    name: str,
+    group: int,
+    ops: Iterable[Op],
+    setup: Iterable = (),
+    expected: Tuple[Tuple[str, str, str], ...] = (),
+    run_as_uid: int = 0,
+    run_as_gid: int = 0,
+    description: str = "",
+) -> Program:
+    return Program(
+        name=name,
+        ops=tuple(ops),
+        setup=tuple(setup),
+        group=group,
+        group_name=_GROUP_NAMES[group],
+        run_as_uid=run_as_uid,
+        run_as_gid=run_as_gid,
+        description=description,
+        expected=expected,
+    )
+
+
+def _build_table2_benchmarks() -> Dict[str, Program]:
+    test_file = (create_file("test.txt"),)
+    benchmarks = [
+        # -- Group 1: files ------------------------------------------------
+        _bench("close", 1, [
+            Op("open", ("test.txt", "O_RDWR"), result="id"),
+            Op("close", ("$id",), target=True),
+        ], setup=test_file, expected=_expected("ok", "ok", "empty:LP"),
+            description="close an open file descriptor"),
+        _bench("creat", 1, [
+            Op("creat", ("newfile.txt", 0o644), result="id", target=True),
+        ], expected=_expected("ok", "ok", "ok"),
+            description="create a new file"),
+        _bench("dup", 1, [
+            Op("open", ("test.txt", "O_RDWR"), result="id"),
+            Op("dup", ("$id",), result="id2", target=True),
+        ], setup=test_file, expected=_expected("empty:SC", "ok", "empty:NR"),
+            description="duplicate a file descriptor"),
+        _bench("dup2", 1, [
+            Op("open", ("test.txt", "O_RDWR"), result="id"),
+            Op("dup2", ("$id", 10), result="id2", target=True),
+        ], setup=test_file, expected=_expected("empty:SC", "ok", "empty:NR")),
+        _bench("dup3", 1, [
+            Op("open", ("test.txt", "O_RDWR"), result="id"),
+            Op("dup3", ("$id", 10), result="id2", target=True),
+        ], setup=test_file, expected=_expected("empty:SC", "ok", "empty:NR")),
+        _bench("link", 1, [
+            Op("link", ("test.txt", "hardlink.txt"), target=True),
+        ], setup=test_file, expected=_expected("ok", "ok", "ok"),
+            description="create a hard link"),
+        _bench("linkat", 1, [
+            Op("linkat", ("test.txt", "hardlink.txt"), target=True),
+        ], setup=test_file, expected=_expected("ok", "ok", "ok")),
+        _bench("symlink", 1, [
+            Op("symlink", ("test.txt", "softlink.txt"), target=True),
+        ], setup=test_file, expected=_expected("ok", "ok", "empty:NR"),
+            description="create a symbolic link"),
+        _bench("symlinkat", 1, [
+            Op("symlinkat", ("test.txt", "softlink.txt"), target=True),
+        ], setup=test_file, expected=_expected("ok", "ok", "empty:NR")),
+        _bench("mknod", 1, [
+            Op("mknod", ("fifo_node", "S_IFIFO"), target=True),
+        ], expected=_expected("empty:NR", "ok", "empty:NR"),
+            description="create a FIFO special file"),
+        _bench("mknodat", 1, [
+            Op("mknodat", ("fifo_node", "S_IFIFO"), target=True),
+        ], expected=_expected("empty:NR", "empty:NR", "empty:NR")),
+        _bench("open", 1, [
+            Op("open", ("test.txt", "O_RDWR"), result="id", target=True),
+        ], setup=test_file, expected=_expected("ok", "ok", "ok"),
+            description="open an existing file"),
+        _bench("openat", 1, [
+            Op("openat", ("test.txt", "O_RDWR"), result="id", target=True),
+        ], setup=test_file, expected=_expected("ok", "ok", "ok")),
+        _bench("read", 1, [
+            Op("open", ("test.txt", "O_RDWR"), result="id"),
+            Op("read", ("$id", 64), target=True),
+        ], setup=test_file, expected=_expected("ok", "empty:NR", "ok"),
+            description="read from an open file"),
+        _bench("pread", 1, [
+            Op("open", ("test.txt", "O_RDWR"), result="id"),
+            Op("pread", ("$id", 64, 0), target=True),
+        ], setup=test_file, expected=_expected("ok", "empty:NR", "ok")),
+        _bench("rename", 1, [
+            Op("rename", ("test.txt", "renamed.txt"), target=True),
+        ], setup=test_file, expected=_expected("ok", "ok", "ok"),
+            description="rename a file (paper Figure 1)"),
+        _bench("renameat", 1, [
+            Op("renameat", ("test.txt", "renamed.txt"), target=True),
+        ], setup=test_file, expected=_expected("ok", "ok", "ok")),
+        _bench("truncate", 1, [
+            Op("truncate", ("test.txt", 4), target=True),
+        ], setup=test_file, expected=_expected("ok", "ok", "ok")),
+        _bench("ftruncate", 1, [
+            Op("open", ("test.txt", "O_RDWR"), result="id"),
+            Op("ftruncate", ("$id", 4), target=True),
+        ], setup=test_file, expected=_expected("ok", "ok", "ok")),
+        _bench("unlink", 1, [
+            Op("unlink", ("test.txt",), target=True),
+        ], setup=test_file, expected=_expected("ok", "ok", "ok"),
+            description="delete a file"),
+        _bench("unlinkat", 1, [
+            Op("unlinkat", ("test.txt",), target=True),
+        ], setup=test_file, expected=_expected("ok", "ok", "ok")),
+        _bench("write", 1, [
+            Op("open", ("test.txt", "O_RDWR"), result="id"),
+            Op("write", ("$id", b"hello"), target=True),
+        ], setup=test_file, expected=_expected("ok", "empty:NR", "ok"),
+            description="write to an open file"),
+        _bench("pwrite", 1, [
+            Op("open", ("test.txt", "O_RDWR"), result="id"),
+            Op("pwrite", ("$id", b"hello", 0), target=True),
+        ], setup=test_file, expected=_expected("ok", "empty:NR", "ok")),
+        # -- Group 2: processes ---------------------------------------------
+        _bench("clone", 2, [
+            Op("clone", (), result="child", target=True),
+        ], expected=_expected("ok", "empty:NR", "ok"),
+            description="create a thread/process via clone"),
+        _bench("execve", 2, [
+            Op("execve", ("/bin/true",), target=True),
+        ], expected=_expected("ok", "ok", "ok"),
+            description="replace the process image"),
+        _bench("exit", 2, [
+            Op("exit", (0,), target=True),
+        ], expected=_expected("empty:LP", "empty:LP", "empty:LP"),
+            description="terminate normally (implicit exit exists anyway)"),
+        _bench("fork", 2, [
+            Op("fork", (), result="child", target=True),
+        ], expected=_expected("ok", "ok", "ok"),
+            description="fork a child process"),
+        _bench("kill", 2, [
+            Op("fork", (), result="child"),
+            Op("kill", ("$child", "SIGKILL"), target=True),
+        ], expected=_expected("empty:LP", "empty:LP", "empty:LP"),
+            description="kill a child process"),
+        _bench("vfork", 2, [
+            Op("vfork", (), result="child", target=True),
+        ], expected=_expected("ok:DV", "ok", "ok"),
+            description="vfork: audit sees the child before the vfork"),
+        # -- Group 3: permissions --------------------------------------------
+        _bench("chmod", 3, [
+            Op("chmod", ("test.txt", 0o600), target=True),
+        ], setup=test_file, expected=_expected("ok", "ok", "ok")),
+        _bench("fchmod", 3, [
+            Op("open", ("test.txt", "O_RDWR"), result="id"),
+            Op("fchmod", ("$id", 0o600), target=True),
+        ], setup=test_file, expected=_expected("ok", "empty:NR", "ok")),
+        _bench("fchmodat", 3, [
+            Op("fchmodat", ("test.txt", 0o600), target=True),
+        ], setup=test_file, expected=_expected("ok", "ok", "ok")),
+        _bench("chown", 3, [
+            Op("chown", ("test.txt", 1000, 1000), target=True),
+        ], setup=test_file, expected=_expected("empty:NR", "ok", "ok")),
+        _bench("fchown", 3, [
+            Op("open", ("test.txt", "O_RDWR"), result="id"),
+            Op("fchown", ("$id", 1000, 1000), target=True),
+        ], setup=test_file, expected=_expected("empty:NR", "empty:NR", "ok")),
+        _bench("fchownat", 3, [
+            Op("fchownat", ("test.txt", 1000, 1000), target=True),
+        ], setup=test_file, expected=_expected("empty:NR", "ok", "ok")),
+        _bench("setgid", 3, [
+            Op("setgid", (1000,), target=True),
+        ], expected=_expected("ok", "ok", "ok")),
+        _bench("setregid", 3, [
+            Op("setregid", (1000, 1000), target=True),
+        ], expected=_expected("ok", "ok", "ok")),
+        _bench("setresgid", 3, [
+            # Sets the group id to its *current* value: no state change, so
+            # SPADE's change monitor sees nothing (paper §4.3).
+            Op("setresgid", (0, 0, 0), target=True),
+        ], expected=_expected("empty:SC", "empty:NR", "ok")),
+        _bench("setuid", 3, [
+            Op("setuid", (1000,), target=True),
+        ], expected=_expected("ok", "ok", "ok")),
+        _bench("setreuid", 3, [
+            Op("setreuid", (1000, 1000), target=True),
+        ], expected=_expected("ok", "ok", "ok")),
+        _bench("setresuid", 3, [
+            # An actual uid change: SPADE notices it on later records.
+            Op("setresuid", (1000, 1000, 1000), target=True),
+        ], expected=_expected("ok:SC", "empty:NR", "ok")),
+        # -- Group 4: pipes -----------------------------------------------------
+        _bench("pipe", 4, [
+            Op("pipe", (), result="p", target=True),
+        ], expected=_expected("empty:NR", "ok", "empty:NR")),
+        _bench("pipe2", 4, [
+            Op("pipe2", ("O_CLOEXEC",), result="p", target=True),
+        ], expected=_expected("empty:NR", "ok", "empty:NR")),
+        _bench("tee", 4, [
+            Op("pipe", (), result="p"),
+            Op("pipe", (), result="q"),
+            Op("write", ("$p_w", b"pipe payload")),
+            Op("tee", ("$p_r", "$q_w", 64), target=True),
+        ], expected=_expected("empty:NR", "empty:NR", "ok"),
+            description="duplicate pipe contents without consuming"),
+    ]
+    return {program.name: program for program in benchmarks}
+
+
+def _build_failure_benchmarks() -> Dict[str, Program]:
+    """§3.1 (Alice): failed calls caused by access-control denials."""
+    benchmarks = [
+        _bench("rename_fail", 1, [
+            Op("rename", ("mine.txt", "/etc/passwd"), target=True,
+               expect_success=False),
+        ], setup=(create_file("mine.txt"),),
+            run_as_uid=1000, run_as_gid=1000,
+            expected=_expected("empty:NR", "ok", "empty:NR"),
+            description="non-privileged rename over /etc/passwd (EACCES)"),
+        _bench("open_fail", 1, [
+            Op("open", ("/etc/shadow", "O_RDONLY"), result="id", target=True,
+               expect_success=False),
+        ], run_as_uid=1000, run_as_gid=1000,
+            expected=_expected("empty:NR", "ok", "empty:NR"),
+            description="open a root-only file as a normal user (EACCES)"),
+        _bench("chmod_fail", 3, [
+            Op("chmod", ("/etc/passwd", 0o666), target=True,
+               expect_success=False),
+        ], run_as_uid=1000, run_as_gid=1000,
+            expected=_expected("empty:NR", "ok", "empty:NR"),
+            description="chmod a file owned by root as a normal user (EPERM)"),
+    ]
+    return {program.name: program for program in benchmarks}
+
+
+def _build_scalability_benchmarks() -> Dict[str, Program]:
+    """§5.2: scale1/2/4/8 repeat a creat+unlink pair 1/2/4/8 times."""
+    benchmarks = {}
+    for factor in (1, 2, 4, 8):
+        ops: List[Op] = []
+        for index in range(factor):
+            ops.append(Op("creat", ("scale.txt", 0o644), result=f"fd{index}",
+                          target=True))
+            ops.append(Op("unlink", ("scale.txt",), target=True))
+        benchmarks[f"scale{factor}"] = _bench(
+            f"scale{factor}", 1, ops,
+            expected=_expected("ok", "ok", "ok"),
+            description=f"{factor}x (creat + unlink) target sequence",
+        )
+    return benchmarks
+
+
+TABLE2_BENCHMARKS: Dict[str, Program] = _build_table2_benchmarks()
+FAILURE_BENCHMARKS: Dict[str, Program] = _build_failure_benchmarks()
+SCALABILITY_BENCHMARKS: Dict[str, Program] = _build_scalability_benchmarks()
+
+ALL_BENCHMARKS: Dict[str, Program] = {
+    **TABLE2_BENCHMARKS,
+    **FAILURE_BENCHMARKS,
+    **SCALABILITY_BENCHMARKS,
+}
+
+#: Table 2 row order.
+TABLE2_ORDER: Tuple[str, ...] = tuple(TABLE2_BENCHMARKS)
+
+
+def get_benchmark(name: str) -> Program:
+    try:
+        return ALL_BENCHMARKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {sorted(ALL_BENCHMARKS)}"
+        ) from None
+
+
+def benchmarks_in_group(group: int) -> List[Program]:
+    return [p for p in TABLE2_BENCHMARKS.values() if p.group == group]

@@ -1,0 +1,122 @@
+"""Engine-agreement tests: the mini-ASP engine running the paper's actual
+Listing 3/4 programs must agree with the native matcher."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.model import PropertyGraph
+from repro.solver.asp.bridge import (
+    asp_are_similar,
+    asp_embed_subgraph,
+    asp_find_isomorphism,
+    graph_facts,
+)
+from repro.solver.native import are_similar, embed_subgraph, find_isomorphism
+
+
+class TestBridgeBasics:
+    def test_similarity_positive(self, volatile_pair):
+        g1, g2 = volatile_pair
+        assert asp_are_similar(g1, g2)
+
+    def test_similarity_negative(self, tiny_graph):
+        other = PropertyGraph()
+        other.add_node("x", "Pipe")
+        assert not asp_are_similar(tiny_graph, other)
+
+    def test_empty_vs_nonempty(self, tiny_graph):
+        assert not asp_are_similar(PropertyGraph(), tiny_graph)
+        assert asp_are_similar(PropertyGraph(), PropertyGraph())
+
+    def test_iso_minimizing_cost(self, volatile_pair):
+        g1, g2 = volatile_pair
+        matching = asp_find_isomorphism(g1, g2, minimize_properties=True)
+        assert matching is not None
+        # time on node a, pid on node b, time on the edge: 3 volatile props.
+        assert matching.cost == 3
+
+    def test_embed_cost_zero_for_subgraph(self, tiny_graph):
+        fg = tiny_graph.copy()
+        fg.add_node("n3", "File")
+        fg.add_edge("e2", "n2", "n3", "WasGeneratedBy")
+        matching = asp_embed_subgraph(tiny_graph, fg)
+        assert matching is not None
+        assert matching.cost == 0
+        assert matching.node_map == {"n1": "n1", "n2": "n2"}
+
+    def test_embed_failure(self, tiny_graph):
+        assert asp_embed_subgraph(tiny_graph, PropertyGraph()) is None
+
+    def test_graph_facts_quotes_everything(self, tiny_graph):
+        facts = graph_facts(tiny_graph, "1")
+        assert 'n1("n1","File").' in facts
+        assert 'e1("e1","n1","n2","Used").' in facts
+        assert 'p1("n1","Name","text").' in facts
+
+    def test_ids_with_special_characters(self):
+        graph = PropertyGraph()
+        graph.add_node("cf:task:1-2", "task", {"k": "v"})
+        graph.add_node("cf:task:3-4", "task")
+        graph.add_edge("rel uuid", "cf:task:1-2", "cf:task:3-4", "used")
+        assert asp_are_similar(graph, graph.relabel("z"))
+
+
+def graphs(draw):
+    """Random small property graphs."""
+    n = draw(st.integers(min_value=0, max_value=4))
+    labels = draw(st.lists(
+        st.sampled_from(["A", "B"]), min_size=n, max_size=n
+    ))
+    graph = PropertyGraph("r")
+    for i, label in enumerate(labels):
+        props = {}
+        if draw(st.booleans()):
+            props["k"] = draw(st.sampled_from(["1", "2"]))
+        graph.add_node(f"n{i}", label, props)
+    edge_count = draw(st.integers(min_value=0, max_value=min(4, n * n)))
+    for j in range(edge_count):
+        src = draw(st.integers(min_value=0, max_value=n - 1))
+        tgt = draw(st.integers(min_value=0, max_value=n - 1))
+        graph.add_edge(
+            f"e{j}", f"n{src}", f"n{tgt}",
+            draw(st.sampled_from(["r", "s"])),
+        )
+    return graph
+
+
+random_graphs = st.composite(graphs)()
+
+
+@settings(max_examples=40, deadline=None)
+@given(g=random_graphs)
+def test_engines_agree_on_self_similarity(g):
+    shuffled = g.relabel("z")
+    assert are_similar(g, shuffled)
+    assert asp_are_similar(g, shuffled)
+
+
+@settings(max_examples=40, deadline=None)
+@given(g1=random_graphs, g2=random_graphs)
+def test_engines_agree_on_similarity(g1, g2):
+    assert are_similar(g1, g2) == asp_are_similar(g1, g2)
+
+
+@settings(max_examples=40, deadline=None)
+@given(g1=random_graphs, g2=random_graphs)
+def test_engines_agree_on_embedding_feasibility_and_cost(g1, g2):
+    native = embed_subgraph(g1, g2)
+    asp = asp_embed_subgraph(g1, g2)
+    assert (native is None) == (asp is None)
+    if native is not None and asp is not None:
+        assert native.cost == asp.cost
+
+
+@settings(max_examples=30, deadline=None)
+@given(g1=random_graphs)
+def test_engines_agree_on_min_cost_isomorphism(g1):
+    g2 = g1.relabel("w")
+    native = find_isomorphism(g1, g2, minimize_properties=True)
+    asp = asp_find_isomorphism(g1, g2, minimize_properties=True)
+    assert native is not None and asp is not None
+    assert native.cost == asp.cost == 0

@@ -1,0 +1,120 @@
+"""Grounding and model-search tests for the mini-ASP engine."""
+
+import pytest
+
+from repro.solver.asp.ground import Grounder, GroundingError
+from repro.solver.asp.parser import parse_program
+from repro.solver.asp.solve import solve
+
+
+def run(source: str):
+    problem = Grounder(parse_program(source)).ground()
+    return problem, solve(problem)
+
+
+class TestChoiceGrounding:
+    def test_one_group_per_body_solution(self):
+        problem, model = run(
+            'n1(a,"X"). n1(b,"X"). n2(u,"X"). n2(v,"X").\n'
+            "{h(X,Y) : n2(Y,_)} = 1 :- n1(X,_).\n"
+        )
+        assert len(problem.groups) == 2
+        assert all(len(members) == 2 for members, _ in problem.groups)
+        assert model is not None
+        assert len(model.true_atoms) == 2
+
+    def test_unsatisfiable_when_no_candidates(self):
+        problem, model = run(
+            'n1(a,"X").\n{h(X,Y) : n2(Y,_)} = 1 :- n1(X,_).\n'
+        )
+        assert problem.unsatisfiable
+        assert model is None
+
+    def test_empty_program_has_empty_model(self):
+        _, model = run("")
+        assert model is not None
+        assert model.true_atoms == set()
+
+
+class TestConstraints:
+    def test_injectivity_enforced(self):
+        _, model = run(
+            'n1(a,"X"). n1(b,"X"). n2(u,"X").\n'
+            "{h(X,Y) : n2(Y,_)} = 1 :- n1(X,_).\n"
+            ":- X <> Y, h(X,Z), h(Y,Z).\n"
+        )
+        # Two sources, one target, injective: impossible.
+        assert model is None
+
+    def test_label_guard_prunes(self):
+        _, model = run(
+            'n1(a,"X"). n2(u,"Y").\n'
+            "{h(X,Y) : n2(Y,_)} = 1 :- n1(X,_).\n"
+            ":- n1(X,L), h(X,Y), not n2(Y,L).\n"
+        )
+        assert model is None
+
+    def test_conditional_implication(self):
+        """not h(X,Y) in a constraint forces a companion mapping."""
+        _, model = run(
+            'n1(a,"X"). n1(b,"X"). n2(u,"X"). n2(v,"X").\n'
+            'e1(p,a,b,"r"). e2(q,u,v,"r").\n'
+            "{h(X,Y) : n2(Y,_)} = 1 :- n1(X,_).\n"
+            "{h(X,Y) : e2(Y,_,_,_)} = 1 :- e1(X,_,_,_).\n"
+            ":- e1(E1,X,_,_), h(E1,E2), e2(E2,Y,_,_), not h(X,Y).\n"
+            ":- e1(E1,_,X,_), h(E1,E2), e2(E2,_,Y,_), not h(X,Y).\n"
+        )
+        assert model is not None
+        assert ("h", ("a", "u")) in model.true_atoms
+        assert ("h", ("b", "v")) in model.true_atoms
+
+    def test_constraint_violated_by_facts_alone(self):
+        _, model = run('bad(x).\n:- bad(x).\n')
+        assert model is None
+
+
+class TestMinimize:
+    def test_cheapest_assignment_chosen(self):
+        _, model = run(
+            'n1(a,"X"). n2(u,"X"). n2(v,"X").\n'
+            'p1(a,"k","good"). p2(u,"k","bad"). p2(v,"k","good").\n'
+            "{h(X,Y) : n2(Y,_)} = 1 :- n1(X,_).\n"
+            'cost(X,K,0) :- p1(X,K,V), h(X,Y), p2(Y,K,V).\n'
+            'cost(X,K,1) :- p1(X,K,V), h(X,Y), p2(Y,K,W), V <> W.\n'
+            'cost(X,K,1) :- p1(X,K,V), h(X,Y), not p2(Y,K,_).\n'
+            "#minimize { PC,X,K : cost(X,K,PC) }.\n"
+        )
+        assert model is not None
+        assert model.cost == 0
+        assert ("h", ("a", "v")) in model.true_atoms
+
+    def test_missing_property_costs_one(self):
+        _, model = run(
+            'n1(a,"X"). n2(u,"X").\n'
+            'p1(a,"k","v1"). p1(a,"j","v2").\n'
+            "{h(X,Y) : n2(Y,_)} = 1 :- n1(X,_).\n"
+            'cost(X,K,1) :- p1(X,K,V), h(X,Y), not p2(Y,K,_).\n'
+            "#minimize { PC,X,K : cost(X,K,PC) }.\n"
+        )
+        assert model is not None
+        assert model.cost == 2
+
+
+class TestGrounderErrors:
+    def test_choice_predicate_cannot_be_fact(self):
+        with pytest.raises(GroundingError):
+            Grounder(parse_program(
+                'h(a,b).\nn1(a,"X").\n{h(X,Y) : n1(Y,_)} = 1 :- n1(X,_).\n'
+            )).ground()
+
+    def test_derived_predicate_in_body_rejected(self):
+        """Chained derived predicates (stratified rules over rules) fall
+        outside the supported subset and must fail loudly."""
+        with pytest.raises(GroundingError):
+            Grounder(parse_program(
+                'n1(a,"X").\n'
+                "{h(X,Y) : n1(Y,_)} = 1 :- n1(X,_).\n"
+                'cost(X,1) :- h(X,Y).\n'
+                'meta(X,PC) :- cost(X,PC).\n'
+                "#minimize { PC,X : meta(X,PC) }.\n"
+            )).ground()

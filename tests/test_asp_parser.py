@@ -1,0 +1,113 @@
+"""Mini-ASP lexer/parser tests."""
+
+import pytest
+
+from repro.solver.asp.ast import (
+    Anon,
+    ChoiceRule,
+    Comparison,
+    Const,
+    Constraint,
+    Fact,
+    Literal,
+    Minimize,
+    NormalRule,
+    Var,
+)
+from repro.solver.asp.parser import AspSyntaxError, parse_program, tokenize
+from repro.solver.asp.programs import LISTING3, LISTING4
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        kinds = [t.kind for t in tokenize('h(X,"lab") :- n1(X,_).')]
+        assert kinds == [
+            "NAME", "LPAREN", "VAR", "COMMA", "STRING", "RPAREN",
+            "IMPLIES", "NAME", "LPAREN", "VAR", "COMMA", "NAME",
+            "RPAREN", "DOT",
+        ]
+
+    def test_comments_skipped(self):
+        assert tokenize("% just a comment\n") == []
+
+    def test_neq_both_spellings(self):
+        assert tokenize("<>")[0].kind == "NEQ"
+        assert tokenize("!=")[0].kind == "NEQ"
+
+    def test_unexpected_character(self):
+        with pytest.raises(AspSyntaxError):
+            tokenize("h(X) @ foo")
+
+
+class TestParser:
+    def test_fact(self):
+        program = parse_program('n1(a,"File").')
+        (fact,) = program.statements
+        assert isinstance(fact, Fact)
+        assert fact.atom.name == "n1"
+        assert fact.atom.args == (Const("a"), Const("File"))
+
+    def test_fact_with_variables_rejected(self):
+        with pytest.raises(AspSyntaxError):
+            parse_program("n1(X).")
+
+    def test_normal_rule(self):
+        program = parse_program("cost(X,1) :- p1(X), h(X,Y), not p2(Y).")
+        (rule,) = program.statements
+        assert isinstance(rule, NormalRule)
+        assert rule.head.name == "cost"
+        assert len(rule.body) == 3
+        assert isinstance(rule.body[2], Literal) and rule.body[2].negated
+
+    def test_constraint_with_comparison(self):
+        program = parse_program(":- X <> Y, h(X,Z), h(Y,Z).")
+        (constraint,) = program.statements
+        assert isinstance(constraint, Constraint)
+        comparison = constraint.body[0]
+        assert isinstance(comparison, Comparison)
+        assert comparison.op == "<>"
+
+    def test_choice_rule(self):
+        program = parse_program("{h(X,Y) : n2(Y,_)} = 1 :- n1(X,_).")
+        (choice,) = program.statements
+        assert isinstance(choice, ChoiceRule)
+        assert choice.bound == 1
+        assert choice.head.name == "h"
+        assert choice.condition.name == "n2"
+        assert isinstance(choice.condition.args[1], Anon)
+
+    def test_choice_rule_without_body(self):
+        program = parse_program("{h(X,Y) : n2(Y,_)} = 2.")
+        (choice,) = program.statements
+        assert choice.bound == 2
+        assert choice.body == ()
+
+    def test_minimize(self):
+        program = parse_program("#minimize { PC,X,K : cost(X,K,PC) }.")
+        (minimize,) = program.statements
+        assert isinstance(minimize, Minimize)
+        assert minimize.weight == Var("PC")
+        assert minimize.terms == (Var("X"), Var("K"))
+        assert minimize.condition.name == "cost"
+
+    def test_strings_and_numbers(self):
+        program = parse_program('p(n1,"key with spaces",-3).')
+        (fact,) = program.statements
+        assert fact.atom.args[1] == Const("key with spaces")
+        assert fact.atom.args[2] == Const(-3)
+
+    def test_missing_dot_rejected(self):
+        with pytest.raises(AspSyntaxError):
+            parse_program("n1(a)")
+
+    def test_listing3_parses(self):
+        program = parse_program(LISTING3)
+        assert len(program.choice_rules()) == 4
+        assert len(program.constraints()) == 8
+
+    def test_listing4_parses(self):
+        program = parse_program(LISTING4)
+        assert len(program.choice_rules()) == 2
+        assert len(program.constraints()) == 6
+        assert len(program.normal_rules()) == 3
+        assert len(program.minimize_statements()) == 1

@@ -1,0 +1,118 @@
+"""OPUS capture-system tests: PVM rendering, blind spots, failed calls."""
+
+import random
+
+import pytest
+
+from repro.capture.opus import OpusCapture, OpusConfig, WRAPPED_FUNCTIONS
+from repro.core.transform import transform
+from repro.suite.executor import run_trial
+from repro.suite.program import Program
+from repro.suite.registry import get_benchmark
+
+
+def opus_graph(benchmark, foreground=True, config=None, seed=3):
+    program = (
+        benchmark if isinstance(benchmark, Program) else get_benchmark(benchmark)
+    )
+    trace = run_trial(program, foreground, seed=seed).trace
+    capture = OpusCapture(config or OpusConfig())
+    store = capture.record(trace, random.Random(seed))
+    return transform(store, "neo4j")
+
+
+class TestWrappedSet:
+    def test_io_not_wrapped_by_default(self):
+        capture = OpusCapture()
+        for function in ("read", "write", "pread", "pwrite"):
+            assert not capture.wrapped(function)
+
+    def test_io_wrapped_when_configured(self):
+        capture = OpusCapture(OpusConfig(record_io=True))
+        assert capture.wrapped("read")
+
+    def test_clone_and_tee_not_wrapped(self):
+        assert "clone" not in WRAPPED_FUNCTIONS
+        assert "tee" not in WRAPPED_FUNCTIONS
+        assert "mknodat" not in WRAPPED_FUNCTIONS
+        assert "fchmod" not in WRAPPED_FUNCTIONS
+
+
+class TestEnvironment:
+    def test_process_carries_env_nodes(self):
+        graph = opus_graph("open", foreground=False)
+        env_nodes = [n for n in graph.nodes() if n.label == "Env"]
+        # shell + benchmark child each dump the environment
+        assert len(env_nodes) == 16
+
+    def test_env_capture_can_be_disabled(self):
+        config = OpusConfig(capture_environment=False)
+        graph = opus_graph("open", foreground=False, config=config)
+        assert not [n for n in graph.nodes() if n.label == "Env"]
+
+    def test_fork_child_redumps_environment(self):
+        bg = opus_graph("fork", foreground=False)
+        fg = opus_graph("fork", foreground=True)
+        bg_env = len([n for n in bg.nodes() if n.label == "Env"])
+        fg_env = len([n for n in fg.nodes() if n.label == "Env"])
+        assert fg_env == bg_env + 8  # the paper's "large fork graphs"
+
+
+class TestRendering:
+    def test_open_adds_four_nodes(self):
+        bg = opus_graph("open", foreground=False)
+        fg = opus_graph("open", foreground=True)
+        # Call, LocalVersion, Global, GlobalVersion (paper §4.1)
+        assert fg.node_count == bg.node_count + 4
+
+    def test_dup_two_components_off_process(self):
+        bg = opus_graph("dup", foreground=False)
+        fg = opus_graph("dup", foreground=True)
+        assert fg.node_count == bg.node_count + 2
+        new_labels = sorted(
+            n.label for n in fg.nodes()
+        )[:0] or None  # labels checked below via histogram diff
+        bg_hist = bg.label_histogram()
+        fg_hist = fg.label_histogram()
+        assert fg_hist["Call"] == bg_hist["Call"] + 1
+        assert fg_hist["LocalVersion"] == bg_hist.get("LocalVersion", 0) + 1
+
+    def test_reads_not_recorded_by_default(self):
+        bg = opus_graph("read", foreground=False)
+        fg = opus_graph("read", foreground=True)
+        assert fg.structural_signature() == bg.structural_signature()
+
+    def test_execve_blackout_skips_loader_activity(self):
+        graph = opus_graph("open", foreground=True)
+        libc_nodes = [
+            n for n in graph.nodes()
+            if n.label == "Global" and "/lib/" in n.props.get("name", "")
+        ]
+        assert not libc_nodes
+
+    def test_failed_rename_recorded_with_retval(self):
+        fg = opus_graph("rename_fail", foreground=True)
+        bg = opus_graph("rename_fail", foreground=False)
+        assert fg.node_count > bg.node_count
+        failed_calls = [
+            n for n in fg.nodes()
+            if n.label == "Call" and n.props.get("retval") == "-1"
+        ]
+        assert failed_calls
+        assert failed_calls[0].props["errno"] == "EACCES"
+
+    def test_pipe_renders_two_resources(self):
+        bg = opus_graph("pipe", foreground=False)
+        fg = opus_graph("pipe", foreground=True)
+        diff = fg.label_histogram().get("LocalVersion", 0) - bg.label_histogram().get("LocalVersion", 0)
+        assert diff == 2
+
+    def test_rename_versions_the_target_name(self):
+        fg = opus_graph("rename", foreground=True)
+        derived = [e for e in fg.edges() if e.label == "DERIVED_FROM"]
+        assert derived
+
+    def test_node_ids_volatile_across_runs(self):
+        g1 = opus_graph("open", seed=1)
+        g2 = opus_graph("open", seed=2)
+        assert {n.id for n in g1.nodes()} != {n.id for n in g2.nodes()}

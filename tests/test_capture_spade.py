@@ -1,0 +1,169 @@
+"""SPADE capture-system tests: rendering rules, quirks, and config knobs."""
+
+import random
+
+import pytest
+
+from repro.capture.spade import (
+    BASE_RENDER_SET,
+    SpadeCapture,
+    SpadeConfig,
+)
+from repro.graph.dot import dot_to_graph
+from repro.suite.executor import run_trial
+from repro.suite.registry import get_benchmark
+from repro.suite.program import Op, Program, create_file
+
+
+def spade_graph(benchmark, foreground=True, config=None, seed=7):
+    program = (
+        benchmark if isinstance(benchmark, Program) else get_benchmark(benchmark)
+    )
+    trace = run_trial(program, foreground, seed=seed).trace
+    capture = SpadeCapture(config or SpadeConfig())
+    dot = capture.record(trace, random.Random(seed))
+    return dot_to_graph(dot)
+
+
+class TestBaseline:
+    def test_boilerplate_present_in_background(self):
+        graph = spade_graph("open", foreground=False)
+        labels = {n.label for n in graph.nodes()}
+        assert "Process" in labels    # shell + benchmark process
+        assert "Artifact" in labels   # libc, binary
+        assert "Agent" in labels      # execve renders the agent
+
+    def test_open_adds_artifact_and_used_edge(self):
+        bg = spade_graph("open", foreground=False)
+        fg = spade_graph("open", foreground=True)
+        assert fg.node_count == bg.node_count + 1
+        assert fg.edge_count == bg.edge_count + 1
+        extra_ops = sorted(
+            e.props.get("operation") for e in fg.edges()
+        )
+        assert "open" in extra_ops
+
+    def test_success_only_hides_failed_calls(self):
+        fg = spade_graph("rename_fail", foreground=True)
+        bg = spade_graph("rename_fail", foreground=False)
+        assert fg.structural_signature() == bg.structural_signature()
+
+    def test_unrendered_syscall_set(self):
+        for name in ("dup", "mknod", "pipe", "tee", "kill", "exit", "chown"):
+            assert name not in BASE_RENDER_SET
+
+    def test_vertex_ids_volatile_across_runs(self):
+        g1 = spade_graph("open", seed=1)
+        g2 = spade_graph("open", seed=2)
+        assert {n.id for n in g1.nodes()} != {n.id for n in g2.nodes()}
+
+    def test_structure_stable_across_runs(self):
+        g1 = spade_graph("open", seed=1)
+        g2 = spade_graph("open", seed=2)
+        assert g1.structural_signature() == g2.structural_signature()
+
+
+class TestVforkQuirk:
+    def test_vfork_child_disconnected(self):
+        fg = spade_graph("vfork", foreground=True)
+        bg = spade_graph("vfork", foreground=False)
+        # One extra Process vertex appears, but no extra edge (note DV).
+        assert fg.node_count == bg.node_count + 1
+        assert fg.edge_count == bg.edge_count
+
+    def test_fork_child_connected(self):
+        fg = spade_graph("fork", foreground=True)
+        bg = spade_graph("fork", foreground=False)
+        assert fg.node_count == bg.node_count + 1
+        assert fg.edge_count == bg.edge_count + 1
+
+
+class TestCredMonitor:
+    def test_setresuid_rendered_via_state_change(self):
+        fg = spade_graph("setresuid", foreground=True)
+        bg = spade_graph("setresuid", foreground=False)
+        assert fg.node_count > bg.node_count  # note SC
+
+    def test_setresgid_noop_invisible(self):
+        fg = spade_graph("setresgid", foreground=True)
+        bg = spade_graph("setresgid", foreground=False)
+        assert fg.structural_signature() == bg.structural_signature()
+
+    def test_explicit_setuid_not_double_rendered(self):
+        fg = spade_graph("setuid", foreground=True)
+        bg = spade_graph("setuid", foreground=False)
+        update_edges = [
+            e for e in fg.edges() if e.props.get("operation") == "update"
+        ]
+        assert not update_edges
+        assert fg.node_count == bg.node_count + 1
+
+
+class TestSimplifyKnob:
+    def test_simplify_off_renders_setresgid(self):
+        config = SpadeConfig(simplify=False, simplify_bug_fixed=True)
+        fg = spade_graph("setresgid", config=config)
+        bg = spade_graph("setresgid", foreground=False, config=config)
+        assert fg.node_count == bg.node_count + 1
+        assert fg.edge_count == bg.edge_count + 1
+
+    def test_simplify_bug_emits_dangling_vertex(self):
+        config = SpadeConfig(simplify=False, simplify_bug_fixed=False)
+        fg = spade_graph("setresgid", config=config)
+        uninitialized = [
+            n for n in fg.nodes() if n.props.get("source") == "uninitialized"
+        ]
+        assert len(uninitialized) == 1
+
+    def test_render_set_reflects_simplify(self):
+        assert "setresuid" not in SpadeCapture(SpadeConfig()).render_set()
+        assert "setresuid" in SpadeCapture(
+            SpadeConfig(simplify=False)
+        ).render_set()
+
+
+class TestIORunsFilter:
+    def write_run_program(self) -> Program:
+        return Program(
+            name="writes",
+            ops=(
+                Op("open", ("f.txt", "O_RDWR"), result="id"),
+                Op("write", ("$id", b"a"), target=True),
+                Op("write", ("$id", b"b"), target=True),
+                Op("write", ("$id", b"c"), target=True),
+            ),
+            setup=(create_file("f.txt"),),
+        )
+
+    def count_write_edges(self, graph):
+        return [
+            e for e in graph.edges() if e.props.get("operation") == "write"
+        ]
+
+    def test_buggy_filter_has_no_effect(self):
+        config = SpadeConfig(ioruns_filter=True, ioruns_bug_fixed=False)
+        graph = spade_graph(self.write_run_program(), config=config)
+        assert len(self.count_write_edges(graph)) == 3
+
+    def test_fixed_filter_coalesces(self):
+        config = SpadeConfig(ioruns_filter=True, ioruns_bug_fixed=True)
+        graph = spade_graph(self.write_run_program(), config=config)
+        writes = self.count_write_edges(graph)
+        assert len(writes) == 1
+        assert writes[0].props["count"] == "3"
+
+    def test_filter_off_keeps_all(self):
+        graph = spade_graph(self.write_run_program(), config=SpadeConfig())
+        assert len(self.count_write_edges(graph)) == 3
+
+
+class TestVersioning:
+    def test_versioning_creates_artifact_chain(self):
+        config = SpadeConfig(versioning=True)
+        fg = spade_graph("write", config=config)
+        derived = [e for e in fg.edges() if e.label == "WasDerivedFrom"]
+        assert derived
+        baseline = spade_graph("write", config=SpadeConfig())
+        assert not [
+            e for e in baseline.edges() if e.label == "WasDerivedFrom"
+        ]

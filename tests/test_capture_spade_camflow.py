@@ -1,0 +1,83 @@
+"""Tests for the CamFlow-reports-to-SPADE configuration (paper §2)."""
+
+import pytest
+
+from repro import PipelineConfig, ProvMark
+from repro.capture.spade_camflow import SpadeCamFlowCapture, SpadeCamFlowConfig
+from repro.core.result import Classification
+
+
+def provmark(seed=9, trials=2):
+    return ProvMark(
+        capture=SpadeCamFlowCapture(),
+        config=PipelineConfig(tool="spade", seed=seed, trials=trials),
+    )
+
+
+class TestCoverageFollowsCamFlow:
+    """Coverage = CamFlow's hook set, even though the output is SPADE's."""
+
+    @pytest.mark.parametrize("name,expected", [
+        ("open", "ok"),
+        ("read", "ok"),
+        ("write", "ok"),
+        ("rename", "ok"),
+        ("chown", "ok"),        # SPADE-audit misses this; CamFlow reporter sees it
+        ("tee", "ok"),          # likewise
+        ("socketpair", "ok"),   # likewise
+        ("dup", "empty"),       # invisible at the LSM layer
+        ("symlink", "empty"),   # hook unrecorded by CamFlow 0.4.5
+        ("mknod", "empty"),
+        ("close", "empty"),
+        ("exit", "empty"),
+    ])
+    def test_cell(self, name, expected):
+        result = provmark().run_benchmark(name)
+        assert result.classification.value == expected, name
+
+    def test_failed_calls_still_invisible_by_default(self):
+        result = provmark().run_benchmark("rename_fail")
+        assert result.classification is Classification.EMPTY
+
+
+class TestVocabularyStaysSpade:
+    def test_output_is_dot_with_opm_labels(self):
+        result = provmark().run_benchmark("rename")
+        labels = {n.label for n in result.target_graph.nodes()}
+        assert labels <= {"Process", "Artifact", "Agent", "Dummy"}
+        edge_labels = {e.label for e in result.target_graph.edges()}
+        assert edge_labels <= {
+            "Used", "WasGeneratedBy", "WasTriggeredBy", "WasDerivedFrom",
+        }
+
+    def test_fork_linked_like_spade(self):
+        result = provmark().run_benchmark("fork")
+        assert result.classification is Classification.OK
+        triggered = [
+            e for e in result.target_graph.edges()
+            if e.label == "WasTriggeredBy"
+        ]
+        assert triggered
+
+    def test_cred_change_renders_process_version(self):
+        result = provmark().run_benchmark("setuid")
+        assert result.classification is Classification.OK
+        assert any(
+            n.label in ("Process", "Dummy") for n in result.target_graph.nodes()
+        )
+
+
+class TestComparisonWithAuditReporter:
+    def test_coverage_differs_from_audit_spade(self):
+        """The combination changes what SPADE can see: chown appears,
+        close disappears."""
+        audit = ProvMark(tool="spade", seed=9)
+        combined = provmark()
+        assert audit.run_benchmark("chown").classification.value == "empty"
+        assert combined.run_benchmark("chown").classification.value == "ok"
+        assert audit.run_benchmark("close").classification.value == "ok"
+        assert combined.run_benchmark("close").classification.value == "empty"
+
+    def test_virtual_recording_cost_between_parents(self):
+        capture = SpadeCamFlowCapture()
+        assert 10.0 < capture.recording_seconds < 20.0

@@ -1,0 +1,72 @@
+"""CLI tests (argument wiring and command behaviour)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_requires_benchmark(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_tool_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--tool", "magic", "--benchmark", "open"])
+
+
+class TestCommands:
+    def test_run_ok(self, capsys):
+        code = main(["run", "--benchmark", "open", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "open/spade: ok" in out
+
+    def test_run_with_graph(self, capsys):
+        main(["run", "--benchmark", "open", "--seed", "3", "--show-graph"])
+        assert "digraph" in capsys.readouterr().out
+
+    def test_run_empty_benchmark(self, capsys):
+        code = main(["run", "--tool", "camflow", "--benchmark", "dup",
+                     "--seed", "3", "--trials", "2"])
+        assert code == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_batch_text(self, capsys):
+        code = main([
+            "batch", "--benchmarks", "open", "dup", "--seed", "3",
+            "--result-type", "rb",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("/spade:") == 2
+
+    def test_batch_html(self, tmp_path, capsys):
+        target = tmp_path / "index.html"
+        code = main([
+            "batch", "--benchmarks", "open", "--seed", "3",
+            "--result-type", "rh", "--out", str(target),
+        ])
+        assert code == 0
+        assert target.exists()
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "open" in out
+        assert "group 4" in out
+
+    def test_show_c_source(self, capsys):
+        assert main(["show", "--benchmark", "close"]) == 0
+        out = capsys.readouterr().out
+        assert "#ifdef TARGET" in out
+
+    def test_table4(self, capsys):
+        assert main(["table4"]) == 0
+        assert "Recording" in capsys.readouterr().out
+
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "--- spade ---" in out
+        assert "setresuid" in out

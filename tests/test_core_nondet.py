@@ -1,0 +1,91 @@
+"""Nondeterminism prototype tests (paper §5.4 future work)."""
+
+import pytest
+
+from repro.core.nondet import NondetProgram, NondetProvMark
+from repro.core.result import Classification
+from repro.suite.program import Op, Program, create_file
+
+
+@pytest.fixture
+def racy_program() -> NondetProgram:
+    """A race with two visibly different outcomes.
+
+    The 'scheduler' decides whether the process creates one file or
+    creates-and-links it — two schedules with distinct graph structure
+    under SPADE.
+    """
+    background = Program(
+        name="race_bg",
+        ops=(Op("open", ("seed.txt", "O_RDWR"), result="fd"),),
+        setup=(create_file("seed.txt"),),
+    )
+    return NondetProgram(
+        name="race",
+        background=background,
+        schedules=(
+            (Op("creat", ("a.txt", 0o644), result="x"),),
+            (
+                Op("creat", ("a.txt", 0o644), result="x"),
+                Op("link", ("a.txt", "b.txt")),
+            ),
+        ),
+    )
+
+
+class TestFingerprinting:
+    def test_classes_group_by_signature(self, volatile_pair):
+        g1, g2 = volatile_pair
+        other = g1.copy()
+        other.add_node("extra", "File")
+        classes = NondetProvMark.fingerprint_classes([g1, other, g2])
+        assert sorted(len(c) for c in classes) == [1, 2]
+
+
+class TestNondetPipeline:
+    def test_both_schedules_observed_and_benchmarked(self, racy_program):
+        runner = NondetProvMark(tool="spade", trials=12, seed=4)
+        outcome = runner.run_benchmark(racy_program)
+        assert outcome.possible_schedules == 2
+        assert outcome.observed_schedules == 2
+        assert outcome.complete
+        # Each schedule's benchmark shows real structure.
+        sizes = sorted(
+            s.result.target_graph.size for s in outcome.schedules
+        )
+        assert sizes[0] > 0
+        assert sizes[1] > sizes[0]  # the link schedule adds structure
+        for schedule in outcome.schedules:
+            assert schedule.result.classification is Classification.OK
+            assert schedule.trials_in_class >= 2
+
+    def test_schedule_classes_partition_trials(self, racy_program):
+        runner = NondetProvMark(tool="spade", trials=10, seed=4)
+        outcome = runner.run_benchmark(racy_program)
+        counted = sum(s.trials_in_class for s in outcome.schedules)
+        assert counted + outcome.unmatched_trials == outcome.total_trials
+
+    def test_few_trials_may_miss_schedules(self, racy_program):
+        """With very few trials, completeness is not guaranteed —
+        the paper's warning about exponential schedule spaces."""
+        observed = set()
+        for seed in range(6):
+            runner = NondetProvMark(tool="spade", trials=4, seed=seed)
+            outcome = runner.run_benchmark(racy_program)
+            observed.add(outcome.observed_schedules)
+        assert 1 in observed or any(
+            runner_seen < 2 for runner_seen in observed
+        )
+
+    def test_minimum_trials_enforced(self):
+        with pytest.raises(ValueError):
+            NondetProvMark(trials=2)
+
+    def test_works_under_camflow(self, racy_program):
+        runner = NondetProvMark(tool="camflow", trials=12, seed=9)
+        outcome = runner.run_benchmark(racy_program)
+        assert outcome.observed_schedules >= 1
+        assert all(
+            s.result.classification is Classification.OK
+            for s in outcome.schedules
+        )

@@ -1,0 +1,71 @@
+"""Regression-store tests (Charlie's workflow)."""
+
+import pytest
+
+from repro import PipelineConfig, ProvMark
+from repro.capture.spade import SpadeCapture, SpadeConfig
+from repro.core.regression import RegressionStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    return RegressionStore(tmp_path / "baselines")
+
+
+@pytest.fixture
+def open_result():
+    return ProvMark(tool="spade", seed=77).run_benchmark("open")
+
+
+class TestStore:
+    def test_new_result_reported_and_saved(self, store, open_result):
+        report = store.check_and_update(open_result)
+        assert report.status == "new"
+        assert store.baselines() == ["spade__open"]
+
+    def test_baseline_roundtrip(self, store, open_result):
+        store.save(open_result)
+        loaded = store.load("spade", "open")
+        assert loaded is not None
+        assert loaded.node_count == open_result.target_graph.node_count
+
+    def test_missing_baseline_returns_none(self, store):
+        assert store.load("spade", "ghost") is None
+
+
+class TestCheck:
+    def test_unchanged_across_different_seeds(self, store, open_result):
+        store.save(open_result)
+        rerun = ProvMark(tool="spade", seed=123456).run_benchmark("open")
+        report = store.check(rerun)
+        assert report.status == "unchanged"
+
+    def test_structural_change_detected(self, store, open_result):
+        store.save(open_result)
+        changed = ProvMark(
+            capture=SpadeCapture(SpadeConfig(versioning=True)),
+            config=PipelineConfig(tool="spade", seed=77),
+        ).run_benchmark("write")
+        baseline = ProvMark(tool="spade", seed=77).run_benchmark("write")
+        store.save(baseline)
+        report = store.check(changed)
+        assert report.status == "changed"
+        assert "structure drifted" in report.detail
+
+    def test_accept_changes_replaces_baseline(self, store):
+        baseline = ProvMark(tool="spade", seed=77).run_benchmark("write")
+        store.save(baseline)
+        upgraded = ProvMark(
+            capture=SpadeCapture(SpadeConfig(versioning=True)),
+            config=PipelineConfig(tool="spade", seed=77),
+        )
+        changed_result = upgraded.run_benchmark("write")
+        report = store.check_and_update(changed_result, accept_changes=True)
+        assert report.status == "changed"
+        after = store.check(upgraded.run_benchmark("write"))
+        assert after.status == "unchanged"
+
+    def test_tools_namespaced_separately(self, store, open_result):
+        store.save(open_result)
+        camflow_result = ProvMark(tool="camflow", seed=77).run_benchmark("open")
+        assert store.check(camflow_result).status == "new"

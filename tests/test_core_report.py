@@ -1,0 +1,47 @@
+"""HTML/text report tests."""
+
+import pytest
+
+from repro import ProvMark
+from repro.core.report import render_html, render_text, write_html
+
+
+@pytest.fixture(scope="module")
+def results():
+    provmark = ProvMark(tool="spade", seed=44)
+    return [provmark.run_benchmark(name) for name in ("open", "dup")]
+
+
+class TestHtml:
+    def test_page_structure(self, results):
+        page = render_html(results)
+        assert page.startswith("<!DOCTYPE html>")
+        assert "<table>" in page
+        assert "open" in page and "dup" in page
+
+    def test_classification_classes(self, results):
+        page = render_html(results)
+        assert 'class="ok"' in page
+        assert 'class="empty"' in page
+
+    def test_dot_sources_embedded(self, results):
+        page = render_html(results)
+        assert "digraph" in page
+
+    def test_html_escaped(self, results):
+        page = render_html(results)
+        assert "<script>" not in page
+
+    def test_write_html_creates_parents(self, results, tmp_path):
+        target = write_html(results, tmp_path / "deep" / "index.html")
+        assert target.exists()
+        assert "ProvMark" in target.read_text()
+
+
+class TestText:
+    def test_one_line_per_result(self, results):
+        text = render_text(results)
+        lines = text.strip().splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("open/spade: ok")
+        assert "empty" in lines[1]

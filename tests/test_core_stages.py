@@ -1,0 +1,182 @@
+"""Tests for the four pipeline stages in isolation."""
+
+import random
+
+import pytest
+
+from repro.capture.camflow import CamFlowCapture, CamFlowConfig
+from repro.capture.opus import OpusCapture
+from repro.capture.spade import SpadeCapture
+from repro.core.compare import ComparisonError, compare
+from repro.core.generalize import (
+    GeneralizationError,
+    filter_incomplete,
+    generalize_trials,
+)
+from repro.core.recording import Recorder
+from repro.core.transform import TransformError, supported_formats, transform
+from repro.graph.model import PropertyGraph
+from repro.storage.neo4jsim import Neo4jSim
+from repro.suite.registry import get_benchmark
+
+
+class TestRecording:
+    def test_records_requested_trials(self):
+        recorder = Recorder(SpadeCapture(), trials=3, seed=1)
+        session = recorder.record(get_benchmark("open"))
+        assert len(session.foreground_trials) == 3
+        assert len(session.background_trials) == 3
+
+    def test_trial_seeds_distinct(self):
+        recorder = Recorder(SpadeCapture(), trials=4, seed=1)
+        session = recorder.record(get_benchmark("open"))
+        seeds = [t.seed for t in session.foreground_trials]
+        assert len(set(seeds)) == 4
+
+    def test_minimum_two_trials(self):
+        with pytest.raises(ValueError):
+            Recorder(SpadeCapture(), trials=1)
+
+    def test_virtual_recording_time_reported(self):
+        recorder = Recorder(SpadeCapture(), trials=2, seed=1)
+        session = recorder.record(get_benchmark("open"))
+        # 4 trials at ~20s each (±10% jitter)
+        assert 70 < session.virtual_seconds < 90
+
+    def test_truncation_garbles_trial_graphs(self):
+        clean = Recorder(SpadeCapture(), trials=6, seed=9).record(
+            get_benchmark("open")
+        )
+        garbled = Recorder(
+            SpadeCapture(), trials=6, seed=9, truncation_rate=1.0
+        ).record(get_benchmark("open"))
+        clean_sizes = [
+            transform(t.raw, "dot").size for t in clean.foreground_trials
+        ]
+        garbled_sizes = [
+            transform(t.raw, "dot").size for t in garbled.foreground_trials
+        ]
+        assert max(garbled_sizes) < min(clean_sizes)
+
+
+class TestTransform:
+    def test_supported_formats(self):
+        assert supported_formats() == ("dot", "neo4j", "provjson")
+
+    def test_unknown_format_raises(self):
+        with pytest.raises(TransformError):
+            transform("x", "xml")
+
+    def test_type_mismatch_raises(self):
+        with pytest.raises(TransformError):
+            transform(Neo4jSim(), "dot")
+        with pytest.raises(TransformError):
+            transform("text", "neo4j")
+
+    def test_each_tool_output_transforms(self):
+        program = get_benchmark("open")
+        for capture in (SpadeCapture(), OpusCapture(), CamFlowCapture()):
+            session = Recorder(capture, trials=2, seed=3).record(program)
+            graph = transform(
+                session.foreground_trials[0].raw, capture.output_format
+            )
+            assert graph.node_count > 0
+            assert graph.edge_count > 0
+
+    def test_neo4j_store_closed_after_transform(self):
+        capture = OpusCapture()
+        session = Recorder(capture, trials=2, seed=3).record(
+            get_benchmark("open")
+        )
+        store = session.foreground_trials[0].raw
+        transform(store, "neo4j")
+        assert not store.is_open
+
+
+class TestGeneralize:
+    def test_volatile_values_removed(self, volatile_pair):
+        outcome = generalize_trials(list(volatile_pair))
+        assert outcome.graph.node("a").prop("time") is None
+        assert outcome.graph.node("a").prop("path") == "/tmp/x"
+        assert outcome.discarded == 0
+
+    def test_singletons_discarded(self, volatile_pair):
+        g1, g2 = volatile_pair
+        outlier = PropertyGraph()
+        outlier.add_node("weird", "Agent")
+        outcome = generalize_trials([g1, outlier, g2])
+        assert outcome.discarded == 1
+
+    def test_no_consistent_pair_raises(self):
+        g1 = PropertyGraph()
+        g1.add_node("a", "X")
+        g2 = PropertyGraph()
+        g2.add_node("a", "Y")
+        with pytest.raises(GeneralizationError):
+            generalize_trials([g1, g2])
+
+    def test_needs_two_graphs(self, volatile_pair):
+        with pytest.raises(GeneralizationError):
+            generalize_trials([volatile_pair[0]])
+
+    def test_smallest_consistent_class_chosen(self, volatile_pair):
+        g1, g2 = volatile_pair
+        big1, big2 = g1.copy(), g2.copy()
+        big1.add_node("x1", "Extra")
+        big2.add_node("x1", "Extra")
+        outcome = generalize_trials([big1, g1, big2, g2])
+        assert outcome.graph.node_count == 2  # smallest pair wins
+
+    def test_filter_incomplete_drops_machine_nodes(self, volatile_pair):
+        g1, g2 = volatile_pair
+        jittered = g1.copy()
+        jittered.add_node("m", "machine")
+        kept = filter_incomplete([g1, jittered, g2])
+        assert len(kept) == 2
+
+    def test_filtergraphs_rescues_generalization(self, volatile_pair):
+        g1, g2 = volatile_pair
+        jittered = g1.copy()
+        jittered.add_node("m", "machine")
+        # Without filtering: three classes of sizes 2,1 -> works but counts
+        # the jittered one discarded; with both jittered we need the filter.
+        j2 = g2.copy()
+        j2.add_node("m", "machine", {"id": "other"})
+        outcome = generalize_trials(
+            [jittered, j2, g1, g2], filtergraphs=True
+        )
+        assert outcome.discarded == 2
+        assert outcome.graph.node_count == 2
+
+    def test_asp_engine_generalizes_identically(self, volatile_pair):
+        native = generalize_trials(list(volatile_pair), engine="native")
+        asp = generalize_trials(list(volatile_pair), engine="asp")
+        assert native.graph == asp.graph
+
+
+class TestCompare:
+    def test_target_extracted(self, tiny_graph):
+        fg = tiny_graph.copy()
+        fg.add_node("n3", "File")
+        fg.add_edge("e2", "n2", "n3", "WasGeneratedBy")
+        outcome = compare(fg, tiny_graph)
+        assert not outcome.is_empty
+        assert outcome.target.node_count == 2
+
+    def test_empty_difference(self, tiny_graph):
+        outcome = compare(tiny_graph.copy(), tiny_graph.copy())
+        assert outcome.is_empty
+
+    def test_unembeddable_background_raises(self, tiny_graph):
+        background = tiny_graph.copy()
+        background.add_node("extra", "Agent")
+        with pytest.raises(ComparisonError):
+            compare(tiny_graph, background)
+
+    def test_asp_engine_agrees(self, tiny_graph):
+        fg = tiny_graph.copy()
+        fg.add_node("n3", "File")
+        fg.add_edge("e2", "n2", "n3", "WasGeneratedBy")
+        native = compare(fg, tiny_graph, engine="native")
+        asp = compare(fg, tiny_graph, engine="asp")
+        assert native.target.structural_signature() == asp.target.structural_signature()

@@ -1,0 +1,177 @@
+"""Unit tests for the property-graph model."""
+
+import pytest
+
+from repro.graph.model import GraphError, PropertyGraph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = PropertyGraph()
+        assert graph.node_count == 0
+        assert graph.edge_count == 0
+        assert graph.size == 0
+        assert graph.is_empty()
+
+    def test_add_node_and_edge(self, tiny_graph):
+        assert tiny_graph.node_count == 2
+        assert tiny_graph.edge_count == 1
+        assert tiny_graph.size == 3
+        assert not tiny_graph.is_empty()
+
+    def test_node_lookup(self, tiny_graph):
+        node = tiny_graph.node("n1")
+        assert node.label == "File"
+        assert node.prop("Userid") == "1"
+        assert node.prop("missing") is None
+        assert node.prop("missing", "dflt") == "dflt"
+
+    def test_edge_lookup(self, tiny_graph):
+        edge = tiny_graph.edge("e1")
+        assert (edge.src, edge.tgt, edge.label) == ("n1", "n2", "Used")
+
+    def test_duplicate_node_id_rejected(self, tiny_graph):
+        with pytest.raises(GraphError):
+            tiny_graph.add_node("n1", "File")
+
+    def test_node_edge_namespaces_disjoint(self, tiny_graph):
+        with pytest.raises(GraphError):
+            tiny_graph.add_node("e1", "File")
+        with pytest.raises(GraphError):
+            tiny_graph.add_edge("n1", "n1", "n2", "Used")
+
+    def test_edge_with_unknown_endpoint_rejected(self, tiny_graph):
+        with pytest.raises(GraphError):
+            tiny_graph.add_edge("e2", "n1", "nope", "Used")
+        with pytest.raises(GraphError):
+            tiny_graph.add_edge("e3", "nope", "n1", "Used")
+
+    def test_unknown_lookups_raise(self, tiny_graph):
+        with pytest.raises(GraphError):
+            tiny_graph.node("zzz")
+        with pytest.raises(GraphError):
+            tiny_graph.edge("zzz")
+
+    def test_multigraph_parallel_edges(self):
+        graph = PropertyGraph()
+        graph.add_node("a", "X")
+        graph.add_node("b", "X")
+        graph.add_edge("e1", "a", "b", "r")
+        graph.add_edge("e2", "a", "b", "r")
+        assert graph.edge_count == 2
+
+    def test_self_loop(self):
+        graph = PropertyGraph()
+        graph.add_node("a", "X")
+        graph.add_edge("e", "a", "a", "self")
+        assert graph.degree("a") == 2
+
+
+class TestMutation:
+    def test_set_prop_on_node(self, tiny_graph):
+        tiny_graph.set_prop("n1", "Name", "other")
+        assert tiny_graph.node("n1").prop("Name") == "other"
+
+    def test_set_prop_on_edge(self, tiny_graph):
+        tiny_graph.set_prop("e1", "time", "5")
+        assert tiny_graph.edge("e1").prop("time") == "5"
+
+    def test_set_prop_unknown_element(self, tiny_graph):
+        with pytest.raises(GraphError):
+            tiny_graph.set_prop("zzz", "k", "v")
+
+    def test_remove_edge(self, tiny_graph):
+        tiny_graph.remove_edge("e1")
+        assert tiny_graph.edge_count == 0
+        assert tiny_graph.out_edges("n1") == []
+
+    def test_remove_node_cascades_edges(self, tiny_graph):
+        tiny_graph.remove_node("n1")
+        assert tiny_graph.node_count == 1
+        assert tiny_graph.edge_count == 0
+
+    def test_remove_unknown_raises(self, tiny_graph):
+        with pytest.raises(GraphError):
+            tiny_graph.remove_node("zzz")
+        with pytest.raises(GraphError):
+            tiny_graph.remove_edge("zzz")
+
+
+class TestAccessors:
+    def test_adjacency(self, diamond_graph):
+        out = {e.id for e in diamond_graph.out_edges("top")}
+        assert out == {"e1", "e2"}
+        incoming = {e.id for e in diamond_graph.in_edges("bottom")}
+        assert incoming == {"e3", "e4"}
+        assert diamond_graph.degree("top") == 2
+        assert diamond_graph.degree("left") == 2
+
+    def test_element_props(self, tiny_graph):
+        assert tiny_graph.element_props("n1")["Name"] == "text"
+        assert tiny_graph.element_props("e1") == {}
+        with pytest.raises(GraphError):
+            tiny_graph.element_props("zzz")
+
+    def test_label_histogram(self, diamond_graph):
+        hist = diamond_graph.label_histogram()
+        assert hist["B"] == 2
+        assert hist["x"] == 2
+        assert hist["y"] == 2
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self, tiny_graph):
+        clone = tiny_graph.copy()
+        clone.set_prop("n1", "Name", "changed")
+        assert tiny_graph.node("n1").prop("Name") == "text"
+        assert clone == clone.copy()
+
+    def test_copy_equality(self, tiny_graph):
+        assert tiny_graph.copy() == tiny_graph
+        other = tiny_graph.copy()
+        other.set_prop("n1", "Name", "changed")
+        assert other != tiny_graph
+
+    def test_subgraph(self, diamond_graph):
+        sub = diamond_graph.subgraph(["top", "left"], ["e1"])
+        assert sub.node_count == 2
+        assert sub.edge_count == 1
+
+    def test_subgraph_dangling_edge_rejected(self, diamond_graph):
+        with pytest.raises(GraphError):
+            diamond_graph.subgraph(["top"], ["e3"])
+
+    def test_relabel_preserves_structure(self, diamond_graph):
+        relabeled = diamond_graph.relabel("z")
+        assert relabeled.node_count == diamond_graph.node_count
+        assert relabeled.edge_count == diamond_graph.edge_count
+        assert (
+            relabeled.structural_signature()
+            == diamond_graph.structural_signature()
+        )
+        assert all(n.id.startswith("z") for n in relabeled.nodes())
+
+
+class TestSignature:
+    def test_signature_invariant_under_relabeling(self, diamond_graph):
+        assert (
+            diamond_graph.relabel("a").structural_signature()
+            == diamond_graph.relabel("b").structural_signature()
+        )
+
+    def test_signature_differs_on_label_change(self, diamond_graph):
+        other = diamond_graph.copy()
+        other.remove_node("bottom")
+        other.add_node("bottom", "DIFFERENT")
+        assert (
+            other.structural_signature()
+            != diamond_graph.structural_signature()
+        )
+
+    def test_signature_differs_on_extra_edge(self, diamond_graph):
+        other = diamond_graph.copy()
+        other.add_edge("extra", "top", "bottom", "x")
+        assert (
+            other.structural_signature()
+            != diamond_graph.structural_signature()
+        )

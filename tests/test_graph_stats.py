@@ -1,0 +1,50 @@
+"""Graph statistics tests."""
+
+from repro.graph.model import PropertyGraph
+from repro.graph.stats import connected_components, degree_sequence, summarize
+
+
+class TestComponents:
+    def test_empty(self):
+        assert connected_components(PropertyGraph()) == 0
+
+    def test_single_node(self):
+        graph = PropertyGraph()
+        graph.add_node("a", "X")
+        assert connected_components(graph) == 1
+
+    def test_two_components(self, tiny_graph):
+        tiny_graph.add_node("island", "File")
+        assert connected_components(tiny_graph) == 2
+
+    def test_connected_diamond(self, diamond_graph):
+        assert connected_components(diamond_graph) == 1
+
+    def test_direction_ignored(self):
+        graph = PropertyGraph()
+        graph.add_node("a", "X")
+        graph.add_node("b", "X")
+        graph.add_edge("e", "b", "a", "r")
+        assert connected_components(graph) == 1
+
+
+class TestSummary:
+    def test_empty_summary(self):
+        summary = summarize(PropertyGraph())
+        assert summary.describe() == "Empty"
+        assert summary.components == 0
+
+    def test_counts_and_histograms(self, diamond_graph):
+        summary = summarize(diamond_graph)
+        assert summary.nodes == 4
+        assert summary.edges == 4
+        assert dict(summary.node_labels)["B"] == 2
+        assert dict(summary.edge_labels)["x"] == 2
+        assert summary.components == 1
+
+    def test_describe_mentions_components(self, tiny_graph):
+        tiny_graph.add_node("island", "File")
+        assert "[2 components]" in summarize(tiny_graph).describe()
+
+    def test_degree_sequence(self, diamond_graph):
+        assert degree_sequence(diamond_graph) == [2, 2, 2, 2]

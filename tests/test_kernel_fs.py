@@ -1,0 +1,179 @@
+"""Filesystem substrate tests: paths, permissions, links."""
+
+import pytest
+
+from repro.kernel import Kernel
+from repro.kernel.errors import Errno, KernelError
+from repro.kernel.fs import FileSystem, InodeType
+
+
+@pytest.fixture
+def kernel() -> Kernel:
+    return Kernel(seed=1)
+
+
+@pytest.fixture
+def fs(kernel) -> FileSystem:
+    return kernel.fs
+
+
+class TestPathHandling:
+    def test_normalize_absolute(self, fs):
+        assert fs.normalize("/a/b/../c/./d") == "/a/c/d"
+        assert fs.normalize("//a///b") == "/a/b"
+        assert fs.normalize("/..") == "/"
+
+    def test_normalize_relative_uses_cwd(self, fs):
+        assert fs.normalize("x.txt", cwd="/home/bench") == "/home/bench/x.txt"
+        assert fs.normalize("../up", cwd="/home/bench") == "/home/up"
+
+    def test_split(self, fs):
+        assert fs.split("/etc/passwd") == ("/etc", "passwd")
+        assert fs.split("/top") == ("/", "top")
+
+    def test_resolve_root(self, fs):
+        assert fs.resolve("/").type is InodeType.DIRECTORY
+
+    def test_resolve_missing_raises_enoent(self, fs):
+        with pytest.raises(KernelError) as err:
+            fs.resolve("/no/such/path")
+        assert err.value.errno is Errno.ENOENT
+
+    def test_resolve_through_file_raises_enotdir(self, fs):
+        with pytest.raises(KernelError) as err:
+            fs.resolve("/etc/passwd/sub")
+        assert err.value.errno is Errno.ENOTDIR
+
+
+class TestBootFilesystem:
+    def test_standard_layout_exists(self, fs):
+        for path in ("/etc/passwd", "/lib/libc.so.6", "/bin/sh", "/tmp"):
+            assert fs.exists(path)
+
+    def test_etc_shadow_is_root_only(self, fs):
+        shadow = fs.resolve("/etc/shadow")
+        assert shadow.mode == 0o600
+        assert shadow.uid == 0
+
+    def test_bench_home_owned_by_bench(self, fs):
+        home = fs.resolve("/home/bench")
+        assert home.uid == 1000
+
+
+class TestPermissions:
+    def test_owner_bits(self, fs):
+        inode = fs.write_file("/tmp/own.txt", mode=0o600, uid=7, gid=7)
+        assert fs.may_access(inode, 7, 7, 6)
+        assert not fs.may_access(inode, 8, 7, 2)  # group has no bits
+
+    def test_group_bits(self, fs):
+        inode = fs.write_file("/tmp/grp.txt", mode=0o060, uid=7, gid=9)
+        assert fs.may_access(inode, 8, 9, 6)
+        assert not fs.may_access(inode, 8, 10, 4)
+
+    def test_other_bits(self, fs):
+        inode = fs.write_file("/tmp/oth.txt", mode=0o004, uid=7, gid=7)
+        assert fs.may_access(inode, 8, 8, 4)
+        assert not fs.may_access(inode, 8, 8, 2)
+
+    def test_root_bypasses_rw(self, fs):
+        inode = fs.write_file("/tmp/locked.txt", mode=0o000, uid=7, gid=7)
+        assert fs.may_access(inode, 0, 0, 6)
+
+    def test_root_needs_some_x_bit_for_exec(self, fs):
+        inode = fs.write_file("/tmp/noexec", mode=0o644)
+        assert not fs.may_access(inode, 0, 0, 1)
+        inode.mode = 0o755
+        assert fs.may_access(inode, 0, 0, 1)
+
+    def test_traversal_requires_execute(self, fs):
+        fs.mkdir("/closed", mode=0o700)
+        fs.write_file("/closed/secret.txt", mode=0o644)
+        with pytest.raises(KernelError) as err:
+            fs.resolve("/closed/secret.txt", euid=1000, egid=1000)
+        assert err.value.errno is Errno.EACCES
+
+
+class TestLinks:
+    def test_hard_link_shares_inode(self, fs):
+        original = fs.write_file("/tmp/a.txt", b"data")
+        parent, _ = fs.lookup_parent("/tmp/b.txt")
+        fs.link_entry(parent, "b.txt", original)
+        assert fs.resolve("/tmp/b.txt").ino == original.ino
+        assert original.nlink == 2
+
+    def test_hard_link_to_directory_rejected(self, fs):
+        directory = fs.resolve("/tmp")
+        parent, _ = fs.lookup_parent("/dirlink")
+        with pytest.raises(KernelError) as err:
+            fs.link_entry(parent, "dirlink", directory)
+        assert err.value.errno is Errno.EPERM
+
+    def test_duplicate_name_rejected(self, fs):
+        fs.write_file("/tmp/dup.txt")
+        parent, _ = fs.lookup_parent("/tmp/dup.txt")
+        with pytest.raises(KernelError) as err:
+            fs.create_entry(parent, "dup.txt", InodeType.REGULAR, 0o644, 0, 0)
+        assert err.value.errno is Errno.EEXIST
+
+    def test_unlink_decrements_nlink(self, fs):
+        inode = fs.write_file("/tmp/x.txt")
+        parent, name = fs.lookup_parent("/tmp/x.txt")
+        fs.link_entry(parent, "y.txt", inode)
+        fs.unlink_entry(parent, "x.txt")
+        assert inode.nlink == 1
+        assert not fs.exists("/tmp/x.txt")
+        assert fs.exists("/tmp/y.txt")
+
+    def test_unlink_directory_rejected(self, fs):
+        fs.mkdir("/tmp/subdir")
+        parent, _ = fs.lookup_parent("/tmp/subdir")
+        with pytest.raises(KernelError) as err:
+            fs.unlink_entry(parent, "subdir")
+        assert err.value.errno is Errno.EISDIR
+
+
+class TestSymlinks:
+    def test_symlink_followed(self, fs):
+        target = fs.write_file("/tmp/target.txt", b"real")
+        parent, _ = fs.lookup_parent("/tmp/lnk")
+        link = fs.create_entry(parent, "lnk", InodeType.SYMLINK, 0o777, 0, 0)
+        link.symlink_target = "/tmp/target.txt"
+        assert fs.resolve("/tmp/lnk").ino == target.ino
+
+    def test_symlink_not_followed_when_asked(self, fs):
+        fs.write_file("/tmp/target.txt")
+        parent, _ = fs.lookup_parent("/tmp/lnk")
+        link = fs.create_entry(parent, "lnk", InodeType.SYMLINK, 0o777, 0, 0)
+        link.symlink_target = "/tmp/target.txt"
+        resolved = fs.resolve("/tmp/lnk", follow=False)
+        assert resolved.type is InodeType.SYMLINK
+
+    def test_relative_symlink(self, fs):
+        fs.write_file("/tmp/target.txt")
+        parent, _ = fs.lookup_parent("/tmp/rel")
+        link = fs.create_entry(parent, "rel", InodeType.SYMLINK, 0o777, 0, 0)
+        link.symlink_target = "target.txt"
+        assert fs.exists("/tmp/rel")
+
+    def test_symlink_loop_detected(self, fs):
+        parent, _ = fs.lookup_parent("/tmp/loop")
+        link = fs.create_entry(parent, "loop", InodeType.SYMLINK, 0o777, 0, 0)
+        link.symlink_target = "/tmp/loop"
+        with pytest.raises(KernelError) as err:
+            fs.resolve("/tmp/loop")
+        assert err.value.errno is Errno.ELOOP
+
+
+class TestVersioning:
+    def test_write_file_bumps_version(self, fs):
+        inode = fs.write_file("/tmp/v.txt", b"one")
+        version = inode.version
+        fs.write_file("/tmp/v.txt", b"two")
+        assert inode.version > version
+
+    def test_mode_string(self, fs):
+        inode = fs.write_file("/tmp/m.txt", mode=0o644)
+        assert fs.mode_string(inode) == "-rw-r--r--"
+        directory = fs.resolve("/tmp")
+        assert fs.mode_string(directory).startswith("d")

@@ -1,0 +1,135 @@
+"""Tests for the directory/offset/metadata syscalls."""
+
+import pytest
+
+from repro.kernel import Credentials, Kernel
+from repro.kernel.errors import Errno
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(seed=7)
+
+
+@pytest.fixture
+def proc(kernel):
+    process = kernel.process(kernel.sys_fork(kernel.shell))
+    process.creds = Credentials.for_user(0, 0)
+    process.cwd = "/tmp"
+    return process
+
+
+@pytest.fixture
+def user_proc(kernel):
+    process = kernel.process(kernel.sys_fork(kernel.shell))
+    process.creds = Credentials.for_user(1000, 1000)
+    process.cwd = "/tmp"
+    return process
+
+
+class TestDirectories:
+    def test_mkdir_creates(self, kernel, proc):
+        assert kernel.sys_mkdir(proc, "newdir") == 0
+        assert kernel.fs.exists("/tmp/newdir")
+
+    def test_mkdir_existing_fails(self, kernel, proc):
+        kernel.sys_mkdir(proc, "d")
+        assert kernel.sys_mkdir(proc, "d") == -1
+        assert kernel.trace.audit[-1].errno == "EEXIST"
+
+    def test_mkdir_denied_in_protected_dir(self, kernel, user_proc):
+        assert kernel.sys_mkdir(user_proc, "/etc/newdir") == -1
+        assert kernel.trace.audit[-1].errno == "EACCES"
+
+    def test_rmdir_removes_empty(self, kernel, proc):
+        kernel.sys_mkdir(proc, "victim")
+        assert kernel.sys_rmdir(proc, "victim") == 0
+        assert not kernel.fs.exists("/tmp/victim")
+
+    def test_rmdir_nonempty_fails(self, kernel, proc):
+        kernel.sys_mkdir(proc, "full")
+        kernel.fs.write_file("/tmp/full/file.txt")
+        assert kernel.sys_rmdir(proc, "full") == -1
+        assert kernel.trace.audit[-1].errno == "ENOTEMPTY"
+
+    def test_rmdir_on_file_fails(self, kernel, proc):
+        kernel.fs.write_file("/tmp/plain.txt")
+        assert kernel.sys_rmdir(proc, "plain.txt") == -1
+        assert kernel.trace.audit[-1].errno == "ENOTDIR"
+
+    def test_mkdir_emits_hook(self, kernel, proc):
+        kernel.sys_mkdir(proc, "hooked")
+        assert any(e.hook == "inode_mkdir" for e in kernel.trace.lsm)
+
+
+class TestChdir:
+    def test_chdir_changes_cwd(self, kernel, proc):
+        kernel.sys_mkdir(proc, "work")
+        assert kernel.sys_chdir(proc, "work") == 0
+        assert proc.cwd == "/tmp/work"
+
+    def test_relative_paths_follow_cwd(self, kernel, proc):
+        kernel.sys_mkdir(proc, "work")
+        kernel.sys_chdir(proc, "work")
+        kernel.sys_creat(proc, "here.txt")
+        assert kernel.fs.exists("/tmp/work/here.txt")
+
+    def test_chdir_to_file_fails(self, kernel, proc):
+        kernel.fs.write_file("/tmp/f.txt")
+        assert kernel.sys_chdir(proc, "f.txt") == -1
+
+    def test_chdir_denied_without_execute(self, kernel, user_proc):
+        kernel.fs.mkdir("/tmp/closed", mode=0o700)
+        assert kernel.sys_chdir(user_proc, "closed") == -1
+
+    def test_getcwd_reports(self, kernel, proc):
+        kernel.sys_getcwd(proc)
+        assert kernel.last_objects[0].path == "/tmp"
+
+
+class TestLseek:
+    def test_seek_set_cur_end(self, kernel, proc):
+        kernel.fs.write_file("/tmp/s.txt", b"0123456789")
+        fd = kernel.sys_open(proc, "s.txt", "O_RDWR")
+        assert kernel.sys_lseek(proc, fd, 4, "SEEK_SET") == 4
+        assert kernel.sys_lseek(proc, fd, 2, "SEEK_CUR") == 6
+        assert kernel.sys_lseek(proc, fd, -1, "SEEK_END") == 9
+
+    def test_seek_affects_read(self, kernel, proc):
+        inode = kernel.fs.write_file("/tmp/s.txt", b"abcdef")
+        fd = kernel.sys_open(proc, "s.txt", "O_RDWR")
+        kernel.sys_lseek(proc, fd, 3, "SEEK_SET")
+        assert kernel.sys_read(proc, fd, 10) == 3
+
+    def test_negative_offset_rejected(self, kernel, proc):
+        kernel.fs.write_file("/tmp/s.txt", b"abc")
+        fd = kernel.sys_open(proc, "s.txt", "O_RDWR")
+        assert kernel.sys_lseek(proc, fd, -5, "SEEK_SET") == -1
+
+    def test_seek_on_pipe_is_espipe(self, kernel, proc):
+        kernel.sys_pipe(proc)
+        fds = {o.role: o.fd for o in kernel.last_objects}
+        assert kernel.sys_lseek(proc, fds["read_end"], 0, "SEEK_SET") == -1
+        assert kernel.trace.audit[-1].errno == "ESPIPE"
+
+
+class TestStat:
+    def test_stat_reports_object(self, kernel, proc):
+        kernel.fs.write_file("/tmp/meta.txt", b"xyz")
+        assert kernel.sys_stat(proc, "meta.txt") == 0
+        obj = kernel.last_objects[0]
+        assert obj.path == "/tmp/meta.txt"
+        assert obj.mode is not None
+
+    def test_stat_missing(self, kernel, proc):
+        assert kernel.sys_stat(proc, "ghost.txt") == -1
+
+    def test_fstat_on_pipe(self, kernel, proc):
+        kernel.sys_pipe(proc)
+        fds = {o.role: o.fd for o in kernel.last_objects}
+        assert kernel.sys_fstat(proc, fds["read_end"]) == 0
+        assert kernel.last_objects[0].kind == "pipe"
+
+    def test_umask_returns_previous(self, kernel, proc):
+        assert kernel.sys_umask(proc, 0o027) == 0o022
+        assert kernel.sys_umask(proc, 0o022) == 0o027

@@ -1,0 +1,202 @@
+"""Property-based tests on core invariants (hypothesis).
+
+Covers: the native matcher cross-checked against networkx's VF2, the
+generalization/subtraction algebra, kernel filesystem invariants, and the
+pipeline's determinism guarantees.
+"""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.datalog import datalog_to_graph, graph_to_datalog
+from repro.graph.model import PropertyGraph
+from repro.kernel import Kernel
+from repro.kernel.errors import KernelError
+from repro.solver.native import (
+    are_similar,
+    embed_subgraph,
+    find_isomorphism,
+    generalize_pair,
+    subtract_background,
+)
+
+
+# -- random graph strategy ----------------------------------------------------
+
+@st.composite
+def graphs(draw, max_nodes=6, labels=("A", "B", "C")):
+    count = draw(st.integers(min_value=0, max_value=max_nodes))
+    graph = PropertyGraph("r")
+    for index in range(count):
+        props = {}
+        if draw(st.booleans()):
+            props["k"] = draw(st.sampled_from(["1", "2", "3"]))
+        graph.add_node(f"n{index}", draw(st.sampled_from(labels)), props)
+    if count:
+        edge_count = draw(st.integers(min_value=0, max_value=2 * count))
+        for index in range(edge_count):
+            graph.add_edge(
+                f"e{index}",
+                f"n{draw(st.integers(0, count - 1))}",
+                f"n{draw(st.integers(0, count - 1))}",
+                draw(st.sampled_from(["r", "s"])),
+            )
+    return graph
+
+
+def to_networkx(graph: PropertyGraph) -> nx.MultiDiGraph:
+    out = nx.MultiDiGraph()
+    for node in graph.nodes():
+        out.add_node(node.id, label=node.label)
+    for edge in graph.edges():
+        out.add_edge(edge.src, edge.tgt, label=edge.label)
+    return out
+
+
+class TestAgainstNetworkx:
+    """Our structure-only isomorphism must agree with networkx's VF2."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(g1=graphs(), g2=graphs())
+    def test_similarity_matches_vf2(self, g1, g2):
+        expected = nx.is_isomorphic(
+            to_networkx(g1), to_networkx(g2),
+            node_match=lambda a, b: a["label"] == b["label"],
+            edge_match=lambda a, b: sorted(
+                d["label"] for d in a.values()
+            ) == sorted(d["label"] for d in b.values()),
+        )
+        assert are_similar(g1, g2) == expected
+
+    @settings(max_examples=50, deadline=None)
+    @given(g=graphs())
+    def test_relabeled_always_isomorphic(self, g):
+        assert are_similar(g, g.relabel("z"))
+
+
+class TestMatchingAlgebra:
+    @settings(max_examples=50, deadline=None)
+    @given(g=graphs())
+    def test_generalization_is_idempotent_on_identical_graphs(self, g):
+        generalized = generalize_pair(g, g.copy())
+        assert generalized is not None
+        assert generalized == g
+
+    @settings(max_examples=50, deadline=None)
+    @given(g=graphs())
+    def test_self_subtraction_is_empty(self, g):
+        difference = subtract_background(g.copy(), g.copy())
+        assert difference is not None
+        assert difference.is_empty()
+
+    @settings(max_examples=50, deadline=None)
+    @given(g=graphs(), extra_label=st.sampled_from(["A", "B"]))
+    def test_single_extra_node_survives_subtraction(self, g, extra_label):
+        fg = g.copy()
+        fg.add_node("extra_node", extra_label, {"marker": "yes"})
+        difference = subtract_background(fg, g)
+        assert difference is not None
+        # Either the added node itself or a structurally identical one
+        # remains — exactly one non-dummy extra element.
+        non_dummy = [n for n in difference.nodes() if n.label != "Dummy"]
+        assert len(non_dummy) == 1
+        assert non_dummy[0].label == extra_label
+
+    @settings(max_examples=40, deadline=None)
+    @given(g=graphs())
+    def test_embedding_cost_zero_against_self(self, g):
+        matching = embed_subgraph(g, g)
+        assert matching is not None and matching.cost == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(g=graphs())
+    def test_datalog_roundtrip_preserves_similarity(self, g):
+        back = datalog_to_graph(graph_to_datalog(g, gid="x"), gid="x")
+        assert are_similar(g, back)
+
+
+class TestKernelInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        names=st.lists(
+            st.from_regex(r"[a-z]{1,8}\.txt", fullmatch=True),
+            min_size=1, max_size=6, unique=True,
+        ),
+        seed=st.integers(0, 10_000),
+    )
+    def test_create_then_unlink_leaves_no_entries(self, names, seed):
+        kernel = Kernel(seed=seed)
+        process = kernel.process(kernel.sys_fork(kernel.shell))
+        process.cwd = "/tmp"
+        for name in names:
+            assert kernel.sys_creat(process, name) >= 0
+        for name in names:
+            assert kernel.sys_unlink(process, name) == 0
+        for name in names:
+            assert not kernel.fs.exists(f"/tmp/{name}")
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        links=st.integers(min_value=1, max_value=6),
+        seed=st.integers(0, 10_000),
+    )
+    def test_nlink_counts_hard_links(self, links, seed):
+        kernel = Kernel(seed=seed)
+        process = kernel.process(kernel.sys_fork(kernel.shell))
+        process.cwd = "/tmp"
+        kernel.sys_creat(process, "base.txt")
+        inode = kernel.fs.resolve("/tmp/base.txt")
+        for index in range(links):
+            assert kernel.sys_link(process, "base.txt", f"l{index}.txt") == 0
+        assert inode.nlink == 1 + links
+        for index in range(links):
+            assert kernel.sys_unlink(process, f"l{index}.txt") == 0
+        assert inode.nlink == 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        data=st.binary(min_size=0, max_size=64),
+        seed=st.integers(0, 10_000),
+    )
+    def test_write_read_roundtrip(self, data, seed):
+        kernel = Kernel(seed=seed)
+        process = kernel.process(kernel.sys_fork(kernel.shell))
+        process.cwd = "/tmp"
+        fd = kernel.sys_creat(process, "io.txt")
+        # creat yields a write-only descriptor; reopen read-write.
+        kernel.sys_close(process, fd)
+        fd = kernel.sys_open(process, "io.txt", "O_RDWR")
+        assert kernel.sys_write(process, fd, data) == len(data)
+        assert kernel.fs.resolve("/tmp/io.txt").data == data
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        components=st.lists(
+            st.sampled_from(["a", "b", "..", ".", "c"]),
+            min_size=0, max_size=8,
+        ),
+    )
+    def test_normalize_is_idempotent(self, components):
+        kernel = Kernel(seed=1)
+        path = "/" + "/".join(components)
+        once = kernel.fs.normalize(path)
+        assert kernel.fs.normalize(once) == once
+        assert once.startswith("/")
+        assert ".." not in once.split("/")
+
+
+class TestPipelineDeterminism:
+    def test_same_seed_bitwise_identical_datalog(self):
+        from repro import ProvMark
+        first = ProvMark(tool="spade", seed=31).run_benchmark("open")
+        second = ProvMark(tool="spade", seed=31).run_benchmark("open")
+        assert graph_to_datalog(first.target_graph, gid="t") == \
+            graph_to_datalog(second.target_graph, gid="t")
+
+    def test_different_seed_same_structure(self):
+        from repro import ProvMark
+        first = ProvMark(tool="spade", seed=31).run_benchmark("open")
+        second = ProvMark(tool="spade", seed=32).run_benchmark("open")
+        assert are_similar(first.target_graph, second.target_graph)

@@ -1,0 +1,155 @@
+"""Edge-case tests for the matchers: self-loops, parallel edges, limits,
+and pathological structures."""
+
+import pytest
+
+from repro.graph.model import PropertyGraph
+from repro.solver.native import (
+    SolverLimit,
+    are_similar,
+    embed_subgraph,
+    find_isomorphism,
+    generalize_pair,
+    subtract_background,
+)
+
+
+def graph_with_self_loop(props=None) -> PropertyGraph:
+    graph = PropertyGraph()
+    graph.add_node("a", "N")
+    graph.add_edge("loop", "a", "a", "self", props or {})
+    return graph
+
+
+class TestSelfLoops:
+    def test_self_loop_isomorphism(self):
+        assert are_similar(graph_with_self_loop(), graph_with_self_loop())
+
+    def test_self_loop_count_matters(self):
+        double = graph_with_self_loop()
+        double.add_edge("loop2", "a", "a", "self")
+        assert not are_similar(graph_with_self_loop(), double)
+
+    def test_self_loop_generalization_drops_volatiles(self):
+        g1 = graph_with_self_loop({"t": "1"})
+        g2 = graph_with_self_loop({"t": "2"})
+        generalized = generalize_pair(g1, g2)
+        assert generalized.edge("loop").props == {}
+
+    def test_self_loop_embeds_in_looped_supergraph(self):
+        fg = graph_with_self_loop()
+        fg.add_node("b", "N")
+        fg.add_edge("e", "a", "b", "r")
+        assert embed_subgraph(graph_with_self_loop(), fg) is not None
+
+
+class TestParallelEdges:
+    def make_parallel(self, labels) -> PropertyGraph:
+        graph = PropertyGraph()
+        graph.add_node("a", "X")
+        graph.add_node("b", "Y")
+        for index, (label, props) in enumerate(labels):
+            graph.add_edge(f"e{index}", "a", "b", label, props)
+        return graph
+
+    def test_parallel_edges_matched_bijectively(self):
+        g1 = self.make_parallel([("r", {"k": "1"}), ("r", {"k": "2"})])
+        g2 = self.make_parallel([("r", {"k": "2"}), ("r", {"k": "1"})])
+        matching = find_isomorphism(g1, g2, minimize_properties=True)
+        assert matching is not None
+        assert matching.cost == 0
+        # e0 (k=1) must map to g2's e1 (k=1).
+        assert matching.edge_map["e0"] == "e1"
+
+    def test_mixed_labels_within_parallel_bundle(self):
+        g1 = self.make_parallel([("r", {}), ("s", {})])
+        g2 = self.make_parallel([("s", {}), ("r", {})])
+        assert are_similar(g1, g2)
+
+    def test_bundle_subset_embedding(self):
+        small = self.make_parallel([("r", {})])
+        big = self.make_parallel([("r", {}), ("r", {}), ("r", {})])
+        matching = embed_subgraph(small, big)
+        assert matching is not None
+
+    def test_wide_bundle_uses_greedy_assignment(self):
+        """Bundles beyond the permutation threshold still match."""
+        labels = [("r", {"k": str(i)}) for i in range(9)]
+        g1 = self.make_parallel(labels)
+        g2 = self.make_parallel(list(reversed(labels)))
+        matching = find_isomorphism(g1, g2, minimize_properties=True)
+        assert matching is not None
+        assert matching.cost == 0 or matching.cost <= 4  # greedy may lose a little
+
+
+class TestLimitsAndDegenerate:
+    def test_embed_step_limit(self):
+        g1 = PropertyGraph()
+        g2 = PropertyGraph()
+        for i in range(12):
+            g1.add_node(f"a{i}", "N")
+            g2.add_node(f"b{i}", "N")
+        with pytest.raises(SolverLimit):
+            embed_subgraph(g1, g2, max_steps=3)
+
+    def test_single_node_graphs(self):
+        g1 = PropertyGraph()
+        g1.add_node("only", "N", {"v": "1"})
+        g2 = PropertyGraph()
+        g2.add_node("other", "N", {"v": "2"})
+        assert are_similar(g1, g2)
+        generalized = generalize_pair(g1, g2)
+        assert generalized.node("only").props == {}
+
+    def test_two_triangles_vs_hexagon(self):
+        """Identical degree sequences but different shapes must not be
+        conflated (C3+C3 vs C6: every node is 1-in/1-out)."""
+        def cycle(graph: PropertyGraph, names):
+            for name in names:
+                graph.add_node(name, "N")
+            for i, name in enumerate(names):
+                graph.add_edge(
+                    f"e_{name}", name, names[(i + 1) % len(names)], "r"
+                )
+        triangles = PropertyGraph()
+        cycle(triangles, ["a0", "a1", "a2"])
+        cycle(triangles, ["b0", "b1", "b2"])
+        hexagon = PropertyGraph()
+        cycle(hexagon, ["h0", "h1", "h2", "h3", "h4", "h5"])
+        assert not are_similar(triangles, hexagon)
+
+    def test_subtraction_with_multiple_anchors(self):
+        bg = PropertyGraph()
+        bg.add_node("p", "Process")
+        bg.add_node("q", "Process")
+        fg = bg.copy()
+        fg.add_node("x", "Artifact")
+        fg.add_edge("e1", "p", "x", "Used")
+        fg.add_edge("e2", "x", "q", "WasGeneratedBy")
+        target = subtract_background(fg, bg)
+        dummies = [n for n in target.nodes() if n.label == "Dummy"]
+        assert len(dummies) == 2
+        assert target.edge_count == 2
+
+    def test_identical_ids_different_structure(self):
+        """Same element ids in both graphs must not short-circuit."""
+        g1 = PropertyGraph()
+        g1.add_node("n1", "A")
+        g1.add_node("n2", "B")
+        g1.add_edge("e1", "n1", "n2", "r")
+        g2 = PropertyGraph()
+        g2.add_node("n1", "B")
+        g2.add_node("n2", "A")
+        g2.add_edge("e1", "n2", "n1", "r")
+        matching = find_isomorphism(g1, g2)
+        assert matching is not None
+        assert matching.node_map == {"n1": "n2", "n2": "n1"}
+
+    def test_property_only_difference_not_structural(self):
+        g1 = PropertyGraph()
+        g1.add_node("a", "N", {"big": "x" * 1000})
+        g2 = PropertyGraph()
+        g2.add_node("a", "N")
+        assert are_similar(g1, g2)
+        matching = embed_subgraph(g1, g2)
+        assert matching.cost == 1

@@ -1,0 +1,277 @@
+"""Native matcher tests: similarity, generalization, subgraph embedding."""
+
+import pytest
+
+from repro.graph.model import PropertyGraph
+from repro.solver.native import (
+    DUMMY_LABEL,
+    SolverLimit,
+    are_similar,
+    embed_subgraph,
+    find_isomorphism,
+    generalize_pair,
+    partition_similarity_classes,
+    property_mismatch_cost,
+    subtract_background,
+)
+from tests.conftest import make_chain
+
+
+class TestPropertyCost:
+    def test_matching_props_cost_zero(self):
+        assert property_mismatch_cost({"a": "1"}, {"a": "1"}) == 0
+
+    def test_value_mismatch_costs_one(self):
+        assert property_mismatch_cost({"a": "1"}, {"a": "2"}) == 1
+
+    def test_missing_key_costs_one(self):
+        assert property_mismatch_cost({"a": "1"}, {}) == 1
+
+    def test_extra_keys_in_target_are_free(self):
+        # Listing 4's cost is one-directional: only g1's properties count.
+        assert property_mismatch_cost({}, {"a": "1"}) == 0
+
+
+class TestSimilarity:
+    def test_empty_graphs_similar(self):
+        assert are_similar(PropertyGraph(), PropertyGraph())
+
+    def test_relabeled_copy_is_similar(self, diamond_graph):
+        assert are_similar(diamond_graph, diamond_graph.relabel("q"))
+
+    def test_different_properties_still_similar(self, volatile_pair):
+        g1, g2 = volatile_pair
+        assert are_similar(g1, g2)
+
+    def test_label_mismatch_not_similar(self, tiny_graph):
+        other = PropertyGraph()
+        other.add_node("n1", "Pipe")
+        other.add_node("n2", "Process")
+        other.add_edge("e1", "n1", "n2", "Used")
+        assert not are_similar(tiny_graph, other)
+
+    def test_edge_label_mismatch_not_similar(self, tiny_graph):
+        other = PropertyGraph()
+        other.add_node("n1", "File")
+        other.add_node("n2", "Process")
+        other.add_edge("e1", "n1", "n2", "WasGeneratedBy")
+        assert not are_similar(tiny_graph, other)
+
+    def test_size_mismatch_not_similar(self, tiny_graph):
+        bigger = tiny_graph.copy()
+        bigger.add_node("extra", "File")
+        assert not are_similar(tiny_graph, bigger)
+
+    def test_edge_direction_matters(self):
+        g1 = PropertyGraph()
+        g1.add_node("a", "X")
+        g1.add_node("b", "Y")
+        g1.add_edge("e", "a", "b", "r")
+        g2 = PropertyGraph()
+        g2.add_node("a", "X")
+        g2.add_node("b", "Y")
+        g2.add_edge("e", "b", "a", "r")
+        assert not are_similar(g1, g2)
+
+    def test_parallel_edge_counts_matter(self):
+        g1 = PropertyGraph()
+        g1.add_node("a", "X")
+        g1.add_node("b", "Y")
+        g1.add_edge("e1", "a", "b", "r")
+        g2 = g1.copy()
+        g2.add_edge("e2", "a", "b", "r")
+        assert not are_similar(g1, g2)
+
+    def test_triangle_vs_chain(self):
+        triangle = PropertyGraph()
+        for name in "abc":
+            triangle.add_node(name, "N")
+        triangle.add_edge("e1", "a", "b", "next")
+        triangle.add_edge("e2", "b", "c", "next")
+        triangle.add_edge("e3", "c", "a", "next")
+        chain = make_chain(3)
+        assert not are_similar(triangle, chain)
+
+
+class TestIsomorphism:
+    def test_mapping_is_structure_preserving(self, diamond_graph):
+        other = diamond_graph.relabel("q")
+        matching = find_isomorphism(diamond_graph, other)
+        assert matching is not None
+        for edge in diamond_graph.edges():
+            mapped = other.edge(matching.edge_map[edge.id])
+            assert mapped.src == matching.node_map[edge.src]
+            assert mapped.tgt == matching.node_map[edge.tgt]
+            assert mapped.label == edge.label
+
+    def test_minimize_properties_picks_best_of_symmetric(self, diamond_graph):
+        # left/right are structurally symmetric but props distinguish them.
+        other = diamond_graph.relabel("q")
+        matching = find_isomorphism(
+            diamond_graph, other, minimize_properties=True
+        )
+        assert matching is not None
+        assert matching.cost == 0
+        left_image = matching.node_map["left"]
+        assert other.node(left_image).prop("side") == "l"
+
+    def test_step_limit_raises(self):
+        g1 = make_chain(30, gid="a")
+        g2 = make_chain(30, gid="b")
+        with pytest.raises(SolverLimit):
+            find_isomorphism(g1, g2, max_steps=3)
+
+
+class TestGeneralization:
+    def test_volatile_properties_dropped(self, volatile_pair):
+        g1, g2 = volatile_pair
+        generalized = generalize_pair(g1, g2)
+        assert generalized is not None
+        assert generalized.node("a").prop("path") == "/tmp/x"
+        assert generalized.node("a").prop("time") is None
+        assert generalized.node("b").prop("pid") is None
+        assert generalized.node("b").prop("exe") == "/bin/sh"
+        assert generalized.edge("e").prop("time") is None
+
+    def test_dissimilar_graphs_return_none(self, tiny_graph):
+        assert generalize_pair(tiny_graph, PropertyGraph()) is None
+
+    def test_generalization_keeps_g1_ids(self, volatile_pair):
+        g1, g2 = volatile_pair
+        generalized = generalize_pair(g1, g2)
+        assert {n.id for n in generalized.nodes()} == {"a", "b"}
+
+    def test_symmetric_nodes_matched_to_minimize_loss(self):
+        """Two interchangeable nodes must pair by property agreement."""
+        def build(swap: bool) -> PropertyGraph:
+            graph = PropertyGraph()
+            graph.add_node("hub", "H")
+            names = ("x", "y") if not swap else ("y", "x")
+            graph.add_node("s1", "S", {"name": names[0]})
+            graph.add_node("s2", "S", {"name": names[1]})
+            graph.add_edge("e1", "hub", "s1", "r")
+            graph.add_edge("e2", "hub", "s2", "r")
+            return graph
+
+        generalized = generalize_pair(build(False), build(True))
+        names = sorted(
+            node.prop("name") for node in generalized.nodes()
+            if node.label == "S"
+        )
+        # The optimal matching crosses s1<->s2, keeping both names.
+        assert names == ["x", "y"]
+
+
+class TestSubgraphEmbedding:
+    def test_graph_embeds_into_itself(self, diamond_graph):
+        matching = embed_subgraph(diamond_graph, diamond_graph)
+        assert matching is not None
+        assert matching.cost == 0
+
+    def test_subgraph_embeds_into_supergraph(self, tiny_graph):
+        fg = tiny_graph.copy()
+        fg.add_node("n3", "File")
+        fg.add_edge("e2", "n2", "n3", "WasGeneratedBy")
+        matching = embed_subgraph(tiny_graph, fg)
+        assert matching is not None
+
+    def test_empty_embeds_anywhere(self, tiny_graph):
+        matching = embed_subgraph(PropertyGraph(), tiny_graph)
+        assert matching is not None
+        assert matching.node_map == {}
+
+    def test_bigger_graph_does_not_embed(self, tiny_graph):
+        fg = tiny_graph.copy()
+        fg.add_node("n3", "File")
+        assert embed_subgraph(fg, tiny_graph) is None
+
+    def test_label_preservation_required(self, tiny_graph):
+        other = PropertyGraph()
+        other.add_node("m1", "Pipe")
+        other.add_node("m2", "Process")
+        other.add_edge("f1", "m1", "m2", "Used")
+        assert embed_subgraph(tiny_graph, other) is None
+
+    def test_non_induced_embedding_allowed(self):
+        """Extra edges between matched nodes in g2 must not block a match."""
+        g1 = PropertyGraph()
+        g1.add_node("a", "X")
+        g1.add_node("b", "Y")
+        g2 = PropertyGraph()
+        g2.add_node("a", "X")
+        g2.add_node("b", "Y")
+        g2.add_edge("extra", "a", "b", "r")
+        assert embed_subgraph(g1, g2) is not None
+
+    def test_cost_counts_property_mismatches(self):
+        g1 = PropertyGraph()
+        g1.add_node("a", "X", {"k": "v", "j": "w"})
+        g2 = PropertyGraph()
+        g2.add_node("z", "X", {"k": "other"})
+        matching = embed_subgraph(g1, g2)
+        assert matching is not None
+        assert matching.cost == 2
+
+    def test_prefers_cheaper_target(self):
+        g1 = PropertyGraph()
+        g1.add_node("a", "X", {"k": "v"})
+        g2 = PropertyGraph()
+        g2.add_node("cheap", "X", {"k": "v"})
+        g2.add_node("dear", "X", {"k": "no"})
+        matching = embed_subgraph(g1, g2)
+        assert matching.node_map["a"] == "cheap"
+        assert matching.cost == 0
+
+
+class TestSubtraction:
+    def test_identical_graphs_subtract_to_empty(self, tiny_graph):
+        result = subtract_background(tiny_graph.copy(), tiny_graph.copy())
+        assert result is not None
+        assert result.is_empty()
+
+    def test_difference_retained_with_dummy_anchor(self, tiny_graph):
+        fg = tiny_graph.copy()
+        fg.add_node("n3", "File", {"path": "/new"})
+        fg.add_edge("e2", "n2", "n3", "WasGeneratedBy")
+        result = subtract_background(fg, tiny_graph)
+        assert result is not None
+        assert result.node_count == 2  # n3 + dummy anchor for n2
+        dummy = result.node("n2")
+        assert dummy.label == DUMMY_LABEL
+        assert dummy.prop("was") == "Process"
+        assert result.node("n3").label == "File"
+        assert result.edge("e2").label == "WasGeneratedBy"
+
+    def test_unembeddable_background_returns_none(self, tiny_graph):
+        bigger = tiny_graph.copy()
+        bigger.add_node("extra", "Agent")
+        assert subtract_background(tiny_graph, bigger) is None
+
+    def test_disconnected_extra_node_needs_no_dummy(self, tiny_graph):
+        fg = tiny_graph.copy()
+        fg.add_node("island", "Agent")
+        result = subtract_background(fg, tiny_graph)
+        assert result.node_count == 1
+        assert result.node("island").label == "Agent"
+        assert result.edge_count == 0
+
+
+class TestSimilarityClasses:
+    def test_partition_groups_similar_graphs(self, volatile_pair):
+        g1, g2 = volatile_pair
+        outlier = PropertyGraph()
+        outlier.add_node("solo", "Agent")
+        classes = partition_similarity_classes([g1, outlier, g2])
+        sizes = sorted(len(c) for c in classes)
+        assert sizes == [1, 2]
+
+    def test_all_singletons(self):
+        graphs = [make_chain(n, gid=f"g{n}") for n in (1, 2, 3)]
+        classes = partition_similarity_classes(graphs)
+        assert all(len(c) == 1 for c in classes)
+
+    def test_all_one_class(self, volatile_pair):
+        g1, g2 = volatile_pair
+        classes = partition_similarity_classes([g1, g2, g1.copy()])
+        assert len(classes) == 1
+        assert len(classes[0]) == 3

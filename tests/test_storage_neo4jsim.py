@@ -1,0 +1,86 @@
+"""Embedded Neo4j-substitute store tests."""
+
+import pytest
+
+from repro.storage.neo4jsim import Neo4jSim, Neo4jSimError
+
+
+@pytest.fixture
+def store() -> Neo4jSim:
+    s = Neo4jSim()
+    s.create_node(1, "Process", {"pid": "42"})
+    s.create_node(2, "Global", {"name": "/tmp/x"})
+    s.create_relationship(3, 1, 2, "READS", {"n": "1"})
+    return s
+
+
+class TestLifecycle:
+    def test_query_before_start_rejected(self, store):
+        with pytest.raises(Neo4jSimError):
+            list(store.match_nodes())
+
+    def test_start_then_query(self, store):
+        store.start()
+        assert store.node_count() == 2
+        assert store.relationship_count() == 1
+
+    def test_shutdown_closes(self, store):
+        store.start()
+        store.shutdown()
+        with pytest.raises(Neo4jSimError):
+            store.node_count()
+
+
+class TestQueries:
+    def test_match_all_nodes(self, store):
+        store.start()
+        rows = list(store.match_nodes())
+        assert {row[1] for row in rows} == {"Process", "Global"}
+
+    def test_match_nodes_by_label(self, store):
+        store.start()
+        rows = list(store.match_nodes(label="Process"))
+        assert len(rows) == 1
+        node_id, label, props = rows[0]
+        assert (node_id, label, props["pid"]) == (1, "Process", "42")
+
+    def test_match_relationships(self, store):
+        store.start()
+        ((rel_id, start, end, rel_type, props),) = store.match_relationships()
+        assert (rel_id, start, end, rel_type) == (3, 1, 2, "READS")
+        assert props == {"n": "1"}
+
+    def test_match_relationships_by_type(self, store):
+        store.start()
+        assert list(store.match_relationships(rel_type="GHOST")) == []
+
+    def test_rows_are_copies(self, store):
+        store.start()
+        row1 = next(iter(store.match_nodes(label="Process")))
+        row1[2]["pid"] = "tampered"
+        row2 = next(iter(store.match_nodes(label="Process")))
+        assert row2[2]["pid"] == "42"
+
+
+class TestPersistence:
+    def test_log_roundtrip(self, store):
+        text = store.dump_log()
+        clone = Neo4jSim.from_log(text)
+        clone.start()
+        assert clone.node_count() == 2
+        assert clone.relationship_count() == 1
+
+    def test_startup_cost_scales_with_size(self):
+        import time
+        small, large = Neo4jSim(), Neo4jSim()
+        for i in range(10):
+            small.create_node(i, "N", {"k": "v"})
+        for i in range(2000):
+            large.create_node(i, "N", {"k": "v"})
+        t0 = time.perf_counter()
+        small.start()
+        small_time = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        large.start()
+        large_time = time.perf_counter() - t0
+        assert large_time > small_time

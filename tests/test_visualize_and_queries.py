@@ -1,0 +1,189 @@
+"""Tests for ASCII visualization and the provenance query library."""
+
+import pytest
+
+from repro import ProvMark
+from repro.analysis.queries import (
+    ancestry,
+    by_label,
+    by_prop,
+    find_nodes,
+    flows_between,
+    influence,
+    match_pattern,
+    reachable,
+    shortest_path,
+)
+from repro.graph.model import PropertyGraph
+from repro.graph.visualize import render_ascii, render_benchmark
+
+
+@pytest.fixture
+def flow_graph() -> PropertyGraph:
+    """task wrote socket; task read shadow  (effect -> cause edges)."""
+    graph = PropertyGraph()
+    graph.add_node("t", "task", {"cf:pid": "9"})
+    graph.add_node("shadow", "inode", {"cf:pathname": "/etc/shadow"})
+    graph.add_node("sock", "socket", {})
+    graph.add_node("other", "inode", {"cf:pathname": "/tmp/x"})
+    graph.add_edge("r1", "t", "shadow", "used")
+    graph.add_edge("w1", "sock", "t", "wasGeneratedBy")
+    return graph
+
+
+class TestVisualize:
+    def test_empty_graph(self):
+        assert render_ascii(PropertyGraph()) == "(empty graph)\n"
+
+    def test_nodes_and_edges_rendered(self, tiny_graph):
+        text = render_ascii(tiny_graph)
+        assert "File" in text
+        assert "--Used-->" in text
+        assert "[Process]" in text
+
+    def test_props_shown_on_request(self, tiny_graph):
+        text = render_ascii(tiny_graph, show_props=True)
+        assert ". Name = text" in text
+
+    def test_display_names_use_paths(self, flow_graph):
+        text = render_ascii(flow_graph)
+        assert "inode:shadow" in text
+
+    def test_benchmark_framing(self):
+        result = ProvMark(tool="spade", seed=2).run_benchmark("open")
+        text = render_benchmark(result.target_graph, title="open")
+        assert text.startswith("open: 1 new node(s), 1 new edge(s)")
+        assert "anchor(s)" in text
+
+    def test_cyclic_graph_still_renders(self):
+        graph = PropertyGraph()
+        graph.add_node("a", "X")
+        graph.add_node("b", "X")
+        graph.add_edge("e1", "a", "b", "r")
+        graph.add_edge("e2", "b", "a", "r")
+        text = render_ascii(graph)
+        assert text.count("--r-->") == 2
+
+
+class TestPredicates:
+    def test_by_label(self, flow_graph):
+        assert {n.id for n in find_nodes(flow_graph, by_label("inode"))} == {
+            "shadow", "other",
+        }
+
+    def test_by_prop_value(self, flow_graph):
+        nodes = find_nodes(flow_graph, by_prop("cf:pathname", "/etc/shadow"))
+        assert [n.id for n in nodes] == ["shadow"]
+
+    def test_by_prop_presence(self, flow_graph):
+        nodes = find_nodes(flow_graph, by_prop("cf:pathname"))
+        assert len(nodes) == 2
+
+
+class TestReachability:
+    def test_ancestry_follows_edge_direction(self, flow_graph):
+        assert ancestry(flow_graph, "sock") == {"t", "shadow"}
+        assert ancestry(flow_graph, "t") == {"shadow"}
+        assert ancestry(flow_graph, "shadow") == set()
+
+    def test_influence_is_reverse(self, flow_graph):
+        assert influence(flow_graph, "shadow") == {"t", "sock"}
+
+    def test_max_depth(self, flow_graph):
+        assert reachable(flow_graph, "sock", max_depth=1) == {"t"}
+
+    def test_shortest_path(self, flow_graph):
+        path = shortest_path(flow_graph, "sock", "shadow")
+        assert [e.id for e in path] == ["w1", "r1"]
+
+    def test_no_path(self, flow_graph):
+        assert shortest_path(flow_graph, "shadow", "sock") is None
+        assert shortest_path(flow_graph, "other", "sock") is None
+
+    def test_trivial_path(self, flow_graph):
+        assert shortest_path(flow_graph, "t", "t") == []
+
+
+class TestFlows:
+    def test_shadow_to_socket_flow_detected(self, flow_graph):
+        flows = flows_between(
+            flow_graph,
+            by_prop("cf:pathname", "/etc/shadow"),
+            by_label("socket"),
+        )
+        assert len(flows) == 1
+        source, sink, path = flows[0]
+        assert (source, sink) == ("shadow", "sock")
+        assert len(path) == 2
+
+    def test_unrelated_file_has_no_flow(self, flow_graph):
+        flows = flows_between(
+            flow_graph, by_prop("cf:pathname", "/tmp/x"), by_label("socket")
+        )
+        assert flows == []
+
+    def test_flow_query_on_real_benchmark(self):
+        """Dora-style: the escalation benchmark's shadow read reaches
+        the task in CamFlow's provenance."""
+        from repro.suite.program import Op, Program, create_file
+        program = Program(
+            name="exfil",
+            ops=(
+                Op("open", ("/etc/shadow", "O_RDONLY"), result="s", target=True),
+                Op("read", ("$s", 64), target=True),
+                Op("socketpair", (), result="sp", target=True),
+                Op("send", ("$sp_a", b"stolen"), target=True),
+            ),
+        )
+        result = ProvMark(tool="camflow", seed=8).run_benchmark(program)
+        graph = result.foreground
+        flows = flows_between(
+            graph,
+            by_prop("cf:pathname", "/etc/shadow"),
+            by_label("socket"),
+        )
+        assert flows, "exfiltration flow must be visible to CamFlow"
+
+
+class TestPatternMatching:
+    def test_read_write_pattern(self, flow_graph):
+        matches = match_pattern(
+            flow_graph,
+            {
+                "t": by_label("task"),
+                "r": by_label("inode"),
+                "w": by_label("socket"),
+            },
+            [("t", "r", "used"), ("w", "t", "wasGeneratedBy")],
+        )
+        assert len(matches) == 1
+        assert matches[0]["r"] == "shadow"
+
+    def test_label_wildcard_edge(self, flow_graph):
+        matches = match_pattern(
+            flow_graph,
+            {"t": by_label("task"), "x": by_label("inode")},
+            [("t", "x", None)],
+        )
+        assert len(matches) == 1
+
+    def test_no_match(self, flow_graph):
+        matches = match_pattern(
+            flow_graph,
+            {"a": by_label("socket"), "b": by_label("inode")},
+            [("a", "b", "used")],
+        )
+        assert matches == []
+
+    def test_injective_assignments(self):
+        graph = PropertyGraph()
+        graph.add_node("x", "N")
+        graph.add_node("y", "N")
+        graph.add_edge("e", "x", "y", "r")
+        matches = match_pattern(
+            graph,
+            {"a": by_label("N"), "b": by_label("N")},
+            [("a", "b", "r")],
+        )
+        # a and b must bind distinct nodes.
+        assert matches == [{"a": "x", "b": "y"}]
