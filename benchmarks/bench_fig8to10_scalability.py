@@ -11,16 +11,18 @@ import pytest
 
 from repro import ProvMark
 
-from conftest import emit
+from conftest import emit, record_bench, timings_payload
 
 SCALES = ("scale1", "scale2", "scale4", "scale8")
+#: beyond the paper: the fast-path engine keeps these within budget
+EXTENDED_SCALES = SCALES + ("scale16", "scale32")
 FIGURES = {"spade": "fig8", "opus": "fig9", "camflow": "fig10"}
 
 
-def run_column(tool):
+def run_column(tool, scales=SCALES):
     provmark = ProvMark(tool=tool, seed=5)
     timings = {}
-    for name in SCALES:
+    for name in scales:
         result = provmark.run_benchmark(name)
         assert result.classification.value == "ok"
         timings[name] = result.timings
@@ -29,13 +31,18 @@ def run_column(tool):
 
 @pytest.mark.parametrize("tool", list(FIGURES))
 def test_scalability(benchmark, tool):
-    timings = benchmark.pedantic(run_column, args=(tool,), rounds=1, iterations=1)
-    rows = [f"{'case':<8} {'transform':>10} {'generalize':>11} {'compare':>9} {'total':>9}"]
+    timings = benchmark.pedantic(
+        run_column, args=(tool, EXTENDED_SCALES), rounds=1, iterations=1
+    )
+    rows = [f"{'case':<8} {'transform':>10} {'generalize':>11} {'compare':>9} {'total':>9} {'steps':>7}"]
     for name, timing in timings.items():
         rows.append(
             f"{name:<8} {timing.transformation:>9.4f}s "
             f"{timing.generalization:>10.4f}s {timing.comparison:>8.4f}s "
-            f"{timing.processing:>8.4f}s"
+            f"{timing.processing:>8.4f}s {timing.solver_steps:>7}"
+        )
+        record_bench(
+            f"fig8to10/{tool}/{name}", timings_payload(timing)
         )
     emit(f"{FIGURES[tool]}_scalability_{tool}", rows)
     # Processing grows with the scale factor for every tool.

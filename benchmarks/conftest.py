@@ -3,14 +3,24 @@
 Each ``bench_*`` module regenerates one table or figure of the paper.  The
 regenerated rows are printed (run with ``-s`` to see them) and collected
 into ``benchmarks/output/`` so EXPERIMENTS.md can reference them.
+
+Benchmarks can additionally call :func:`record_bench` with structured
+payloads (per-stage timings, solver step counts, cache hits); everything
+recorded during a session is consolidated into
+``benchmarks/output/BENCH_PR1.json`` at session end, so future PRs can
+track the performance trajectory against this one.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
-from typing import Iterable
+from typing import Dict, Iterable
 
 OUTPUT_DIR = Path(__file__).resolve().parent / "output"
+CONSOLIDATED_NAME = "BENCH_PR1.json"
+
+_recorded: Dict[str, object] = {}
 
 
 def emit(name: str, lines: Iterable[str]) -> None:
@@ -19,3 +29,32 @@ def emit(name: str, lines: Iterable[str]) -> None:
     print(f"\n=== {name} ===\n{body}")
     OUTPUT_DIR.mkdir(exist_ok=True)
     (OUTPUT_DIR / f"{name}.txt").write_text(body + "\n")
+
+
+def record_bench(name: str, payload: object) -> None:
+    """Queue a structured payload for the consolidated BENCH_PR1.json."""
+    _recorded[name] = payload
+
+
+def timings_payload(timings) -> Dict[str, object]:
+    """A JSON-ready view of one run's StageTimings incl. solver counters."""
+    payload: Dict[str, object] = dict(timings.as_row())
+    payload["processing"] = timings.processing
+    payload.update(timings.solver_row())
+    return payload
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    if not _recorded:
+        return
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / CONSOLIDATED_NAME
+    existing: Dict[str, object] = {}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+        except ValueError:
+            existing = {}
+    existing.update(_recorded)
+    path.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
+    print(f"\nconsolidated benchmark record: {path}")

@@ -84,7 +84,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_batch(args: argparse.Namespace) -> int:
     provmark = _make_provmark(args)
     names = args.benchmarks or list(TABLE2_ORDER)
-    results = [provmark.run_benchmark(name) for name in names]
+    results = provmark.run_many(names, max_workers=args.max_workers)
     if args.result_type == "rh":
         path = write_html(results, args.out or "finalResult/index.html")
         print(f"wrote {path}")
@@ -145,6 +145,11 @@ def build_parser() -> argparse.ArgumentParser:
     batch = sub.add_parser("batch", help="run many benchmarks (runTests.sh)")
     _add_pipeline_options(batch)
     batch.add_argument("--benchmarks", nargs="*", default=None)
+    batch.add_argument(
+        "--max-workers", type=int, default=None,
+        help="run benchmarks concurrently across this many worker "
+        "processes (default: serial)",
+    )
     batch.add_argument(
         "--result-type", choices=("rb", "rh"), default="rb",
         help="rb: text summary; rh: HTML page",

@@ -58,8 +58,10 @@ class ToolProfile:
         raise ProfileError(f"unknown stage1tool {self.stage1tool!r}")
 
     def make_provmark(self, seed: Optional[int] = None, engine: str = "native") -> ProvMark:
+        # Pass the (picklable) factory rather than a built capture so
+        # run_many can rebuild the capture in worker processes.
         return ProvMark(
-            capture=self.make_capture(),
+            capture_factory=self.make_capture,
             config=PipelineConfig(
                 tool=self.stage1tool,
                 trials=self.trials,

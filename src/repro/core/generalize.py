@@ -50,6 +50,7 @@ def generalize_trials(
     filtergraphs: bool = False,
     engine: str = "native",
     pair_policy: str = "smallest",
+    matching_cache: bool = True,
 ) -> GeneralizationOutcome:
     """Generalize one program variant's trial graphs into one graph.
 
@@ -60,6 +61,12 @@ def generalize_trials(
     foreground, and the opposite mix leaves extra structure in the
     difference.  The pipeline exposes the policy so that remark can be
     reproduced (``bench_ablation_pair_choice.py``).
+
+    With ``matching_cache`` (the default) the isomorphism found while
+    classing the chosen pair warm-starts the minimizing search instead of
+    re-solving the identical problem from scratch; the generalized graph
+    is identical either way (the warm bound only prunes, never redirects,
+    the branch-and-bound).
     """
     if pair_policy not in ("smallest", "largest"):
         raise ValueError(f"unknown pair policy {pair_policy!r}")
@@ -75,7 +82,9 @@ def generalize_trials(
         raise GeneralizationError(
             "fewer than two trials survived graph filtering"
         )
-    classes = partition_similarity_classes(pool)
+    classes, pair_matchings = partition_similarity_classes(
+        pool, collect_matchings=True
+    )
     class_sizes = sorted((len(c) for c in classes), reverse=True)
     consistent = [c for c in classes if len(c) >= 2]
     discarded += sum(1 for c in classes if len(c) == 1)
@@ -91,7 +100,11 @@ def generalize_trials(
     best_class = chooser(consistent, key=lambda c: pool[c[0]].size)
     g1, g2 = pool[best_class[0]], pool[best_class[1]]
     if engine == "native":
-        generalized = generalize_pair(g1, g2)
+        warm = (
+            pair_matchings.get((best_class[0], best_class[1]))
+            if matching_cache else None
+        )
+        generalized = generalize_pair(g1, g2, warm=warm)
     else:
         matching = isomorphism(g1, g2, minimize_properties=True, engine=engine)
         generalized = None

@@ -14,8 +14,10 @@ The public entry point is :class:`ProvMark`.
 from __future__ import annotations
 
 import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Union
 
 from repro.capture import CaptureSystem, make_capture
 from repro.core.compare import ComparisonError, compare
@@ -24,6 +26,7 @@ from repro.core.recording import Recorder, RecordingSession
 from repro.core.result import BenchmarkResult, Classification, StageTimings
 from repro.core.transform import transform
 from repro.graph.model import PropertyGraph
+from repro.solver.native import SolverStats, solver_stats
 from repro.suite.program import Program
 from repro.suite.registry import get_benchmark
 
@@ -47,6 +50,8 @@ class PipelineConfig:
     engine: str = "native"  # "native" | "asp"
     seed: Optional[int] = None
     truncation_rate: float = 0.0
+    #: worker processes for :meth:`ProvMark.run_many` (None/1 = serial)
+    max_workers: Optional[int] = None
     #: similarity-class choice per program variant (paper §3.4):
     #: "smallest"/"largest"; setting them differently reproduces the
     #: paper's remark about mismatched choices.
@@ -78,11 +83,20 @@ class ProvMark:
         tool: str = "spade",
         capture: Optional[CaptureSystem] = None,
         config: Optional[PipelineConfig] = None,
+        capture_factory: Optional[Callable[[], CaptureSystem]] = None,
         **config_kwargs: object,
     ) -> None:
         if config is None:
             config = PipelineConfig(tool=tool, **config_kwargs)  # type: ignore[arg-type]
         self.config = config
+        #: picklable factory (e.g. ``ToolProfile.make_capture``) letting
+        #: worker processes rebuild the capture for parallel run_many
+        self._capture_factory = capture_factory
+        if capture is None and capture_factory is not None:
+            capture = capture_factory()
+        #: a hand-injected capture without a factory cannot be rebuilt in
+        #: worker processes, so run_many stays serial for it
+        self._custom_capture = capture is not None and capture_factory is None
         self.capture = capture or make_capture(config.tool)
 
     # -- public API ----------------------------------------------------------
@@ -113,6 +127,7 @@ class ProvMark:
 
         filtergraphs = self.config.resolved_filtergraphs()
         started = time.perf_counter()
+        before = solver_stats().snapshot()
         try:
             fg_outcome = generalize_trials(
                 fg_graphs, filtergraphs=filtergraphs,
@@ -126,6 +141,7 @@ class ProvMark:
             )
         except GeneralizationError as error:
             timings.generalization = time.perf_counter() - started
+            self._record_solver(timings, before)
             return self._failure(program, timings, str(error))
         timings.generalization = time.perf_counter() - started
 
@@ -136,11 +152,13 @@ class ProvMark:
             )
         except ComparisonError as error:
             timings.comparison = time.perf_counter() - started
+            self._record_solver(timings, before)
             return self._failure(
                 program, timings, str(error),
                 foreground=fg_outcome.graph, background=bg_outcome.graph,
             )
         timings.comparison = time.perf_counter() - started
+        self._record_solver(timings, before)
 
         classification = (
             Classification.EMPTY if outcome.is_empty else Classification.OK
@@ -160,10 +178,68 @@ class ProvMark:
             note=note if classification is Classification.EMPTY or note in ("DV", "SC") else "",
         )
 
-    def run_many(self, names: List[str]) -> List[BenchmarkResult]:
-        return [self.run_benchmark(name) for name in names]
+    def run_many(
+        self,
+        names: List[str],
+        max_workers: Optional[int] = None,
+    ) -> List[BenchmarkResult]:
+        """Run many benchmarks, optionally across worker processes.
+
+        ``max_workers`` (or ``config.max_workers``) > 1 fans the runs out
+        over a process pool — each benchmark is fully independent (fresh
+        kernel, fresh capture), so full-suite sweeps scale across cores.
+        Results are always returned in input order, identical to a serial
+        run.  Falls back to serial execution for a hand-injected capture
+        object (which cannot be rebuilt in a worker process) and where
+        process pools are unavailable or break mid-run.
+        """
+        workers = (
+            max_workers if max_workers is not None else self.config.max_workers
+        )
+        if workers is None or workers <= 1 or len(names) <= 1:
+            return [self.run_benchmark(name) for name in names]
+        if self._custom_capture:
+            # A hand-injected capture cannot be rebuilt per worker, and
+            # sharing one (possibly stateful) instance concurrently would
+            # break the identical-to-serial guarantee.
+            return [self.run_benchmark(name) for name in names]
+        try:
+            pool = ProcessPoolExecutor(max_workers=workers)
+        except (OSError, ValueError, ImportError):
+            # No usable multiprocessing primitives (e.g. a sandboxed
+            # environment): run serially.
+            return [self.run_benchmark(name) for name in names]
+        try:
+            with pool:
+                if self._capture_factory is not None:
+                    futures = [
+                        pool.submit(
+                            _run_benchmark_factory_task,
+                            self._capture_factory, self.config, name,
+                        )
+                        for name in names
+                    ]
+                else:
+                    futures = [
+                        pool.submit(_run_benchmark_task, self.config, name)
+                        for name in names
+                    ]
+                # Task exceptions (bad config, execution errors) propagate
+                # exactly as in a serial run; only a broken pool — workers
+                # that could not spawn or died — triggers the fallback.
+                return [future.result() for future in futures]
+        except BrokenProcessPool:
+            return [self.run_benchmark(name) for name in names]
 
     # -- helpers -----------------------------------------------------------------
+
+    @staticmethod
+    def _record_solver(timings: StageTimings, before: SolverStats) -> None:
+        delta = solver_stats().delta(before)
+        timings.solver_steps += delta.steps
+        timings.solver_searches += delta.searches
+        timings.matching_cache_hits += delta.matching_cache_hits
+        timings.cost_cache_hits += delta.cost_cache_hits
 
     def _transform_trials(
         self, session: RecordingSession, foreground: bool
@@ -196,3 +272,17 @@ class ProvMark:
             trials=self.config.resolved_trials(),
             error=message,
         )
+
+
+def _run_benchmark_task(config: PipelineConfig, name: str) -> BenchmarkResult:
+    """Process-pool worker: rebuild the pipeline from config and run."""
+    return ProvMark(config=config).run_benchmark(name)
+
+
+def _run_benchmark_factory_task(
+    factory: Callable[[], CaptureSystem],
+    config: PipelineConfig,
+    name: str,
+) -> BenchmarkResult:
+    """Process-pool worker for profile-built captures: rebuild and run."""
+    return ProvMark(config=config, capture_factory=factory).run_benchmark(name)

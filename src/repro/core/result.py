@@ -22,7 +22,13 @@ class Classification(enum.Enum):
 
 @dataclass
 class StageTimings:
-    """Wall-clock seconds per ProvMark subsystem (Figures 5-10)."""
+    """Wall-clock seconds per ProvMark subsystem (Figures 5-10).
+
+    The ``solver_*`` and cache counters aggregate the native engine's
+    per-thread :class:`~repro.solver.native.SolverStats` deltas over the
+    generalization and comparison stages, making the matching-engine
+    optimizations observable per benchmark run.
+    """
 
     recording: float = 0.0
     transformation: float = 0.0
@@ -30,6 +36,14 @@ class StageTimings:
     comparison: float = 0.0
     #: virtual recording seconds the real tools would have taken (§5.1)
     virtual_recording: float = 0.0
+    #: backtracking steps spent in the matching engine
+    solver_steps: int = 0
+    #: number of matching searches launched
+    solver_searches: int = 0
+    #: generalizations warm-started from a cached similarity matching
+    matching_cache_hits: int = 0
+    #: property-mismatch costs served from the per-search pair cache
+    cost_cache_hits: int = 0
 
     @property
     def processing(self) -> float:
@@ -40,6 +54,14 @@ class StageTimings:
             "transformation": self.transformation,
             "generalization": self.generalization,
             "comparison": self.comparison,
+        }
+
+    def solver_row(self) -> Dict[str, int]:
+        return {
+            "solver_steps": self.solver_steps,
+            "solver_searches": self.solver_searches,
+            "matching_cache_hits": self.matching_cache_hits,
+            "cost_cache_hits": self.cost_cache_hits,
         }
 
 

@@ -62,6 +62,21 @@ class PropertyGraph:
         self._edges: Dict[str, Edge] = {}
         self._out: Dict[str, List[str]] = {}
         self._in: Dict[str, List[str]] = {}
+        #: bumped on every mutation; lets derived-structure caches (the
+        #: matching engine's indexes) validate themselves cheaply
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    def __getstate__(self) -> Dict[str, object]:
+        # Derived-structure caches must not cross process boundaries:
+        # WL colors are hash()-based and only comparable under one hash
+        # seed, and shipping the indexes would bloat every pickle.
+        state = dict(self.__dict__)
+        state.pop("_matcher_cache", None)
+        return state
 
     # -- construction -----------------------------------------------------
 
@@ -74,6 +89,7 @@ class PropertyGraph:
         self._nodes[node_id] = node
         self._out[node_id] = []
         self._in[node_id] = []
+        self._version += 1
         return node
 
     def add_edge(
@@ -94,6 +110,7 @@ class PropertyGraph:
         self._edges[edge_id] = edge
         self._out[src].append(edge_id)
         self._in[tgt].append(edge_id)
+        self._version += 1
         return edge
 
     def set_prop(self, element_id: str, key: str, value: str) -> None:
@@ -112,6 +129,7 @@ class PropertyGraph:
             )
         else:
             raise GraphError(f"unknown element {element_id!r}")
+        self._version += 1
 
     def remove_node(self, node_id: str) -> None:
         """Remove a node and every edge incident to it."""
@@ -123,6 +141,7 @@ class PropertyGraph:
         del self._nodes[node_id]
         del self._out[node_id]
         del self._in[node_id]
+        self._version += 1
 
     def remove_edge(self, edge_id: str) -> None:
         if edge_id not in self._edges:
@@ -130,6 +149,7 @@ class PropertyGraph:
         edge = self._edges.pop(edge_id)
         self._out[edge.src].remove(edge_id)
         self._in[edge.tgt].remove(edge_id)
+        self._version += 1
 
     # -- access -----------------------------------------------------------
 

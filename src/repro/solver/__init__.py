@@ -18,12 +18,16 @@ from repro.solver.native import (
     DUMMY_LABEL,
     Matching,
     SolverLimit,
+    SolverStats,
     are_similar,
     embed_subgraph,
     find_isomorphism,
     generalize_pair,
     partition_similarity_classes,
     property_mismatch_cost,
+    reset_solver_stats,
+    solver_optimizations,
+    solver_stats,
     subtract_background,
 )
 
@@ -67,6 +71,7 @@ __all__ = [
     "ENGINES",
     "Matching",
     "SolverLimit",
+    "SolverStats",
     "are_similar",
     "embed_subgraph",
     "find_isomorphism",
@@ -74,7 +79,10 @@ __all__ = [
     "isomorphism",
     "partition_similarity_classes",
     "property_mismatch_cost",
+    "reset_solver_stats",
     "similarity",
+    "solver_optimizations",
+    "solver_stats",
     "subgraph_embedding",
     "subtract_background",
 ]

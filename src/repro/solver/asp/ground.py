@@ -18,7 +18,7 @@ ground cost rule depends on exactly one positive decision atom.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.solver.asp.ast import (
     Anon,
@@ -57,15 +57,25 @@ class GroundProblem:
 
 
 class _Relation:
-    """Tuple store with lazily built hash indexes on bound-position masks."""
+    """Tuple store with lazily built hash indexes on bound-position masks.
+
+    Indexes are invalidated lazily: adds mark the store dirty instead of
+    discarding indexes immediately, so interleaved batches of adds cost
+    one invalidation, and :meth:`extend` loads whole relations at once.
+    """
 
     def __init__(self) -> None:
         self.tuples: List[Tuple[Value, ...]] = []
         self._indexes: Dict[Tuple[int, ...], Dict[Tuple[Value, ...], List[Tuple[Value, ...]]]] = {}
+        self._dirty = False
 
     def add(self, row: Tuple[Value, ...]) -> None:
         self.tuples.append(row)
-        self._indexes.clear()
+        self._dirty = True
+
+    def extend(self, rows: Iterable[Tuple[Value, ...]]) -> None:
+        self.tuples.extend(rows)
+        self._dirty = True
 
     def lookup(
         self, pattern: Sequence[Optional[Value]]
@@ -74,6 +84,9 @@ class _Relation:
         mask = tuple(i for i, v in enumerate(pattern) if v is not None)
         if not mask:
             return self.tuples
+        if self._dirty:
+            self._indexes.clear()
+            self._dirty = False
         index = self._indexes.get(mask)
         if index is None:
             index = {}
@@ -156,14 +169,22 @@ class Grounder:
         self.program = program
         self.max_instances = max_instances
         self.instances = 0
-        self.edb: Dict[str, _Relation] = {}
+        # Batch rows per predicate and load each relation once, so the
+        # lazy indexes are built over the complete fact set instead of
+        # being invalidated on every add.
+        rows_by_predicate: Dict[str, List[Tuple[Value, ...]]] = {}
         for fact in program.facts():
             row = tuple(
                 term.value for term in fact.atom.args if isinstance(term, Const)
             )
             if len(row) != len(fact.atom.args):
                 raise GroundingError(f"non-ground fact {fact.atom}")
-            self.edb.setdefault(fact.atom.name, _Relation()).add(row)
+            rows_by_predicate.setdefault(fact.atom.name, []).append(row)
+        self.edb: Dict[str, _Relation] = {}
+        for name, rows in rows_by_predicate.items():
+            relation = _Relation()
+            relation.extend(rows)
+            self.edb[name] = relation
         self.decision_predicates = {
             rule.head.name for rule in program.choice_rules()
         }
@@ -281,9 +302,10 @@ class Grounder:
         relation = self._domain_index.get(name)
         if relation is None:
             relation = _Relation()
-            for atom_name, row in sorted(self.domain):
-                if atom_name == name:
-                    relation.add(row)
+            relation.extend(
+                row for atom_name, row in sorted(self.domain)
+                if atom_name == name
+            )
             self._domain_index[name] = relation
         return relation
 

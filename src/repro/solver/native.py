@@ -15,19 +15,132 @@ ProvMark reduces three problems to (sub)graph matching (paper §3.4–3.5):
 The paper solves these with clingo; this module is the fast native engine.
 :mod:`repro.solver.asp` executes the paper's actual ASP programs and is
 cross-checked against this implementation in the test suite.
+
+Performance architecture (see ROADMAP.md):
+
+* candidate domains are pruned with label/degree indexes plus two rounds
+  of Weisfeiler-Leman-style neighborhood-color refinement before search;
+* group feasibility is incremental — each assignment step only touches
+  parallel-edge groups incident to the newly mapped node, and the inverse
+  node map is maintained alongside the forward map instead of being
+  rebuilt;
+* ``property_mismatch_cost`` is memoized per (element1, element2) pair
+  for the lifetime of one search;
+* wide parallel-edge groups are assigned optimally with the Hungarian
+  algorithm instead of a greedy heuristic;
+* generalization reuses the isomorphism found during similarity classing
+  as a warm upper bound for the minimizing search.
+
+All of the above can be disabled with :func:`solver_optimizations` to
+measure the speedup (``bench_solver_optimizations.py``); per-thread
+counters are exposed through :func:`solver_stats`.
 """
 
 from __future__ import annotations
 
 import itertools
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.graph.model import Edge, Node, PropertyGraph
 
 
 class SolverLimit(Exception):
     """Raised when the backtracking search exceeds its step budget."""
+
+
+# -- observability ----------------------------------------------------------
+
+
+@dataclass
+class SolverStats:
+    """Per-thread counters making the optimization wins observable.
+
+    ``steps`` — backtracking search steps; ``searches`` — number of
+    :class:`_MatchSearch` runs; ``cost_cache_hits`` — memoized property
+    mismatch lookups served from cache; ``matching_cache_hits`` — warm
+    starts of the generalization search from a cached similarity matching.
+    """
+
+    steps: int = 0
+    searches: int = 0
+    cost_cache_hits: int = 0
+    matching_cache_hits: int = 0
+
+    def snapshot(self) -> "SolverStats":
+        return SolverStats(
+            steps=self.steps,
+            searches=self.searches,
+            cost_cache_hits=self.cost_cache_hits,
+            matching_cache_hits=self.matching_cache_hits,
+        )
+
+    def delta(self, since: "SolverStats") -> "SolverStats":
+        return SolverStats(
+            steps=self.steps - since.steps,
+            searches=self.searches - since.searches,
+            cost_cache_hits=self.cost_cache_hits - since.cost_cache_hits,
+            matching_cache_hits=(
+                self.matching_cache_hits - since.matching_cache_hits
+            ),
+        )
+
+
+_tls = threading.local()
+
+
+def solver_stats() -> SolverStats:
+    """The calling thread's solver counters (created on first use)."""
+    stats = getattr(_tls, "stats", None)
+    if stats is None:
+        stats = SolverStats()
+        _tls.stats = stats
+    return stats
+
+
+def reset_solver_stats() -> SolverStats:
+    """Zero the calling thread's counters and return the fresh object."""
+    _tls.stats = SolverStats()
+    return _tls.stats
+
+
+_OPTIMIZATIONS_ENABLED = True
+
+
+@contextmanager
+def solver_optimizations(enabled: bool) -> Iterator[None]:
+    """Toggle the fast-path machinery (for benchmarking the speedup).
+
+    With ``enabled=False`` the engine falls back to the reference
+    behavior: label/degree candidate scans, full group rescans per step,
+    uncached property costs, no warm starts.  Results are identical
+    either way; only the work done differs.  (Wide parallel-edge groups
+    are assigned with the exact Hungarian solver in both modes —
+    exactness is not a speed toggle.)
+    """
+    global _OPTIMIZATIONS_ENABLED
+    previous = _OPTIMIZATIONS_ENABLED
+    _OPTIMIZATIONS_ENABLED = enabled
+    try:
+        yield
+    finally:
+        _OPTIMIZATIONS_ENABLED = previous
+
+
+def optimizations_enabled() -> bool:
+    return _OPTIMIZATIONS_ENABLED
 
 
 @dataclass
@@ -62,22 +175,156 @@ def _group_edges(graph: PropertyGraph) -> Dict[Tuple[str, str, str], List[Edge]]
     return groups
 
 
+def _group_keys_by_node(
+    groups: Dict[Tuple[str, str, str], List[Edge]]
+) -> Dict[str, List[Tuple[str, str, str]]]:
+    """Index group keys by incident endpoint (self-loop keys appear once)."""
+    index: Dict[str, List[Tuple[str, str, str]]] = {}
+    for key in groups:
+        src, tgt, _ = key
+        index.setdefault(src, []).append(key)
+        if tgt != src:
+            index.setdefault(tgt, []).append(key)
+    return index
+
+
+def _cached_structure(graph: PropertyGraph, key: str, build: Callable[[], object]):
+    """Per-graph derived-structure cache, validated by the graph version.
+
+    Similarity classing runs many searches over the same trial graphs;
+    caching label indexes, edge groups, WL colors, and search orders on
+    the graph itself makes those searches share the preprocessing.  Any
+    mutation bumps :attr:`PropertyGraph.version`, which discards the
+    whole store (so e.g. edge groups never hold stale ``Edge`` objects
+    after a ``set_prop``).
+    """
+    store = getattr(graph, "_matcher_cache", None)
+    if store is None or store[0] != graph.version:
+        store = (graph.version, {})
+        graph._matcher_cache = store  # type: ignore[attr-defined]
+    values = store[1]
+    if key not in values:
+        values[key] = build()
+    return values[key]
+
+
+def _wl_colors(graph: PropertyGraph) -> Dict[str, int]:
+    """Weisfeiler-Leman neighborhood colors after ``_WL_ROUNDS`` rounds.
+
+    Colors start from node labels and are refined over the multiset of
+    (edge label, direction, neighbor color).  Each round's color is the
+    hash of the canonical signature, so colors computed independently for
+    two graphs are comparable within one process; hash collisions can only
+    enlarge candidate sets (sound), never shrink them.
+    """
+    colors = {node.id: hash(("wl0", node.label)) for node in graph.nodes()}
+    for _ in range(_WL_ROUNDS):
+        refined = {}
+        for node in graph.nodes():
+            node_id = node.id
+            signature = (
+                colors[node_id],
+                tuple(sorted(
+                    (edge.label, colors[edge.tgt])
+                    for edge in graph.out_edges(node_id)
+                )),
+                tuple(sorted(
+                    (edge.label, colors[edge.src])
+                    for edge in graph.in_edges(node_id)
+                )),
+            )
+            refined[node_id] = hash(signature)
+        colors = refined
+    return colors
+
+
+def _neighborhood_signature(
+    graph: PropertyGraph, node_id: str
+) -> Dict[Tuple[int, str, str], int]:
+    """Counts per (direction, edge label, neighbor label) bucket."""
+    counts: Dict[Tuple[int, str, str], int] = {}
+    for edge in graph.out_edges(node_id):
+        key = (0, edge.label, graph.node(edge.tgt).label)
+        counts[key] = counts.get(key, 0) + 1
+    for edge in graph.in_edges(node_id):
+        key = (1, edge.label, graph.node(edge.src).label)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def _hungarian(cost_matrix: Sequence[Sequence[int]]) -> Tuple[int, List[int]]:
+    """Min-cost assignment of rows onto columns (rows <= columns).
+
+    Potential-based shortest-augmenting-path formulation, O(n1·n2²).
+    Returns the total cost and the column chosen for each row.
+    """
+    n1 = len(cost_matrix)
+    n2 = len(cost_matrix[0])
+    INF = float("inf")
+    u = [0.0] * (n1 + 1)
+    v = [0.0] * (n2 + 1)
+    match = [0] * (n2 + 1)  # match[j] = row (1-based) assigned to column j
+    way = [0] * (n2 + 1)
+    for i in range(1, n1 + 1):
+        match[0] = i
+        j0 = 0
+        minv = [INF] * (n2 + 1)
+        used = [False] * (n2 + 1)
+        while True:
+            used[j0] = True
+            i0 = match[j0]
+            delta = INF
+            j1 = 0
+            for j in range(1, n2 + 1):
+                if used[j]:
+                    continue
+                cur = cost_matrix[i0 - 1][j - 1] - u[i0] - v[j]
+                if cur < minv[j]:
+                    minv[j] = cur
+                    way[j] = j0
+                if minv[j] < delta:
+                    delta = minv[j]
+                    j1 = j
+            for j in range(n2 + 1):
+                if used[j]:
+                    u[match[j]] += delta
+                    v[j] -= delta
+                else:
+                    minv[j] -= delta
+            j0 = j1
+            if match[j0] == 0:
+                break
+        while j0:
+            j1 = way[j0]
+            match[j0] = match[j1]
+            j0 = j1
+    columns = [0] * n1
+    for j in range(1, n2 + 1):
+        if match[j]:
+            columns[match[j] - 1] = j - 1
+    total = sum(cost_matrix[i][columns[i]] for i in range(n1))
+    return total, columns
+
+
 def _optimal_group_assignment(
-    edges1: Sequence[Edge], edges2: Sequence[Edge]
+    edges1: Sequence[Edge],
+    edges2: Sequence[Edge],
+    pair_cost: Optional[Callable[[Edge, Edge], int]] = None,
 ) -> Tuple[int, List[Tuple[str, str]]]:
     """Min-cost injective assignment of parallel-edge group 1 into group 2.
 
-    Groups are small (parallel edges with identical endpoints and label), so
-    exhaustive permutation search is fine up to a threshold, after which we
-    fall back to a greedy assignment (still injective, possibly suboptimal
-    by a property or two — never affecting structural feasibility).
+    Groups are small (parallel edges with identical endpoints and label),
+    so exhaustive permutation search is used up to a threshold; wider
+    groups are solved exactly with the Hungarian algorithm.  Exactness is
+    not part of the optimization toggle — both engine modes assign wide
+    groups optimally.
     """
     if len(edges1) > len(edges2):
         raise ValueError("group 1 larger than group 2")
-    cost_matrix = [
-        [property_mismatch_cost(e1.props, e2.props) for e2 in edges2]
-        for e1 in edges1
-    ]
+    cost_of = pair_cost or (
+        lambda e1, e2: property_mismatch_cost(e1.props, e2.props)
+    )
+    cost_matrix = [[cost_of(e1, e2) for e2 in edges2] for e1 in edges1]
     n1, n2 = len(edges1), len(edges2)
     if n1 == 1:
         best_j = min(range(n2), key=lambda j: cost_matrix[0][j])
@@ -92,17 +339,13 @@ def _optimal_group_assignment(
         assert best_perm is not None and best_cost is not None
         pairs = [(edges1[i].id, edges2[best_perm[i]].id) for i in range(n1)]
         return best_cost, pairs
-    # Greedy fallback for unusually wide groups.
-    used: set = set()
-    total = 0
-    pairs = []
-    for i in range(n1):
-        candidates = [j for j in range(n2) if j not in used]
-        best_j = min(candidates, key=lambda j: cost_matrix[i][j])
-        used.add(best_j)
-        total += cost_matrix[i][best_j]
-        pairs.append((edges1[i].id, edges2[best_j].id))
-    return total, pairs
+    total, columns = _hungarian(cost_matrix)
+    return total, [
+        (edges1[i].id, edges2[columns[i]].id) for i in range(n1)
+    ]
+
+
+_WL_ROUNDS = 2
 
 
 class _MatchSearch:
@@ -115,6 +358,7 @@ class _MatchSearch:
         exact: bool,
         minimize_cost: bool,
         max_steps: int,
+        upper_bound: Optional[int] = None,
     ) -> None:
         self.g1 = g1
         self.g2 = g2
@@ -122,23 +366,71 @@ class _MatchSearch:
         self.minimize_cost = minimize_cost
         self.max_steps = max_steps
         self.steps = 0
-        self.groups1 = _group_edges(g1)
-        self.groups2 = _group_edges(g2)
+        self.stats = solver_stats()
+        self.stats.searches += 1
+        self.optimized = _OPTIMIZATIONS_ENABLED
+        if self.optimized:
+            self.groups1 = _cached_structure(
+                g1, "groups", lambda: _group_edges(g1)
+            )
+            self.groups2 = _cached_structure(
+                g2, "groups", lambda: _group_edges(g2)
+            )
+            self._gkeys1_by_node = _cached_structure(
+                g1, "gkeys", lambda: _group_keys_by_node(self.groups1)
+            )
+            self._gkeys2_by_node = (
+                _cached_structure(
+                    g2, "gkeys", lambda: _group_keys_by_node(self.groups2)
+                )
+                if exact else {}
+            )
+        else:
+            # Reference mode scans groups directly and never consults the
+            # endpoint indexes, so it does not build them.
+            self.groups1 = _group_edges(g1)
+            self.groups2 = _group_edges(g2)
+            self._gkeys1_by_node = {}
+            self._gkeys2_by_node = {}
         self.best: Optional[Matching] = None
-        self.nodes1 = self._order_nodes()
-        self.candidates = {
-            node.id: self._node_candidates(node) for node in g1.nodes()
-        }
+        # Prune any branch whose bound reaches this threshold; a cached
+        # similarity matching seeds it at cost+1 so only equal-or-better
+        # solutions are explored (the optimum is never cut off).
+        self._prune_at: Optional[int] = (
+            upper_bound + 1
+            if upper_bound is not None and minimize_cost and self.optimized
+            else None
+        )
+        self._pair_cost: Optional[Dict[Tuple[str, str], int]] = (
+            {} if self.optimized else None
+        )
+        if self.optimized:
+            self.nodes1 = _cached_structure(g1, "order", self._order_nodes)
+            self.candidates = (
+                self._refined_candidates()
+                if exact
+                else self._embedding_candidates()
+            )
+        else:
+            self.nodes1 = self._order_nodes()
+            self.candidates = {
+                node.id: self._node_candidates(node) for node in g1.nodes()
+            }
         # Admissible lower bound: from depth d onward at least the minimum
         # candidate property cost of every remaining node must be paid.
         # Without it, symmetric nodes whose every pairing costs the same
         # (e.g. volatile timestamps on interchangeable Call nodes) force an
-        # exhaustive permutation sweep.
+        # exhaustive permutation sweep.  The bound is only consulted by
+        # cost-minimizing searches; similarity checks skip the O(E1·E2)
+        # precomputation entirely.
+        if not minimize_cost:
+            self._suffix_min = [0] * (len(self.nodes1) + 1)
+            return
         min_cost = []
         for node_id in self.nodes1:
-            props = g1.node(node_id).props
+            node = g1.node(node_id)
             costs = [
-                property_mismatch_cost(props, g2.node(v).props)
+                self._pcost(node_id, node.props, v, g2.node(v).props)
                 for v in self.candidates[node_id]
             ]
             min_cost.append(min(costs) if costs else 0)
@@ -155,7 +447,7 @@ class _MatchSearch:
             if not compatible:
                 continue
             cheapest = min(
-                property_mismatch_cost(edge.props, other.props)
+                self._pcost(edge.id, edge.props, other.id, other.props)
                 for other in compatible
             )
             completion = max(position[edge.src], position[edge.tgt])
@@ -166,9 +458,39 @@ class _MatchSearch:
                 self._suffix_min[index + 1] + min_cost[index] + edge_min_at[index]
             )
 
+    # -- memoized property costs -------------------------------------------
+
+    def _pcost(
+        self,
+        id1: str,
+        props1: Mapping[str, str],
+        id2: str,
+        props2: Mapping[str, str],
+    ) -> int:
+        """Property mismatch cost memoized per (element1, element2) pair.
+
+        Node and edge identifiers share one namespace within a graph, so
+        (g1 id, g2 id) keys cannot collide across element kinds.
+        """
+        cache = self._pair_cost
+        if cache is None:
+            return property_mismatch_cost(props1, props2)
+        key = (id1, id2)
+        cached = cache.get(key)
+        if cached is not None:
+            self.stats.cost_cache_hits += 1
+            return cached
+        cost = property_mismatch_cost(props1, props2)
+        cache[key] = cost
+        return cost
+
+    def _edge_pair_cost(self, e1: Edge, e2: Edge) -> int:
+        return self._pcost(e1.id, e1.props, e2.id, e2.props)
+
     # -- candidate computation --------------------------------------------
 
     def _node_candidates(self, node: Node) -> List[str]:
+        """Reference O(|V1|·|V2|) label/degree scan (optimizations off)."""
         result = []
         deg1_out = len(self.g1.out_edges(node.id))
         deg1_in = len(self.g1.in_edges(node.id))
@@ -186,55 +508,154 @@ class _MatchSearch:
             result.append(other.id)
         return result
 
+    def _refined_candidates(self) -> Dict[str, List[str]]:
+        """Exact-mode candidate domains from WL neighborhood refinement.
+
+        An isomorphism can only map nodes of equal WL color, so each g1
+        node's domain is the g2 color class of its own color.  Round one
+        already subsumes the label + exact in/out-degree checks.  Colors
+        and color classes are cached per graph (see :func:`_wl_colors`).
+        """
+        g1, g2 = self.g1, self.g2
+        colors1 = _cached_structure(g1, "wl", lambda: _wl_colors(g1))
+        colors2 = _cached_structure(g2, "wl", lambda: _wl_colors(g2))
+
+        def color_classes() -> Dict[int, List[str]]:
+            by_color: Dict[int, List[str]] = {}
+            for node in g2.nodes():
+                by_color.setdefault(colors2[node.id], []).append(node.id)
+            return by_color
+
+        by_color = _cached_structure(g2, "wl_classes", color_classes)
+        empty: List[str] = []
+        return {
+            node.id: by_color.get(colors1[node.id], empty)
+            for node in g1.nodes()
+        }
+
+    def _embedding_candidates(self) -> Dict[str, List[str]]:
+        """Embedding-mode domains from a label index + containment test.
+
+        WL equality is unsound for subgraph embedding (the host node may
+        have extra structure), so the refinement is one-sided: every
+        (direction, edge label, neighbor label) bucket of the pattern node
+        must be covered by the candidate's bucket.  This subsumes the
+        in/out-degree inequalities.
+        """
+        g1, g2 = self.g1, self.g2
+
+        def label_index() -> Dict[str, List[str]]:
+            index: Dict[str, List[str]] = {}
+            for node in g2.nodes():
+                index.setdefault(node.label, []).append(node.id)
+            return index
+
+        def signatures(graph: PropertyGraph):
+            return lambda: {
+                node.id: _neighborhood_signature(graph, node.id)
+                for node in graph.nodes()
+            }
+
+        nodes2_by_label = _cached_structure(g2, "by_label", label_index)
+        need_sig = _cached_structure(g1, "neigh", signatures(g1))
+        have_sig = _cached_structure(g2, "neigh", signatures(g2))
+        result: Dict[str, List[str]] = {}
+        for node in g1.nodes():
+            need = need_sig[node.id]
+            domain: List[str] = []
+            for other_id in nodes2_by_label.get(node.label, ()):
+                have = have_sig[other_id]
+                if all(
+                    have.get(key, 0) >= count for key, count in need.items()
+                ):
+                    domain.append(other_id)
+            result[node.id] = domain
+        return result
+
     def _order_nodes(self) -> List[str]:
-        """Most-constrained-first ordering, preferring connected expansion."""
-        remaining = {node.id for node in self.g1.nodes()}
+        """Most-constrained-first ordering, preferring connected expansion.
+
+        The frontier of nodes adjacent to the placed prefix is maintained
+        incrementally over a precomputed adjacency map (the naive version
+        rescans every remaining node's edge lists per pick, which shows up
+        as the dominant search-construction cost on larger targets).
+        """
+        degree = {node.id: self.g1.degree(node.id) for node in self.g1.nodes()}
+        neighbors: Dict[str, set] = {node_id: set() for node_id in degree}
+        for edge in self.g1.edges():
+            neighbors[edge.src].add(edge.tgt)
+            neighbors[edge.tgt].add(edge.src)
+        remaining = dict.fromkeys(degree)  # insertion-ordered set
+        frontier: set = set()
         order: List[str] = []
-        placed: set = set()
         while remaining:
-            adjacent = [
-                node_id
-                for node_id in remaining
-                if any(
-                    e.src in placed or e.tgt in placed
-                    for e in self.g1.out_edges(node_id) + self.g1.in_edges(node_id)
-                )
-            ]
-            pool = adjacent or list(remaining)
-            pick = max(pool, key=lambda n: self.g1.degree(n))
+            pool = [n for n in remaining if n in frontier] or list(remaining)
+            pick = max(pool, key=degree.__getitem__)
             order.append(pick)
-            placed.add(pick)
-            remaining.remove(pick)
+            del remaining[pick]
+            frontier.discard(pick)
+            frontier.update(n for n in neighbors[pick] if n in remaining)
         return order
 
     # -- feasibility and cost ---------------------------------------------
 
-    def _group_feasible(self, node_map: Dict[str, str], u: str, v: str) -> bool:
-        """Check parallel-edge-group counts for edges between mapped nodes."""
-        for key, edges1 in self.groups1.items():
+    def _group_feasible(
+        self,
+        node_map: Dict[str, str],
+        inv: Dict[str, str],
+        u: str,
+        v: str,
+    ) -> bool:
+        """Check parallel-edge-group counts for edges between mapped nodes.
+
+        Only the groups incident to the newly mapped ``u`` (and, in exact
+        mode, to its image ``v``) can change feasibility, so only those are
+        examined; the inverse node map ``inv`` is maintained incrementally
+        by the search rather than rebuilt per step.
+        """
+        if self.optimized:
+            keys1: Iterable[Tuple[str, str, str]] = (
+                self._gkeys1_by_node.get(u, ())
+            )
+        else:
+            keys1 = (
+                key for key in self.groups1 if u in (key[0], key[1])
+            )
+        for key in keys1:
             src, tgt, label = key
-            if u not in (src, tgt):
+            mapped_src = node_map.get(src)
+            mapped_tgt = node_map.get(tgt)
+            if mapped_src is None or mapped_tgt is None:
                 continue
-            if src in node_map and tgt in node_map:
-                mapped_key = (node_map[src], node_map[tgt], label)
-                edges2 = self.groups2.get(mapped_key, [])
-                if self.exact:
-                    if len(edges2) != len(edges1):
-                        return False
-                elif len(edges2) < len(edges1):
+            edges2 = self.groups2.get((mapped_src, mapped_tgt, label))
+            count2 = len(edges2) if edges2 else 0
+            count1 = len(self.groups1[key])
+            if self.exact:
+                if count2 != count1:
                     return False
+            elif count2 < count1:
+                return False
         if self.exact:
             # Reverse direction: mapped g2 nodes must not have extra edges
             # between them that g1 lacks.
-            for key, edges2 in self.groups2.items():
+            if self.optimized:
+                keys2: Iterable[Tuple[str, str, str]] = (
+                    self._gkeys2_by_node.get(v, ())
+                )
+            else:
+                keys2 = (
+                    key for key in self.groups2 if v in (key[0], key[1])
+                )
+            for key in keys2:
                 src2, tgt2, label = key
-                if v not in (src2, tgt2):
+                inv_src = inv.get(src2)
+                inv_tgt = inv.get(tgt2)
+                if inv_src is None or inv_tgt is None:
                     continue
-                inv = {b: a for a, b in node_map.items()}
-                if src2 in inv and tgt2 in inv:
-                    edges1 = self.groups1.get((inv[src2], inv[tgt2], label), [])
-                    if len(edges1) != len(edges2):
-                        return False
+                edges1 = self.groups1.get((inv_src, inv_tgt, label))
+                count1 = len(edges1) if edges1 else 0
+                if count1 != len(self.groups2[key]):
+                    return False
         return True
 
     def _edge_cost_for(
@@ -243,10 +664,14 @@ class _MatchSearch:
         """Cost and pairing of edge groups completed by mapping node ``u``."""
         total = 0
         pairs: List[Tuple[str, str]] = []
-        for key, edges1 in self.groups1.items():
+        if self.optimized:
+            keys: Iterable[Tuple[str, str, str]] = (
+                self._gkeys1_by_node.get(u, ())
+            )
+        else:
+            keys = (key for key in self.groups1 if u in (key[0], key[1]))
+        for key in keys:
             src, tgt, label = key
-            if u not in (src, tgt):
-                continue
             # A self-loop group completes on its single endpoint; a normal
             # group completes when its second endpoint is mapped.
             other = tgt if u == src else src
@@ -254,9 +679,18 @@ class _MatchSearch:
                 continue
             if src == tgt and u != src:
                 continue
+            edges1 = self.groups1[key]
             mapped_key = (node_map[src], node_map[tgt], label)
             edges2 = self.groups2.get(mapped_key, [])
-            cost, group_pairs = _optimal_group_assignment(edges1, edges2)
+            if len(edges1) == 1 and len(edges2) == 1:
+                # By far the most common shape: no assignment to optimize.
+                e1, e2 = edges1[0], edges2[0]
+                total += self._pcost(e1.id, e1.props, e2.id, e2.props)
+                pairs.append((e1.id, e2.id))
+                continue
+            cost, group_pairs = _optimal_group_assignment(
+                edges1, edges2, self._edge_pair_cost
+            )
             total += cost
             pairs.extend(group_pairs)
         return total, pairs
@@ -264,25 +698,29 @@ class _MatchSearch:
     # -- search -------------------------------------------------------------
 
     def run(self) -> Optional[Matching]:
-        if self.exact:
-            if self.g1.node_count != self.g2.node_count:
+        try:
+            if self.exact:
+                if self.g1.node_count != self.g2.node_count:
+                    return None
+                if self.g1.edge_count != self.g2.edge_count:
+                    return None
+            else:
+                if self.g1.node_count > self.g2.node_count:
+                    return None
+                if self.g1.edge_count > self.g2.edge_count:
+                    return None
+            if any(not cands for cands in self.candidates.values()):
                 return None
-            if self.g1.edge_count != self.g2.edge_count:
-                return None
-        else:
-            if self.g1.node_count > self.g2.node_count:
-                return None
-            if self.g1.edge_count > self.g2.edge_count:
-                return None
-        if any(not cands for cands in self.candidates.values()):
-            return None
-        self._search(0, {}, {}, 0)
-        return self.best
+            self._search(0, {}, {}, {}, 0)
+            return self.best
+        finally:
+            self.stats.steps += self.steps
 
     def _search(
         self,
         depth: int,
         node_map: Dict[str, str],
+        inv: Dict[str, str],
         edge_map: Dict[str, str],
         cost: int,
     ) -> None:
@@ -291,42 +729,48 @@ class _MatchSearch:
             raise SolverLimit(
                 f"matching exceeded {self.max_steps} search steps"
             )
-        if self.best is not None:
-            if not self.minimize_cost:
-                return
-            if cost + self._suffix_min[depth] >= self.best.cost:
+        if self.best is not None and not self.minimize_cost:
+            return
+        if self.minimize_cost:
+            limit = (
+                self.best.cost if self.best is not None else self._prune_at
+            )
+            if limit is not None and cost + self._suffix_min[depth] >= limit:
                 return
         if depth == len(self.nodes1):
             if self.best is None or cost < self.best.cost:
                 self.best = Matching(dict(node_map), dict(edge_map), cost)
             return
         u = self.nodes1[depth]
-        used = set(node_map.values())
         props_u = self.g1.node(u).props
-        candidates = [v for v in self.candidates[u] if v not in used]
+        candidates = [v for v in self.candidates[u] if v not in inv]
         if self.minimize_cost:
             # Cheapest-first ordering finds a low-cost solution early, after
             # which branch-and-bound prunes the symmetric alternatives
             # (e.g. OPUS's many interchangeable Env nodes).
             candidates.sort(
-                key=lambda v: property_mismatch_cost(
-                    props_u, self.g2.node(v).props
+                key=lambda v: self._pcost(
+                    u, props_u, v, self.g2.node(v).props
                 )
             )
         for v in candidates:
-            if not self._group_feasible({**node_map, u: v}, u, v):
-                continue
             node_map[u] = v
-            node_cost = property_mismatch_cost(
-                props_u, self.g2.node(v).props
-            )
+            inv[v] = u
+            if not self._group_feasible(node_map, inv, u, v):
+                del node_map[u]
+                del inv[v]
+                continue
+            node_cost = self._pcost(u, props_u, v, self.g2.node(v).props)
             edge_cost, pairs = self._edge_cost_for(node_map, u)
             for edge1_id, edge2_id in pairs:
                 edge_map[edge1_id] = edge2_id
-            self._search(depth + 1, node_map, edge_map, cost + node_cost + edge_cost)
+            self._search(
+                depth + 1, node_map, inv, edge_map, cost + node_cost + edge_cost
+            )
             for edge1_id, _ in pairs:
                 del edge_map[edge1_id]
             del node_map[u]
+            del inv[v]
 
 
 DEFAULT_MAX_STEPS = 2_000_000
@@ -337,27 +781,39 @@ def find_isomorphism(
     g2: PropertyGraph,
     minimize_properties: bool = False,
     max_steps: int = DEFAULT_MAX_STEPS,
+    upper_bound: Optional[int] = None,
 ) -> Optional[Matching]:
     """Find a structure-preserving bijection between ``g1`` and ``g2``.
 
     With ``minimize_properties`` the search continues past the first
     solution and returns the isomorphism with the fewest property
-    mismatches (the generalization objective).  Returns ``None`` when the
-    graphs are not similar.
+    mismatches (the generalization objective).  ``upper_bound`` seeds the
+    branch-and-bound with the cost of a known valid matching (e.g. from a
+    previous similarity check) so pruning starts immediately; the result
+    is identical to the unseeded search.  Returns ``None`` when the graphs
+    are not similar.
     """
     if g1.is_empty() and g2.is_empty():
         return Matching({}, {}, 0)
     search = _MatchSearch(
-        g1, g2, exact=True, minimize_cost=minimize_properties, max_steps=max_steps
+        g1, g2, exact=True, minimize_cost=minimize_properties,
+        max_steps=max_steps, upper_bound=upper_bound,
     )
     return search.run()
+
+
+def _signature_of(graph: PropertyGraph) -> Tuple:
+    """Structural signature, cached per graph version when optimizing."""
+    if not _OPTIMIZATIONS_ENABLED:
+        return graph.structural_signature()
+    return _cached_structure(graph, "signature", graph.structural_signature)
 
 
 def are_similar(
     g1: PropertyGraph, g2: PropertyGraph, max_steps: int = DEFAULT_MAX_STEPS
 ) -> bool:
     """Paper §3.4: same shape and labels, properties ignored."""
-    if g1.structural_signature() != g2.structural_signature():
+    if _signature_of(g1) != _signature_of(g2):
         return False
     return find_isomorphism(g1, g2, max_steps=max_steps) is not None
 
@@ -387,6 +843,7 @@ def generalize_pair(
     g2: PropertyGraph,
     gid: Optional[str] = None,
     max_steps: int = DEFAULT_MAX_STEPS,
+    warm: Optional[Matching] = None,
 ) -> Optional[PropertyGraph]:
     """Paper §3.4: generalize two similar graphs into one.
 
@@ -394,8 +851,20 @@ def generalize_pair(
     exactly the properties on which both graphs agree (discarding volatile
     values such as timestamps and identifiers).  Returns ``None`` when the
     graphs are not similar.  Element ids of ``g1`` are kept.
+
+    ``warm`` supplies a matching already found between the same pair (the
+    similarity-classing step computes one); its cost becomes the initial
+    branch-and-bound upper bound, which prunes most of the re-search while
+    provably returning the same minimal matching.
     """
-    matching = find_isomorphism(g1, g2, minimize_properties=True, max_steps=max_steps)
+    bound: Optional[int] = None
+    if warm is not None and _OPTIMIZATIONS_ENABLED:
+        solver_stats().matching_cache_hits += 1
+        bound = warm.cost
+    matching = find_isomorphism(
+        g1, g2, minimize_properties=True, max_steps=max_steps,
+        upper_bound=bound,
+    )
     if matching is None:
         return None
     out = PropertyGraph(gid or g1.gid)
@@ -464,19 +933,29 @@ def subtract_background(
 
 
 def partition_similarity_classes(
-    graphs: Sequence[PropertyGraph], max_steps: int = DEFAULT_MAX_STEPS
-) -> List[List[int]]:
+    graphs: Sequence[PropertyGraph],
+    max_steps: int = DEFAULT_MAX_STEPS,
+    collect_matchings: bool = False,
+):
     """Partition trial graphs into similarity classes (paper §3.4).
 
     Returns lists of indices into ``graphs``.  A cheap structural signature
     pre-partitions; exact isomorphism confirms membership within buckets.
+
+    With ``collect_matchings`` the return value is ``(classes, matchings)``
+    where ``matchings[(i, j)]`` is the isomorphism found from ``graphs[i]``
+    (a class representative) into ``graphs[j]`` — the generalization stage
+    reuses it as a warm start instead of re-searching the same pair.
     """
     buckets: Dict[Tuple, List[List[int]]] = {}
+    matchings: Dict[Tuple[int, int], Matching] = {}
     for index, graph in enumerate(graphs):
-        signature = graph.structural_signature()
+        signature = _signature_of(graph)
         classes = buckets.setdefault(signature, [])
         for cls in classes:
-            if find_isomorphism(graphs[cls[0]], graph, max_steps=max_steps):
+            found = find_isomorphism(graphs[cls[0]], graph, max_steps=max_steps)
+            if found:
+                matchings[(cls[0], index)] = found
                 cls.append(index)
                 break
         else:
@@ -485,4 +964,6 @@ def partition_similarity_classes(
     for classes in buckets.values():
         result.extend(classes)
     result.sort(key=lambda cls: cls[0])
+    if collect_matchings:
+        return result, matchings
     return result

@@ -58,7 +58,6 @@ class ProgramExecutor:
         variables = self._run_ops(kernel, process, ops)
         if process.alive:
             kernel.sys_exit(process, 0)
-        end_seq = kernel.seq
         # Reap any children the program spawned (implicit exit at end of
         # their trivial main, still inside the recording window).
         for child in list(kernel.processes.values()):

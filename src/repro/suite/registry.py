@@ -268,9 +268,14 @@ def _build_failure_benchmarks() -> Dict[str, Program]:
 
 
 def _build_scalability_benchmarks() -> Dict[str, Program]:
-    """§5.2: scale1/2/4/8 repeat a creat+unlink pair 1/2/4/8 times."""
+    """§5.2: scaleN repeats a creat+unlink pair N times.
+
+    The paper stops at scale8; scale16/scale32 extend the sweep toward
+    realistic suspicious-behaviour target sizes (§5.4) and exercise the
+    matching engine's candidate pruning under the solver step budget.
+    """
     benchmarks = {}
-    for factor in (1, 2, 4, 8):
+    for factor in (1, 2, 4, 8, 16, 32):
         ops: List[Op] = []
         for index in range(factor):
             ops.append(Op("creat", ("scale.txt", 0o644), result=f"fd{index}",

@@ -1,0 +1,129 @@
+"""Regression tests for the matching cache and the parallel suite runner.
+
+The fast path must be invisible in the results: warm-started
+generalization produces byte-identical graphs, and a concurrent
+``run_many`` returns exactly what a serial sweep returns, in input order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ProvMark
+from repro.core.generalize import generalize_trials
+from repro.core.pipeline import PipelineConfig
+from repro.core.recording import Recorder
+from repro.core.transform import transform
+from repro.capture.spade import SpadeCapture
+from repro.suite.registry import get_benchmark
+
+
+def record_trial_graphs(name: str, trials: int = 4, seed: int = 11):
+    """Real trial graphs for one benchmark's foreground variant."""
+    capture = SpadeCapture()
+    recorder = Recorder(capture, trials=trials, seed=seed)
+    session = recorder.record(get_benchmark(name))
+    return [
+        transform(trial.raw, capture.output_format, gid=f"fg{i}")
+        for i, trial in enumerate(session.foreground_trials)
+    ]
+
+
+class TestMatchingCacheIdentity:
+    @pytest.mark.parametrize("name", ["rename", "fork", "tee"])
+    def test_cached_generalization_is_byte_identical(self, name):
+        graphs = record_trial_graphs(name)
+        cached = generalize_trials(graphs, matching_cache=True)
+        uncached = generalize_trials(graphs, matching_cache=False)
+        assert cached.graph == uncached.graph  # exact ids, labels, props
+        assert cached.discarded == uncached.discarded
+        assert cached.class_sizes == uncached.class_sizes
+
+    def test_cached_generalization_identical_with_volatile_props(
+        self, volatile_pair
+    ):
+        g1, g2 = volatile_pair
+        cached = generalize_trials([g1, g2], matching_cache=True)
+        uncached = generalize_trials([g1, g2], matching_cache=False)
+        assert cached.graph == uncached.graph
+
+    def test_pipeline_records_cache_hits(self):
+        result = ProvMark(tool="spade", seed=11).run_benchmark("rename")
+        timings = result.timings
+        # fg and bg generalizations each warm-start from the classing pass.
+        assert timings.matching_cache_hits == 2
+        assert timings.solver_searches > 0
+        assert timings.solver_steps > 0
+        assert set(timings.solver_row()) == {
+            "solver_steps", "solver_searches",
+            "matching_cache_hits", "cost_cache_hits",
+        }
+
+
+class TestParallelSuiteRunner:
+    NAMES = ["open", "close", "rename", "fork", "setuid", "pipe"]
+
+    def test_parallel_matches_serial(self):
+        provmark = ProvMark(tool="spade", seed=7)
+        serial = provmark.run_many(self.NAMES)
+        parallel = provmark.run_many(self.NAMES, max_workers=3)
+        assert [r.benchmark for r in parallel] == self.NAMES
+        assert [r.classification for r in parallel] == [
+            r.classification for r in serial
+        ]
+        assert all(
+            a.target_graph == b.target_graph
+            for a, b in zip(parallel, serial)
+        )
+
+    def test_config_max_workers_is_used(self):
+        config = PipelineConfig(tool="spade", seed=7, max_workers=2)
+        results = ProvMark(config=config).run_many(["open", "creat"])
+        assert [r.benchmark for r in results] == ["open", "creat"]
+        assert all(r.classification.value == "ok" for r in results)
+
+    def test_custom_capture_falls_back_to_serial(self):
+        provmark = ProvMark(tool="spade", capture=SpadeCapture(), seed=7)
+        results = provmark.run_many(["open", "creat"], max_workers=2)
+        assert [r.benchmark for r in results] == ["open", "creat"]
+        assert all(r.classification.value == "ok" for r in results)
+
+    def test_results_pickle_without_matcher_cache(self):
+        import pickle
+
+        from repro.solver.native import find_isomorphism
+
+        provmark = ProvMark(tool="spade", seed=7)
+        results = provmark.run_many(["open", "rename"], max_workers=2)
+        for result in results:
+            graph = result.target_graph
+            # Worker-process caches (hash-seed-dependent WL colors) must
+            # not travel with the graph; matching a returned graph in
+            # this process must still work.
+            assert "_matcher_cache" not in pickle.loads(
+                pickle.dumps(graph)
+            ).__dict__
+            assert find_isomorphism(graph, graph.relabel("w")) is not None
+
+    def test_single_name_stays_serial(self):
+        provmark = ProvMark(tool="spade", seed=7)
+        results = provmark.run_many(["open"], max_workers=4)
+        assert len(results) == 1 and results[0].classification.value == "ok"
+
+    def test_profile_capture_runs_in_workers(self):
+        from repro.config import get_profile
+
+        provmark = get_profile("spg").make_provmark(seed=7)
+        serial = provmark.run_many(["open", "rename"])
+        parallel = provmark.run_many(["open", "rename"], max_workers=2)
+        assert [r.benchmark for r in parallel] == ["open", "rename"]
+        assert all(
+            a.target_graph == b.target_graph
+            for a, b in zip(parallel, serial)
+        )
+
+    def test_task_errors_propagate_not_swallowed(self):
+        config = PipelineConfig(tool="spade", seed=7, fg_pair_policy="typo")
+        provmark = ProvMark(config=config)
+        with pytest.raises(ValueError, match="unknown pair policy"):
+            provmark.run_many(["open", "creat"], max_workers=2)

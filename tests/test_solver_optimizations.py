@@ -1,0 +1,279 @@
+"""Cross-checks for the fast-path matching engine.
+
+Three layers of assurance for the optimized native solver:
+
+* optimized vs. reference mode (``solver_optimizations(False)``) must
+  agree exactly — same verdicts, same minimal costs;
+* native vs. the mini-ASP engine (the paper's actual Listing 3/4
+  programs) must agree on similarity verdicts, and the native engine's
+  matching costs must be equal or better, on seeded random multigraphs
+  including parallel-edge and dummy-node cases;
+* the Hungarian wide-group assignment must be exactly optimal.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph.model import PropertyGraph
+from repro.solver.asp.bridge import (
+    asp_embed_subgraph,
+    asp_find_isomorphism,
+)
+from repro.solver.native import (
+    DUMMY_LABEL,
+    _hungarian,
+    _optimal_group_assignment,
+    embed_subgraph,
+    find_isomorphism,
+    generalize_pair,
+    partition_similarity_classes,
+    solver_optimizations,
+    solver_stats,
+    subtract_background,
+)
+
+LABELS = ("Proc", "File", DUMMY_LABEL)
+EDGE_LABELS = ("used", "wasGeneratedBy")
+PROP_KEYS = ("pid", "time", "path")
+PROP_VALUES = ("1", "2", "3")
+
+
+def random_multigraph(
+    rng: random.Random,
+    nodes: int,
+    edges: int,
+    gid: str = "r",
+) -> PropertyGraph:
+    """A random directed multigraph with parallel edges and small props."""
+    graph = PropertyGraph(gid)
+    for i in range(nodes):
+        props = {
+            key: rng.choice(PROP_VALUES)
+            for key in PROP_KEYS
+            if rng.random() < 0.5
+        }
+        graph.add_node(f"n{i}", rng.choice(LABELS), props)
+    for j in range(edges):
+        src = f"n{rng.randrange(nodes)}"
+        tgt = f"n{rng.randrange(nodes)}"
+        props = {
+            key: rng.choice(PROP_VALUES)
+            for key in PROP_KEYS
+            if rng.random() < 0.4
+        }
+        graph.add_edge(f"e{j}", src, tgt, rng.choice(EDGE_LABELS), props)
+    return graph
+
+
+def perturbed_twin(rng: random.Random, graph: PropertyGraph) -> PropertyGraph:
+    """An isomorphic copy with fresh ids and some property values changed."""
+    twin = graph.relabel("z")
+    for node in list(twin.nodes()):
+        for key in node.props:
+            if rng.random() < 0.5:
+                twin.set_prop(node.id, key, rng.choice(PROP_VALUES))
+    for edge in list(twin.edges()):
+        for key in edge.props:
+            if rng.random() < 0.5:
+                twin.set_prop(edge.id, key, rng.choice(PROP_VALUES))
+    return twin
+
+
+class TestOptimizedVsReference:
+    """The fast path must be behaviorally identical to the reference path."""
+
+    def test_isomorphism_verdicts_and_costs_agree(self):
+        rng = random.Random(1729)
+        for trial in range(40):
+            g1 = random_multigraph(rng, rng.randint(2, 5), rng.randint(0, 7))
+            if trial % 2:
+                g2 = perturbed_twin(rng, g1)
+            else:
+                g2 = random_multigraph(rng, rng.randint(2, 5), rng.randint(0, 7))
+            fast = find_isomorphism(g1, g2, minimize_properties=True)
+            with solver_optimizations(False):
+                slow = find_isomorphism(g1, g2, minimize_properties=True)
+            assert (fast is None) == (slow is None), trial
+            if fast is not None:
+                assert fast.cost == slow.cost, trial
+
+    def test_embedding_costs_agree(self):
+        rng = random.Random(99)
+        for trial in range(30):
+            host = random_multigraph(rng, rng.randint(3, 6), rng.randint(2, 8))
+            node_ids = [n.id for n in host.nodes()]
+            keep = set(rng.sample(node_ids, rng.randint(1, len(node_ids))))
+            edge_ids = [
+                e.id for e in host.edges()
+                if e.src in keep and e.tgt in keep
+            ]
+            pattern = host.subgraph(keep, edge_ids).relabel("p")
+            fast = embed_subgraph(pattern, host)
+            with solver_optimizations(False):
+                slow = embed_subgraph(pattern, host)
+            assert fast is not None and slow is not None, trial
+            assert fast.cost == slow.cost, trial
+
+    def test_partition_classes_agree(self):
+        rng = random.Random(7)
+        graphs = []
+        for _ in range(3):
+            base = random_multigraph(rng, 3, 4)
+            graphs.append(base)
+            graphs.append(perturbed_twin(rng, base))
+        fast = partition_similarity_classes(graphs)
+        with solver_optimizations(False):
+            slow = partition_similarity_classes(graphs)
+        assert fast == slow
+
+
+class TestNativeVsAsp:
+    """Seeded random cross-check against the paper's ASP programs."""
+
+    def test_similarity_verdicts_match(self):
+        rng = random.Random(2019)
+        for trial in range(12):
+            g1 = random_multigraph(rng, rng.randint(2, 3), rng.randint(1, 4))
+            if trial % 2:
+                g2 = perturbed_twin(rng, g1)
+            else:
+                g2 = random_multigraph(rng, rng.randint(2, 3), rng.randint(1, 4))
+            native = find_isomorphism(g1, g2, minimize_properties=True)
+            asp = asp_find_isomorphism(g1, g2, minimize_properties=True)
+            assert (native is None) == (asp is None), trial
+            if native is not None:
+                # Both engines are exact, so costs coincide; the native
+                # engine must never be worse.
+                assert native.cost <= asp.cost, trial
+                assert native.cost == asp.cost, trial
+
+    def test_parallel_edge_costs_match(self):
+        g1 = PropertyGraph("p1")
+        g1.add_node("a", "Proc")
+        g1.add_node("b", "File")
+        for i in range(3):
+            g1.add_edge(f"e{i}", "a", "b", "used", {"seq": str(i)})
+        g2 = PropertyGraph("p2")
+        g2.add_node("x", "Proc")
+        g2.add_node("y", "File")
+        for i in range(3):
+            g2.add_edge(f"f{i}", "x", "y", "used", {"seq": str(2 - i)})
+        native = find_isomorphism(g1, g2, minimize_properties=True)
+        asp = asp_find_isomorphism(g1, g2, minimize_properties=True)
+        assert native is not None and asp is not None
+        assert native.cost == asp.cost == 0
+
+    def test_dummy_node_graphs_match(self):
+        """Graphs containing Dummy anchors (paper §3.5 output) cross-check."""
+        fg = PropertyGraph("fg")
+        fg.add_node("p", "Proc", {"pid": "1"})
+        fg.add_node("f", "File", {"path": "/tmp/x"})
+        fg.add_node("g", "File", {"path": "/tmp/y"})
+        fg.add_edge("e1", "p", "f", "used")
+        fg.add_edge("e2", "p", "g", "used")
+        bg = PropertyGraph("bg")
+        bg.add_node("q", "Proc", {"pid": "9"})
+        bg.add_node("h", "File", {"path": "/tmp/x"})
+        bg.add_edge("d1", "q", "h", "used")
+        target = subtract_background(fg, bg)
+        assert target is not None
+        assert any(n.label == DUMMY_LABEL for n in target.nodes())
+        twin = target.relabel("w")
+        native = find_isomorphism(target, twin, minimize_properties=True)
+        asp = asp_find_isomorphism(target, twin, minimize_properties=True)
+        assert native is not None and asp is not None
+        assert native.cost == asp.cost
+
+    @pytest.mark.slow
+    def test_embedding_costs_match_on_random_graphs(self):
+        rng = random.Random(4242)
+        checked = 0
+        for _ in range(20):
+            host = random_multigraph(rng, rng.randint(2, 3), rng.randint(1, 4))
+            node_ids = [n.id for n in host.nodes()]
+            keep = set(rng.sample(node_ids, rng.randint(1, len(node_ids))))
+            edge_ids = [
+                e.id for e in host.edges()
+                if e.src in keep and e.tgt in keep
+            ]
+            pattern = host.subgraph(keep, edge_ids).relabel("p")
+            native = embed_subgraph(pattern, host)
+            asp = asp_embed_subgraph(pattern, host)
+            assert native is not None and asp is not None
+            assert native.cost <= asp.cost
+            assert native.cost == asp.cost
+            checked += 1
+        assert checked == 20
+
+
+class TestHungarianAssignment:
+    """Wide parallel-edge groups must be assigned exactly optimally."""
+
+    def test_matches_brute_force(self):
+        import itertools
+
+        rng = random.Random(5)
+        for _ in range(20):
+            n1 = rng.randint(2, 3)
+            n2 = rng.randint(n1, 9)
+            matrix = [
+                [rng.randint(0, 6) for _ in range(n2)] for _ in range(n1)
+            ]
+            total, columns = _hungarian(matrix)
+            assert len(set(columns)) == n1  # injective
+            brute = min(
+                sum(matrix[i][perm[i]] for i in range(n1))
+                for perm in itertools.permutations(range(n2), n1)
+            )
+            assert total == brute
+
+    def test_wide_group_exact_in_both_modes(self):
+        """Exactness is not a speed toggle: both modes assign optimally."""
+        rng = random.Random(11)
+        g1 = PropertyGraph("w1")
+        g1.add_node("a", "Proc")
+        g1.add_node("b", "File")
+        g2 = PropertyGraph("w2")
+        g2.add_node("x", "Proc")
+        g2.add_node("y", "File")
+        edges1 = [
+            g1.add_edge(f"e{i}", "a", "b", "used",
+                        {"k": str(rng.randint(0, 3)), "j": str(i)})
+            for i in range(4)
+        ]
+        edges2 = [
+            g2.add_edge(f"f{i}", "x", "y", "used",
+                        {"k": str(rng.randint(0, 3)), "j": str(7 - i)})
+            for i in range(8)
+        ]
+        optimal, pairs = _optimal_group_assignment(edges1, edges2)
+        assert len(pairs) == 4
+        with solver_optimizations(False):
+            reference, _ = _optimal_group_assignment(edges1, edges2)
+        assert optimal == reference
+
+
+class TestSolverCounters:
+    def test_stats_accumulate_per_thread(self):
+        before = solver_stats().snapshot()
+        g = PropertyGraph("s")
+        g.add_node("a", "Proc", {"pid": "1"})
+        g.add_node("b", "File")
+        g.add_edge("e", "a", "b", "used")
+        assert find_isomorphism(g, g.relabel("t"), minimize_properties=True)
+        delta = solver_stats().delta(before)
+        assert delta.searches == 1
+        assert delta.steps > 0
+
+    def test_warm_start_counts_cache_hit(self, volatile_pair):
+        g1, g2 = volatile_pair
+        warm = find_isomorphism(g1, g2)
+        assert warm is not None
+        before = solver_stats().snapshot()
+        cached = generalize_pair(g1, g2, warm=warm)
+        uncached = generalize_pair(g1, g2)
+        assert solver_stats().delta(before).matching_cache_hits == 1
+        assert cached == uncached
