@@ -5,10 +5,11 @@ regenerated rows are printed (run with ``-s`` to see them) and collected
 into ``benchmarks/output/`` so EXPERIMENTS.md can reference them.
 
 Benchmarks can additionally call :func:`record_bench` with structured
-payloads (per-stage timings, solver step counts, cache hits); everything
-recorded during a session is consolidated into
-``benchmarks/output/BENCH_PR1.json`` at session end, so future PRs can
-track the performance trajectory against this one.
+payloads (per-stage timings, solver step counts, cache/store hits);
+everything recorded during a session is consolidated into a per-PR file
+(``benchmarks/output/BENCH_PR2.json`` currently; PR 1's snapshot stays
+in ``BENCH_PR1.json``) at session end, so successive PRs leave a
+performance trajectory.
 """
 
 from __future__ import annotations
@@ -18,7 +19,7 @@ from pathlib import Path
 from typing import Dict, Iterable
 
 OUTPUT_DIR = Path(__file__).resolve().parent / "output"
-CONSOLIDATED_NAME = "BENCH_PR1.json"
+CONSOLIDATED_NAME = "BENCH_PR2.json"
 
 _recorded: Dict[str, object] = {}
 

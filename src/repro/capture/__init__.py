@@ -1,10 +1,27 @@
-"""Simulated provenance capture systems (paper Figure 2)."""
+"""Simulated provenance capture systems (paper Figure 2).
 
-from typing import Optional
+Tool lookup goes through the plugin registry in
+:mod:`repro.capture.registry`; ``TOOLS`` remains available as a live
+read-only view of it (tool name -> capture class) for existing callers.
+"""
+
+from collections.abc import Mapping
+from typing import Iterator, Type
 
 from repro.capture.base import CaptureSystem, RawOutput, RecordingCost
 from repro.capture.camflow import CamFlowCapture, CamFlowConfig, RECORDED_HOOKS
 from repro.capture.opus import OpusCapture, OpusConfig, WRAPPED_FUNCTIONS
+from repro.capture.registry import (
+    Backend,
+    BackendProfile,
+    UnknownToolError,
+    get_backend,
+    iter_backends,
+    make_capture,
+    register_tool,
+    registered_tools,
+    unregister_tool,
+)
 from repro.capture.spade import (
     BASE_RENDER_SET,
     NO_SIMPLIFY_EXTRA,
@@ -13,31 +30,41 @@ from repro.capture.spade import (
 )
 from repro.capture.spade_camflow import SpadeCamFlowCapture, SpadeCamFlowConfig
 
+
+class _ToolClassView(Mapping):
+    """Read-only ``name -> capture class`` view over the registry.
+
+    Stays live: tools registered through ``register_tool`` appear here
+    immediately, so legacy ``TOOLS`` consumers see plugins too.
+    """
+
+    def __getitem__(self, name: str) -> Type[CaptureSystem]:
+        try:
+            return get_backend(name).cls
+        except UnknownToolError:
+            # Mapping protocol (``in``, ``.get``) expects KeyError here.
+            raise KeyError(name) from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(registered_tools())
+
+    def __len__(self) -> int:
+        return len(registered_tools())
+
+    def __repr__(self) -> str:
+        return f"TOOLS({dict(self)!r})"
+
+
 #: Tool name -> capture class, mirroring ProvMark's tool profiles
-#: (``spg``/``opu``/``cam`` in the paper's appendix).
-TOOLS = {
-    "spade": SpadeCapture,
-    "opus": OpusCapture,
-    "camflow": CamFlowCapture,
-    "spade-camflow": SpadeCamFlowCapture,
-}
-
-
-def make_capture(tool: str, config: Optional[object] = None) -> CaptureSystem:
-    """Instantiate a capture system by name with an optional config."""
-    try:
-        cls = TOOLS[tool]
-    except KeyError:
-        raise ValueError(
-            f"unknown tool {tool!r}; available: {sorted(TOOLS)}"
-        ) from None
-    if config is None:
-        return cls()
-    return cls(config)  # type: ignore[arg-type]
+#: (``spg``/``opu``/``cam`` in the paper's appendix).  Backed by the
+#: plugin registry; use ``register_tool`` to extend it.
+TOOLS: Mapping[str, Type[CaptureSystem]] = _ToolClassView()
 
 
 __all__ = [
     "BASE_RENDER_SET",
+    "Backend",
+    "BackendProfile",
     "CamFlowCapture",
     "CamFlowConfig",
     "CaptureSystem",
@@ -52,6 +79,12 @@ __all__ = [
     "SpadeCapture",
     "SpadeConfig",
     "TOOLS",
+    "UnknownToolError",
     "WRAPPED_FUNCTIONS",
+    "get_backend",
+    "iter_backends",
     "make_capture",
+    "register_tool",
+    "registered_tools",
+    "unregister_tool",
 ]

@@ -17,6 +17,7 @@ from typing import List, Optional
 from repro.analysis.table2 import generate_table2
 from repro.analysis.table3 import generate_table3
 from repro.analysis.loc import generate_table4
+from repro.capture.registry import iter_backends, registered_tools
 from repro.config import default_config_ini, get_profile
 from repro.core.pipeline import PipelineConfig, ProvMark
 from repro.core.regression import RegressionStore
@@ -27,8 +28,9 @@ from repro.suite import ALL_BENCHMARKS, TABLE2_ORDER, get_benchmark
 
 def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--tool", choices=("spade", "opus", "camflow"), default="spade",
-        help="provenance capture tool to benchmark",
+        "--tool", choices=registered_tools(), default="spade",
+        help="provenance capture tool to benchmark "
+        "(see 'provmark list --tools')",
     )
     parser.add_argument(
         "--profile", default=None,
@@ -53,7 +55,28 @@ def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_store_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store", dest="artifact_store", default=None, metavar="DIR",
+        help="persistent artifact store: cache stage outputs under DIR "
+        "and reuse them on later runs",
+    )
+    parser.add_argument(
+        "--resume", action="store_true", default=False,
+        help="with --store: serve already-completed benchmarks from the "
+        "store instead of re-running them",
+    )
+    parser.add_argument(
+        "--no-cache", dest="no_cache", action="store_true", default=False,
+        help="with --store: recompute every stage (artifacts are still "
+        "refreshed on disk)",
+    )
+
+
 def _make_provmark(args: argparse.Namespace) -> ProvMark:
+    store_path = getattr(args, "artifact_store", None)
+    resume = getattr(args, "resume", False)
+    cache = not getattr(args, "no_cache", False)
     if args.profile:
         profile = get_profile(args.profile, config_path=args.config)
         provmark = profile.make_provmark(seed=args.seed, engine=args.engine)
@@ -61,6 +84,9 @@ def _make_provmark(args: argparse.Namespace) -> ProvMark:
             provmark.config.trials = args.trials
         if args.filtergraphs is not None:
             provmark.config.filtergraphs = args.filtergraphs
+        provmark.config.store_path = store_path
+        provmark.config.resume = resume
+        provmark.config.cache = cache
         return provmark
     config = PipelineConfig(
         tool=args.tool,
@@ -68,11 +94,31 @@ def _make_provmark(args: argparse.Namespace) -> ProvMark:
         engine=args.engine,
         seed=args.seed,
         filtergraphs=args.filtergraphs,
+        store_path=store_path,
+        resume=resume,
+        cache=cache,
     )
     return ProvMark(config=config)
 
 
+def _store_summary(results) -> str:
+    """One line aggregating the run's artifact-store traffic."""
+    hits = sum(r.timings.store_hits for r in results)
+    misses = sum(r.timings.store_misses for r in results)
+    return f"artifact store: {hits} stage hits, {misses} misses"
+
+
+def _warn_unseeded_store(args: argparse.Namespace) -> None:
+    if getattr(args, "artifact_store", None) and args.seed is None:
+        print(
+            "note: --store is ignored for unseeded runs (results are "
+            "nondeterministic); pass --seed to enable caching",
+            file=sys.stderr,
+        )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    _warn_unseeded_store(args)
     provmark = _make_provmark(args)
     result = provmark.run_benchmark(args.benchmark)
     print(result.summary())
@@ -82,6 +128,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
+    _warn_unseeded_store(args)
     provmark = _make_provmark(args)
     names = args.benchmarks or list(TABLE2_ORDER)
     results = provmark.run_many(names, max_workers=args.max_workers)
@@ -90,6 +137,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print(f"wrote {path}")
     else:
         print(render_text(results), end="")
+    if args.artifact_store:
+        print(_store_summary(results))
     failed = sum(1 for r in results if r.classification.value == "failed")
     return 1 if failed else 0
 
@@ -116,6 +165,17 @@ def _cmd_table4(args: argparse.Namespace) -> int:
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
+    if args.tools:
+        for backend in iter_backends():
+            profile = backend.profile
+            flags = (
+                f"trials={profile.trials} "
+                f"filtergraphs={str(profile.filtergraphs).lower()} "
+                f"format={backend.cls.output_format}"
+            )
+            detail = f" — {profile.description}" if profile.description else ""
+            print(f"{backend.name:<14} {flags}{detail}")
+        return 0
     for name, program in sorted(ALL_BENCHMARKS.items()):
         print(f"{name:<14} group {program.group} ({program.group_name})"
               + (f" — {program.description}" if program.description else ""))
@@ -138,12 +198,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run a single benchmark")
     _add_pipeline_options(run)
+    _add_store_options(run)
     run.add_argument("--benchmark", required=True)
     run.add_argument("--show-graph", action="store_true")
     run.set_defaults(func=_cmd_run)
 
     batch = sub.add_parser("batch", help="run many benchmarks (runTests.sh)")
     _add_pipeline_options(batch)
+    _add_store_options(batch)
     batch.add_argument("--benchmarks", nargs="*", default=None)
     batch.add_argument(
         "--max-workers", type=int, default=None,
@@ -168,6 +230,10 @@ def build_parser() -> argparse.ArgumentParser:
     table4.set_defaults(func=_cmd_table4)
 
     listing = sub.add_parser("list", help="list available benchmarks")
+    listing.add_argument(
+        "--tools", action="store_true", default=False,
+        help="list registered capture backends with their profiles instead",
+    )
     listing.set_defaults(func=_cmd_list)
 
     show = sub.add_parser("show", help="show a benchmark's C source")

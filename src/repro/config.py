@@ -24,9 +24,8 @@ from pathlib import Path
 from typing import Dict, Optional, Union
 
 from repro.capture import CaptureSystem
-from repro.capture.camflow import CamFlowCapture, CamFlowConfig
-from repro.capture.opus import OpusCapture, OpusConfig
-from repro.capture.spade import SpadeCapture, SpadeConfig
+from repro.capture.registry import UnknownToolError, get_backend
+from repro.capture.spade import SpadeConfig
 from repro.core.pipeline import PipelineConfig, ProvMark
 
 
@@ -45,17 +44,19 @@ class ToolProfile:
     trials: int
 
     def make_capture(self) -> CaptureSystem:
+        try:
+            backend = get_backend(self.stage1tool)
+        except UnknownToolError as exc:
+            raise ProfileError(str(exc)) from None
         if self.stage1tool == "spade":
-            return SpadeCapture(SpadeConfig(storage=self.stage2handler))
-        if self.stage1tool == "opus":
-            if self.stage2handler != "neo4j":
-                raise ProfileError("OPUS only supports the neo4j handler")
-            return OpusCapture(OpusConfig())
-        if self.stage1tool == "camflow":
-            if self.stage2handler != "provjson":
-                raise ProfileError("CamFlow only supports the provjson handler")
-            return CamFlowCapture(CamFlowConfig())
-        raise ProfileError(f"unknown stage1tool {self.stage1tool!r}")
+            # SPADE's storage module is selectable (dot vs. neo4j).
+            return backend.make(SpadeConfig(storage=self.stage2handler))
+        expected = backend.cls.output_format
+        if self.stage2handler != expected:
+            raise ProfileError(
+                f"{self.stage1tool} only supports the {expected} handler"
+            )
+        return backend.make()
 
     def make_provmark(self, seed: Optional[int] = None, engine: str = "native") -> ProvMark:
         # Pass the (picklable) factory rather than a built capture so

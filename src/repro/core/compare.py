@@ -8,11 +8,12 @@ properties), subtracts the match, and keeps anchor nodes as dummies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Mapping, Optional
 
 from repro.graph.model import PropertyGraph
 from repro.solver import subgraph_embedding
 from repro.solver.native import DUMMY_LABEL, Matching
+from repro.storage.artifacts import graph_from_payload, graph_to_payload
 
 
 class ComparisonError(Exception):
@@ -27,6 +28,28 @@ class ComparisonOutcome:
     @property
     def is_empty(self) -> bool:
         return self.target.is_empty()
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "target": graph_to_payload(self.target),
+            "matching": {
+                "node_map": dict(self.matching.node_map),
+                "edge_map": dict(self.matching.edge_map),
+                "cost": self.matching.cost,
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, object]) -> "ComparisonOutcome":
+        matching = payload["matching"]
+        return cls(
+            target=graph_from_payload(payload["target"]),
+            matching=Matching(
+                node_map=dict(matching["node_map"]),
+                edge_map=dict(matching["edge_map"]),
+                cost=int(matching["cost"]),
+            ),
+        )
 
 
 def compare(

@@ -9,7 +9,7 @@ mismatches is computed, and only agreeing properties are kept.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.graph.model import PropertyGraph
 from repro.solver import (
@@ -17,6 +17,7 @@ from repro.solver import (
     isomorphism,
     partition_similarity_classes,
 )
+from repro.storage.artifacts import graph_from_payload, graph_to_payload
 
 
 class GeneralizationError(Exception):
@@ -28,6 +29,23 @@ class GeneralizationOutcome:
     graph: PropertyGraph
     discarded: int
     class_sizes: List[int]
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "graph": graph_to_payload(self.graph),
+            "discarded": self.discarded,
+            "class_sizes": list(self.class_sizes),
+        }
+
+    @classmethod
+    def from_payload(
+        cls, payload: Mapping[str, object]
+    ) -> "GeneralizationOutcome":
+        return cls(
+            graph=graph_from_payload(payload["graph"]),
+            discarded=int(payload["discarded"]),
+            class_sizes=[int(s) for s in payload["class_sizes"]],
+        )
 
 
 def filter_incomplete(graphs: Sequence[PropertyGraph]) -> List[PropertyGraph]:

@@ -1,43 +1,78 @@
 """The ProvMark pipeline driver (paper Figure 3).
 
-Wires the four subsystems together:
+The four subsystems live in :mod:`repro.core.stages` as composable
+:class:`~repro.core.stages.Stage` objects; this module is the thin
+driver over them:
 
-1. **recording** — run fg/bg trials under the selected capture tool;
-2. **transformation** — native output → Datalog property graphs;
-3. **generalization** — similarity classes → one generalized graph per
-   program variant;
-4. **comparison** — subtract background from foreground → target graph.
+* :class:`PipelineConfig` — user-facing configuration, resolving tool
+  defaults through the capture-backend registry;
+* :class:`ProvMark` — builds a :class:`~repro.core.stages.RunContext`
+  per benchmark, runs the default pipeline over it, and assembles the
+  :class:`BenchmarkResult`;
+* the persistent artifact store: with ``store_path`` set, every stage
+  output is cached content-addressed on disk and reused by later runs,
+  and ``resume=True`` short-circuits whole benchmarks whose final result
+  is already stored (``provmark batch --store DIR --resume``).
 
 The public entry point is :class:`ProvMark`.
 """
 
 from __future__ import annotations
 
-import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Union
+from dataclasses import dataclass
+from collections.abc import Mapping
+from typing import Callable, Dict, Iterator, List, Optional, Union
 
 from repro.capture import CaptureSystem, make_capture
-from repro.core.compare import ComparisonError, compare
-from repro.core.generalize import GeneralizationError, generalize_trials
-from repro.core.recording import Recorder, RecordingSession
+from repro.capture.registry import (
+    Backend,
+    UnknownToolError,
+    get_backend,
+    register_tool,
+    registered_tools,
+    tool_profile,
+)
 from repro.core.result import BenchmarkResult, Classification, StageTimings
-from repro.core.transform import transform
+from repro.core.stages import (
+    RESULT_STAGE,
+    Pipeline,
+    RunContext,
+    default_pipeline,
+)
 from repro.graph.model import PropertyGraph
-from repro.solver.native import SolverStats, solver_stats
+from repro.storage.artifacts import ArtifactError, ArtifactStore
 from repro.suite.program import Program
 from repro.suite.registry import get_benchmark
 
-#: Tool profiles mirroring ProvMark's config.ini: CamFlow defaults to graph
-#: filtering and more trials (paper appendix A.4/A.6 runs CamFlow with 11).
-TOOL_PROFILES: Dict[str, Dict[str, object]] = {
-    "spade": {"trials": 2, "filtergraphs": False},
-    "opus": {"trials": 2, "filtergraphs": False},
-    "camflow": {"trials": 5, "filtergraphs": True},
-    "spade-camflow": {"trials": 2, "filtergraphs": False},
-}
+
+class _ToolProfileView(Mapping):
+    """Legacy ``TOOL_PROFILES`` mapping, backed by the plugin registry.
+
+    Yields ``{"trials": ..., "filtergraphs": ...}`` rows exactly as the
+    old hard-coded table did, but stays live: registered plugin backends
+    appear here too.
+    """
+
+    def __getitem__(self, name: str) -> Dict[str, object]:
+        try:
+            profile = tool_profile(name)
+        except UnknownToolError:
+            raise KeyError(name) from None
+        return {"trials": profile.trials, "filtergraphs": profile.filtergraphs}
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(registered_tools())
+
+    def __len__(self) -> int:
+        return len(registered_tools())
+
+
+#: Tool profiles mirroring ProvMark's config.ini (CamFlow defaults to
+#: graph filtering and more trials, paper appendix A.4/A.6).  A live view
+#: of :mod:`repro.capture.registry` — the single source of tool knowledge.
+TOOL_PROFILES: Mapping[str, Dict[str, object]] = _ToolProfileView()
 
 
 @dataclass
@@ -57,16 +92,24 @@ class PipelineConfig:
     #: paper's remark about mismatched choices.
     fg_pair_policy: str = "smallest"
     bg_pair_policy: str = "smallest"
+    #: artifact-store directory caching stage outputs (None = disabled;
+    #: also bypassed for unseeded — nondeterministic — runs)
+    store_path: Optional[str] = None
+    #: with a store: serve stored final results without re-running stages
+    resume: bool = False
+    #: with a store: read stage artifacts back (False forces recomputation
+    #: of every stage while still refreshing the stored artifacts)
+    cache: bool = True
 
     def resolved_trials(self) -> int:
         if self.trials is not None:
             return self.trials
-        return int(TOOL_PROFILES.get(self.tool, {}).get("trials", 2))
+        return tool_profile(self.tool).trials
 
     def resolved_filtergraphs(self) -> bool:
         if self.filtergraphs is not None:
             return self.filtergraphs
-        return bool(TOOL_PROFILES.get(self.tool, {}).get("filtergraphs", False))
+        return tool_profile(self.tool).filtergraphs
 
 
 class ProvMark:
@@ -98,8 +141,23 @@ class ProvMark:
         #: worker processes, so run_many stays serial for it
         self._custom_capture = capture is not None and capture_factory is None
         self.capture = capture or make_capture(config.tool)
+        self.pipeline: Pipeline = default_pipeline()
+        self._store: Optional[ArtifactStore] = None
 
     # -- public API ----------------------------------------------------------
+
+    def artifact_store(self) -> Optional[ArtifactStore]:
+        """The configured artifact store, created lazily (None = no store).
+
+        Unseeded runs are nondeterministic — fresh random trials every
+        time — so their outputs must not be content-addressed by config:
+        the store is bypassed entirely when ``config.seed`` is None.
+        """
+        if self.config.store_path is None or self.config.seed is None:
+            return None
+        if self._store is None:
+            self._store = ArtifactStore(self.config.store_path)
+        return self._store
 
     def run_benchmark(self, benchmark: Union[str, Program]) -> BenchmarkResult:
         """Run the full four-stage pipeline for one benchmark."""
@@ -107,76 +165,23 @@ class ProvMark:
             benchmark if isinstance(benchmark, Program)
             else get_benchmark(benchmark)
         )
-        timings = StageTimings()
-
-        started = time.perf_counter()
-        recorder = Recorder(
-            self.capture,
-            trials=self.config.resolved_trials(),
-            seed=self.config.seed,
-            truncation_rate=self.config.truncation_rate,
+        store = self.artifact_store()
+        ctx = self._make_context(program, store)
+        if store is not None and self.config.resume and self.config.cache:
+            resumed = self._load_stored_result(store, ctx)
+            if resumed is not None:
+                return resumed
+        self.pipeline.run(ctx)
+        result = (
+            self._failure_result(ctx)
+            if ctx.failure is not None
+            else self._success_result(ctx)
         )
-        session = recorder.record(program)
-        timings.recording = time.perf_counter() - started
-        timings.virtual_recording = session.virtual_seconds
-
-        started = time.perf_counter()
-        fg_graphs = self._transform_trials(session, foreground=True)
-        bg_graphs = self._transform_trials(session, foreground=False)
-        timings.transformation = time.perf_counter() - started
-
-        filtergraphs = self.config.resolved_filtergraphs()
-        started = time.perf_counter()
-        before = solver_stats().snapshot()
-        try:
-            fg_outcome = generalize_trials(
-                fg_graphs, filtergraphs=filtergraphs,
-                engine=self.config.engine,
-                pair_policy=self.config.fg_pair_policy,
+        if store is not None:
+            store.save(
+                RESULT_STAGE, self._result_material(ctx), result.to_payload()
             )
-            bg_outcome = generalize_trials(
-                bg_graphs, filtergraphs=filtergraphs,
-                engine=self.config.engine,
-                pair_policy=self.config.bg_pair_policy,
-            )
-        except GeneralizationError as error:
-            timings.generalization = time.perf_counter() - started
-            self._record_solver(timings, before)
-            return self._failure(program, timings, str(error))
-        timings.generalization = time.perf_counter() - started
-
-        started = time.perf_counter()
-        try:
-            outcome = compare(
-                fg_outcome.graph, bg_outcome.graph, engine=self.config.engine
-            )
-        except ComparisonError as error:
-            timings.comparison = time.perf_counter() - started
-            self._record_solver(timings, before)
-            return self._failure(
-                program, timings, str(error),
-                foreground=fg_outcome.graph, background=bg_outcome.graph,
-            )
-        timings.comparison = time.perf_counter() - started
-        self._record_solver(timings, before)
-
-        classification = (
-            Classification.EMPTY if outcome.is_empty else Classification.OK
-        )
-        expectation = program.expectation(self.capture.name)
-        note = expectation[1] if expectation else ""
-        return BenchmarkResult(
-            benchmark=program.name,
-            tool=self.capture.name,
-            classification=classification,
-            target_graph=outcome.target,
-            foreground=fg_outcome.graph,
-            background=bg_outcome.graph,
-            timings=timings,
-            trials=self.config.resolved_trials(),
-            discarded_trials=fg_outcome.discarded + bg_outcome.discarded,
-            note=note if classification is Classification.EMPTY or note in ("DV", "SC") else "",
-        )
+        return result
 
     def run_many(
         self,
@@ -192,6 +197,10 @@ class ProvMark:
         run.  Falls back to serial execution for a hand-injected capture
         object (which cannot be rebuilt in a worker process) and where
         process pools are unavailable or break mid-run.
+
+        With ``config.store_path`` set, every worker shares the same
+        on-disk artifact store (writes are atomic), so a killed sweep
+        resumes with ``config.resume`` re-running only what is missing.
         """
         workers = (
             max_workers if max_workers is not None else self.config.max_workers
@@ -209,6 +218,13 @@ class ProvMark:
             # No usable multiprocessing primitives (e.g. a sandboxed
             # environment): run serially.
             return [self.run_benchmark(name) for name in names]
+        # Plugin backends registered in this process are unknown to
+        # freshly spawned workers (only builtins self-register on
+        # import), so ship the backend along for re-registration.
+        try:
+            backend: Optional[Backend] = get_backend(self.config.tool)
+        except UnknownToolError:
+            backend = None
         try:
             with pool:
                 if self._capture_factory is not None:
@@ -216,12 +232,15 @@ class ProvMark:
                         pool.submit(
                             _run_benchmark_factory_task,
                             self._capture_factory, self.config, name,
+                            backend,
                         )
                         for name in names
                     ]
                 else:
                     futures = [
-                        pool.submit(_run_benchmark_task, self.config, name)
+                        pool.submit(
+                            _run_benchmark_task, self.config, name, backend,
+                        )
                         for name in names
                     ]
                 # Task exceptions (bad config, execution errors) propagate
@@ -231,51 +250,108 @@ class ProvMark:
         except BrokenProcessPool:
             return [self.run_benchmark(name) for name in names]
 
-    # -- helpers -----------------------------------------------------------------
+    # -- context / result assembly -----------------------------------------
 
-    @staticmethod
-    def _record_solver(timings: StageTimings, before: SolverStats) -> None:
-        delta = solver_stats().delta(before)
-        timings.solver_steps += delta.steps
-        timings.solver_searches += delta.searches
-        timings.matching_cache_hits += delta.matching_cache_hits
-        timings.cost_cache_hits += delta.cost_cache_hits
-
-    def _transform_trials(
-        self, session: RecordingSession, foreground: bool
-    ) -> List[PropertyGraph]:
-        trials = (
-            session.foreground_trials if foreground else session.background_trials
+    def _make_context(
+        self, program: Program, store: Optional[ArtifactStore]
+    ) -> RunContext:
+        config = self.config
+        return RunContext(
+            program=program,
+            capture=self.capture,
+            tool=config.tool,
+            trials=config.resolved_trials(),
+            filtergraphs=config.resolved_filtergraphs(),
+            engine=config.engine,
+            seed=config.seed,
+            truncation_rate=config.truncation_rate,
+            fg_pair_policy=config.fg_pair_policy,
+            bg_pair_policy=config.bg_pair_policy,
+            timings=StageTimings(),
+            store=store,
+            use_cache=config.cache,
         )
-        prefix = "fg" if foreground else "bg"
-        return [
-            transform(trial.raw, self.capture.output_format, gid=f"{prefix}{i}")
-            for i, trial in enumerate(trials)
-        ]
 
-    def _failure(
-        self,
-        program: Program,
-        timings: StageTimings,
-        message: str,
-        foreground: Optional[PropertyGraph] = None,
-        background: Optional[PropertyGraph] = None,
-    ) -> BenchmarkResult:
+    def _result_material(self, ctx: RunContext) -> Dict[str, object]:
+        material = dict(ctx.key_material())
+        material["stage"] = RESULT_STAGE
+        return material
+
+    def _load_stored_result(
+        self, store: ArtifactStore, ctx: RunContext
+    ) -> Optional[BenchmarkResult]:
+        """The ``--resume`` fast path: replay a completed benchmark.
+
+        The stored result is returned exactly as the completing run
+        produced it (timings, counters, graphs); only the store counters
+        are rewritten to this run's view — every stage was served from
+        the store, none recomputed.
+        """
+        payload = store.load(RESULT_STAGE, self._result_material(ctx))
+        if payload is None:
+            return None
+        try:
+            result = BenchmarkResult.from_payload(payload)
+        except (
+            ArtifactError, AttributeError, IndexError,
+            KeyError, TypeError, ValueError,
+        ):
+            # A result payload from an incompatible format: recompute
+            # (the fresh run overwrites the bad artifact).
+            store.stats.hits -= 1  # load() counted it
+            store.stats.invalid += 1
+            return None
+        result.timings.store_hits = len(self.pipeline.stages)
+        result.timings.store_misses = 0
+        return result
+
+    def _success_result(self, ctx: RunContext) -> BenchmarkResult:
+        classification = (
+            Classification.EMPTY if ctx.comparison.is_empty
+            else Classification.OK
+        )
+        expectation = ctx.program.expectation(self.capture.name)
+        note = expectation[1] if expectation else ""
         return BenchmarkResult(
-            benchmark=program.name,
+            benchmark=ctx.program.name,
+            tool=self.capture.name,
+            classification=classification,
+            target_graph=ctx.comparison.target,
+            foreground=ctx.fg_outcome.graph,
+            background=ctx.bg_outcome.graph,
+            timings=ctx.timings,
+            trials=ctx.trials,
+            discarded_trials=ctx.fg_outcome.discarded + ctx.bg_outcome.discarded,
+            note=note if classification is Classification.EMPTY or note in ("DV", "SC") else "",
+        )
+
+    def _failure_result(self, ctx: RunContext) -> BenchmarkResult:
+        return BenchmarkResult(
+            benchmark=ctx.program.name,
             tool=self.capture.name,
             classification=Classification.FAILED,
             target_graph=PropertyGraph("empty"),
-            foreground=foreground,
-            background=background,
-            timings=timings,
-            trials=self.config.resolved_trials(),
-            error=message,
+            foreground=ctx.fg_outcome.graph if ctx.fg_outcome else None,
+            background=ctx.bg_outcome.graph if ctx.bg_outcome else None,
+            timings=ctx.timings,
+            trials=ctx.trials,
+            error=ctx.failure or "",
         )
 
 
-def _run_benchmark_task(config: PipelineConfig, name: str) -> BenchmarkResult:
+def _ensure_registered(backend: Optional[Backend]) -> None:
+    """Re-register a plugin backend inside a worker process if absent."""
+    if backend is not None and backend.name not in registered_tools():
+        register_tool(backend.name, backend.cls, backend.profile)
+
+
+def _run_benchmark_task(
+    config: PipelineConfig,
+    name: str,
+    backend: Optional[Backend] = None,
+) -> BenchmarkResult:
     """Process-pool worker: rebuild the pipeline from config and run."""
+    _ensure_registered(backend)
     return ProvMark(config=config).run_benchmark(name)
 
 
@@ -283,6 +359,8 @@ def _run_benchmark_factory_task(
     factory: Callable[[], CaptureSystem],
     config: PipelineConfig,
     name: str,
+    backend: Optional[Backend] = None,
 ) -> BenchmarkResult:
     """Process-pool worker for profile-built captures: rebuild and run."""
+    _ensure_registered(backend)
     return ProvMark(config=config, capture_factory=factory).run_benchmark(name)

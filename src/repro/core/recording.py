@@ -12,9 +12,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Mapping, Optional
 
 from repro.capture.base import CaptureSystem, RawOutput
+from repro.storage.artifacts import raw_from_payload, raw_to_payload
 from repro.suite.executor import ProgramExecutor
 from repro.suite.program import Program
 
@@ -27,6 +28,23 @@ class RecordedTrial:
     seed: int
     foreground: bool
     virtual_seconds: float
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "raw": raw_to_payload(self.raw),
+            "seed": self.seed,
+            "foreground": self.foreground,
+            "virtual_seconds": self.virtual_seconds,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, object]) -> "RecordedTrial":
+        return cls(
+            raw=raw_from_payload(payload["raw"]),
+            seed=int(payload["seed"]),
+            foreground=bool(payload["foreground"]),
+            virtual_seconds=float(payload["virtual_seconds"]),
+        )
 
 
 @dataclass
@@ -43,6 +61,30 @@ class RecordingSession:
         return sum(
             t.virtual_seconds
             for t in self.foreground_trials + self.background_trials
+        )
+
+    def to_payload(self) -> Dict[str, object]:
+        """Serialize every trial (the artifact store's recording stage)."""
+        return {
+            "tool": self.tool,
+            "foreground": [t.to_payload() for t in self.foreground_trials],
+            "background": [t.to_payload() for t in self.background_trials],
+        }
+
+    @classmethod
+    def from_payload(
+        cls, payload: Mapping[str, object], program: Program
+    ) -> "RecordingSession":
+        """Rebuild a session around the (non-serialized) program object."""
+        return cls(
+            program=program,
+            tool=str(payload["tool"]),
+            foreground_trials=[
+                RecordedTrial.from_payload(t) for t in payload["foreground"]
+            ],
+            background_trials=[
+                RecordedTrial.from_payload(t) for t in payload["background"]
+            ],
         )
 
 

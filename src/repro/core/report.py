@@ -80,12 +80,19 @@ def _result_section(result: BenchmarkResult) -> str:
     parts.append(_graph_details("generalized foreground", result.foreground))
     parts.append(_graph_details("generalized background", result.background))
     timing = result.timings
+    store_note = ""
+    if timing.store_hits or timing.store_misses:
+        store_note = (
+            f"; artifact store: {timing.store_hits} stage hits, "
+            f"{timing.store_misses} misses"
+        )
     parts.append(
         "<p>timing: "
         f"transformation {timing.transformation:.3f}s, "
         f"generalization {timing.generalization:.3f}s, "
         f"comparison {timing.comparison:.3f}s "
-        f"(virtual recording {timing.virtual_recording:.1f}s)</p>"
+        f"(virtual recording {timing.virtual_recording:.1f}s)"
+        f"{store_note}</p>"
     )
     return "\n".join(parts)
 

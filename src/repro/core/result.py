@@ -3,10 +3,11 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
 
 from repro.graph.model import PropertyGraph
+from repro.storage.artifacts import graph_from_payload, graph_to_payload
 
 
 class Classification(enum.Enum):
@@ -27,7 +28,10 @@ class StageTimings:
     The ``solver_*`` and cache counters aggregate the native engine's
     per-thread :class:`~repro.solver.native.SolverStats` deltas over the
     generalization and comparison stages, making the matching-engine
-    optimizations observable per benchmark run.
+    optimizations observable per benchmark run.  ``store_hits`` and
+    ``store_misses`` count pipeline stage outputs served from / absent in
+    the persistent artifact store for *this* run (always 0 when no store
+    is configured).
     """
 
     recording: float = 0.0
@@ -44,6 +48,10 @@ class StageTimings:
     matching_cache_hits: int = 0
     #: property-mismatch costs served from the per-search pair cache
     cost_cache_hits: int = 0
+    #: pipeline stage outputs served from the artifact store this run
+    store_hits: int = 0
+    #: pipeline stage outputs recomputed (and persisted) this run
+    store_misses: int = 0
 
     @property
     def processing(self) -> float:
@@ -63,6 +71,31 @@ class StageTimings:
             "matching_cache_hits": self.matching_cache_hits,
             "cost_cache_hits": self.cost_cache_hits,
         }
+
+    def store_row(self) -> Dict[str, int]:
+        return {
+            "store_hits": self.store_hits,
+            "store_misses": self.store_misses,
+        }
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "recording": self.recording,
+            "transformation": self.transformation,
+            "generalization": self.generalization,
+            "comparison": self.comparison,
+            "virtual_recording": self.virtual_recording,
+            "solver_steps": self.solver_steps,
+            "solver_searches": self.solver_searches,
+            "matching_cache_hits": self.matching_cache_hits,
+            "cost_cache_hits": self.cost_cache_hits,
+            "store_hits": self.store_hits,
+            "store_misses": self.store_misses,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, object]) -> "StageTimings":
+        return cls(**{k: payload[k] for k in cls().to_payload() if k in payload})
 
 
 @dataclass
@@ -98,3 +131,48 @@ class BenchmarkResult:
             )
         detail = f" ({self.note})" if self.note else ""
         return f"{self.benchmark}/{self.tool}: {self.classification}{detail}"
+
+    # -- persistence (the artifact store's ``result`` stage) ---------------
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "benchmark": self.benchmark,
+            "tool": self.tool,
+            "classification": self.classification.value,
+            "target_graph": graph_to_payload(self.target_graph),
+            "foreground": (
+                graph_to_payload(self.foreground)
+                if self.foreground is not None else None
+            ),
+            "background": (
+                graph_to_payload(self.background)
+                if self.background is not None else None
+            ),
+            "timings": self.timings.to_payload(),
+            "trials": self.trials,
+            "discarded_trials": self.discarded_trials,
+            "note": self.note,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, object]) -> "BenchmarkResult":
+        return cls(
+            benchmark=str(payload["benchmark"]),
+            tool=str(payload["tool"]),
+            classification=Classification(payload["classification"]),
+            target_graph=graph_from_payload(payload["target_graph"]),
+            foreground=(
+                graph_from_payload(payload["foreground"])
+                if payload.get("foreground") is not None else None
+            ),
+            background=(
+                graph_from_payload(payload["background"])
+                if payload.get("background") is not None else None
+            ),
+            timings=StageTimings.from_payload(payload["timings"]),
+            trials=int(payload["trials"]),
+            discarded_trials=int(payload.get("discarded_trials", 0)),
+            note=str(payload.get("note", "")),
+            error=str(payload.get("error", "")),
+        )

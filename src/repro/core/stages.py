@@ -1,0 +1,432 @@
+"""Staged pipeline kernel (paper Figure 3 as composable stages).
+
+The four ProvMark subsystems — recording, transformation,
+generalization, comparison — are :class:`Stage` objects with declared
+inputs and outputs, operating on a shared :class:`RunContext`.  A
+:class:`Pipeline` wires them together, owns per-stage wall-clock timing,
+and transparently checks each stage against the persistent
+:class:`~repro.storage.artifacts.ArtifactStore` when one is configured:
+a stage whose key (benchmark, tool, resolved config, seed, stage) has a
+stored artifact is *restored* instead of recomputed, with hit/miss
+counters recorded in :class:`~repro.core.result.StageTimings`.
+
+Restored stages are exact replays: graph payloads preserve element
+insertion order, and each solver-using stage stores the solver-counter
+delta it produced, so a warm run reports the identical
+``solver_steps``/``cache`` counters a cold run does.  Expected stage
+failures (no consistent trial pair, unembeddable background) raise
+:class:`StageFailure` and are cached too, so a deterministic failure is
+also served from the store on re-runs.
+
+:class:`~repro.core.pipeline.ProvMark` is a thin driver over
+:func:`default_pipeline`; new stages (or replacement engines for one
+stage) compose without touching the driver.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.capture.base import CaptureSystem
+from repro.core.compare import ComparisonError, ComparisonOutcome, compare
+from repro.core.generalize import (
+    GeneralizationError,
+    GeneralizationOutcome,
+    generalize_trials,
+)
+from repro.core.recording import Recorder, RecordingSession
+from repro.core.result import StageTimings
+from repro.core.transform import transform
+from repro.graph.model import PropertyGraph
+from repro.solver.native import SolverStats, solver_stats
+from repro.storage.artifacts import (
+    ArtifactError,
+    ArtifactStore,
+    graph_from_payload,
+    graph_to_payload,
+)
+from repro.suite.program import Program
+
+#: stage name under which the driver stores assembled BenchmarkResults
+#: (consulted by ``provmark batch --resume``)
+RESULT_STAGE = "result"
+
+
+class PipelineDefinitionError(Exception):
+    """A pipeline's stages do not chain (missing input products)."""
+
+
+class StageFailure(Exception):
+    """An expected, result-producing stage failure (paper's FAILED cell).
+
+    Carries an optional cacheable ``payload`` so deterministic failures
+    are served from the artifact store on re-runs just like successes.
+    """
+
+    def __init__(
+        self, message: str, payload: Optional[Dict[str, object]] = None
+    ) -> None:
+        super().__init__(message)
+        self.payload = payload
+
+
+@dataclass
+class RunContext:
+    """Everything one benchmark run reads and produces.
+
+    The resolved configuration scalars are flattened in (rather than a
+    ``PipelineConfig`` reference) so the kernel has no dependency on the
+    driver layer and the cache key is explicit about what it covers.
+    """
+
+    program: Program
+    capture: CaptureSystem
+    tool: str
+    trials: int
+    filtergraphs: bool
+    engine: str
+    seed: Optional[int]
+    truncation_rate: float
+    fg_pair_policy: str
+    bg_pair_policy: str
+    timings: StageTimings = field(default_factory=StageTimings)
+    store: Optional[ArtifactStore] = None
+    #: read stage artifacts (False: recompute everything, refresh store)
+    use_cache: bool = True
+    # -- stage products ----------------------------------------------------
+    session: Optional[RecordingSession] = None
+    fg_graphs: Optional[List[PropertyGraph]] = None
+    bg_graphs: Optional[List[PropertyGraph]] = None
+    fg_outcome: Optional[GeneralizationOutcome] = None
+    bg_outcome: Optional[GeneralizationOutcome] = None
+    comparison: Optional[ComparisonOutcome] = None
+    #: set by Pipeline.run when a stage raised StageFailure
+    failure: Optional[str] = None
+    #: memoized key_material() result (invariant for the whole run)
+    _key_material: Optional[Dict[str, object]] = field(
+        default=None, repr=False
+    )
+
+    def key_material(self) -> Dict[str, object]:
+        """The run's stable identity: what the artifact key hashes over.
+
+        Covers the benchmark program (by content, not just name — a
+        custom ``Program`` with the same name keys differently), the
+        capture backend (class + config repr + output format), and every
+        resolved pipeline knob that can change any stage's output.
+        Parallelism and store settings are deliberately excluded: they
+        cannot change results.  The keys rely on seeded determinism —
+        drivers must not offer the store to a run without a seed.
+        """
+        if self._key_material is not None:
+            return self._key_material
+        capture_cls = type(self.capture)
+        self._key_material = {
+            "program": {
+                "name": self.program.name,
+                # frozen dataclass repr: deterministic, content-based
+                "fingerprint": repr(self.program),
+            },
+            "tool": self.tool,
+            "capture": {
+                "class": f"{capture_cls.__module__}.{capture_cls.__qualname__}",
+                "config": repr(getattr(self.capture, "config", None)),
+                "output_format": self.capture.output_format,
+            },
+            "trials": self.trials,
+            "filtergraphs": self.filtergraphs,
+            "engine": self.engine,
+            "seed": self.seed,
+            "truncation_rate": self.truncation_rate,
+            "fg_pair_policy": self.fg_pair_policy,
+            "bg_pair_policy": self.bg_pair_policy,
+        }
+        return self._key_material
+
+
+def _solver_delta_payload(before: SolverStats) -> Dict[str, int]:
+    delta = solver_stats().delta(before)
+    return {
+        "solver_steps": delta.steps,
+        "solver_searches": delta.searches,
+        "matching_cache_hits": delta.matching_cache_hits,
+        "cost_cache_hits": delta.cost_cache_hits,
+    }
+
+
+def _apply_solver_counters(
+    timings: StageTimings, counters: Mapping[str, int]
+) -> None:
+    timings.solver_steps += int(counters.get("solver_steps", 0))
+    timings.solver_searches += int(counters.get("solver_searches", 0))
+    timings.matching_cache_hits += int(counters.get("matching_cache_hits", 0))
+    timings.cost_cache_hits += int(counters.get("cost_cache_hits", 0))
+
+
+class Stage(abc.ABC):
+    """One pipeline subsystem with declared inputs/outputs.
+
+    ``inputs``/``outputs`` name :class:`RunContext` product fields; the
+    :class:`Pipeline` constructor validates that every stage's inputs
+    are produced by an earlier stage.  ``timing_field`` names the
+    :class:`StageTimings` attribute that accumulates this stage's wall
+    clock (whether computed or restored).
+    """
+
+    name: str = "stage"
+    inputs: Tuple[str, ...] = ()
+    outputs: Tuple[str, ...] = ()
+    timing_field: str = ""
+
+    @abc.abstractmethod
+    def run(self, ctx: RunContext) -> Optional[Dict[str, object]]:
+        """Compute this stage's outputs onto ``ctx``.
+
+        Returns the JSON payload to persist (or ``None`` for
+        uncacheable stages).  Expected failures raise
+        :class:`StageFailure` with their own cacheable payload.
+        """
+
+    @abc.abstractmethod
+    def restore(self, ctx: RunContext, payload: Mapping[str, object]) -> None:
+        """Rebuild this stage's outputs on ``ctx`` from a stored payload.
+
+        Raises :class:`StageFailure` when the payload records a cached
+        failure.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class RecordingStage(Stage):
+    """Stage 1 — run fg/bg trials under the capture tool (paper §3.2)."""
+
+    name = "recording"
+    outputs = ("session",)
+    timing_field = "recording"
+
+    def run(self, ctx: RunContext) -> Dict[str, object]:
+        recorder = Recorder(
+            ctx.capture,
+            trials=ctx.trials,
+            seed=ctx.seed,
+            truncation_rate=ctx.truncation_rate,
+        )
+        ctx.session = recorder.record(ctx.program)
+        ctx.timings.virtual_recording = ctx.session.virtual_seconds
+        return ctx.session.to_payload()
+
+    def restore(self, ctx: RunContext, payload: Mapping[str, object]) -> None:
+        ctx.session = RecordingSession.from_payload(payload, ctx.program)
+        ctx.timings.virtual_recording = ctx.session.virtual_seconds
+
+
+class TransformationStage(Stage):
+    """Stage 2 — native outputs to Datalog property graphs (paper §3.3)."""
+
+    name = "transformation"
+    inputs = ("session",)
+    outputs = ("fg_graphs", "bg_graphs")
+    timing_field = "transformation"
+
+    def run(self, ctx: RunContext) -> Dict[str, object]:
+        ctx.fg_graphs = self._transform_trials(ctx, foreground=True)
+        ctx.bg_graphs = self._transform_trials(ctx, foreground=False)
+        return {
+            "fg": [graph_to_payload(g) for g in ctx.fg_graphs],
+            "bg": [graph_to_payload(g) for g in ctx.bg_graphs],
+        }
+
+    @staticmethod
+    def _transform_trials(
+        ctx: RunContext, foreground: bool
+    ) -> List[PropertyGraph]:
+        session = ctx.session
+        trials = (
+            session.foreground_trials if foreground
+            else session.background_trials
+        )
+        prefix = "fg" if foreground else "bg"
+        return [
+            transform(trial.raw, ctx.capture.output_format, gid=f"{prefix}{i}")
+            for i, trial in enumerate(trials)
+        ]
+
+    def restore(self, ctx: RunContext, payload: Mapping[str, object]) -> None:
+        ctx.fg_graphs = [graph_from_payload(p) for p in payload["fg"]]
+        ctx.bg_graphs = [graph_from_payload(p) for p in payload["bg"]]
+
+
+class GeneralizationStage(Stage):
+    """Stage 3 — similarity classes to one graph per variant (paper §3.4)."""
+
+    name = "generalization"
+    inputs = ("fg_graphs", "bg_graphs")
+    outputs = ("fg_outcome", "bg_outcome")
+    timing_field = "generalization"
+
+    def run(self, ctx: RunContext) -> Dict[str, object]:
+        before = solver_stats().snapshot()
+        try:
+            fg_outcome = generalize_trials(
+                ctx.fg_graphs, filtergraphs=ctx.filtergraphs,
+                engine=ctx.engine, pair_policy=ctx.fg_pair_policy,
+            )
+            bg_outcome = generalize_trials(
+                ctx.bg_graphs, filtergraphs=ctx.filtergraphs,
+                engine=ctx.engine, pair_policy=ctx.bg_pair_policy,
+            )
+        except GeneralizationError as error:
+            counters = _solver_delta_payload(before)
+            _apply_solver_counters(ctx.timings, counters)
+            raise StageFailure(
+                str(error), payload={"failed": str(error), "solver": counters}
+            ) from error
+        counters = _solver_delta_payload(before)
+        _apply_solver_counters(ctx.timings, counters)
+        ctx.fg_outcome, ctx.bg_outcome = fg_outcome, bg_outcome
+        return {
+            "fg": fg_outcome.to_payload(),
+            "bg": bg_outcome.to_payload(),
+            "solver": counters,
+        }
+
+    def restore(self, ctx: RunContext, payload: Mapping[str, object]) -> None:
+        # Decode fully before touching ctx, so a rejected payload leaves
+        # the timings/counters untouched for the recompute fallback.
+        if "failed" in payload:
+            _apply_solver_counters(ctx.timings, payload.get("solver", {}))
+            raise StageFailure(str(payload["failed"]))
+        fg_outcome = GeneralizationOutcome.from_payload(payload["fg"])
+        bg_outcome = GeneralizationOutcome.from_payload(payload["bg"])
+        _apply_solver_counters(ctx.timings, payload.get("solver", {}))
+        ctx.fg_outcome, ctx.bg_outcome = fg_outcome, bg_outcome
+
+
+class ComparisonStage(Stage):
+    """Stage 4 — subtract background from foreground (paper §3.5)."""
+
+    name = "comparison"
+    inputs = ("fg_outcome", "bg_outcome")
+    outputs = ("comparison",)
+    timing_field = "comparison"
+
+    def run(self, ctx: RunContext) -> Dict[str, object]:
+        before = solver_stats().snapshot()
+        try:
+            outcome = compare(
+                ctx.fg_outcome.graph, ctx.bg_outcome.graph, engine=ctx.engine
+            )
+        except ComparisonError as error:
+            counters = _solver_delta_payload(before)
+            _apply_solver_counters(ctx.timings, counters)
+            raise StageFailure(
+                str(error), payload={"failed": str(error), "solver": counters}
+            ) from error
+        counters = _solver_delta_payload(before)
+        _apply_solver_counters(ctx.timings, counters)
+        ctx.comparison = outcome
+        return {"outcome": outcome.to_payload(), "solver": counters}
+
+    def restore(self, ctx: RunContext, payload: Mapping[str, object]) -> None:
+        if "failed" in payload:
+            _apply_solver_counters(ctx.timings, payload.get("solver", {}))
+            raise StageFailure(str(payload["failed"]))
+        comparison = ComparisonOutcome.from_payload(payload["outcome"])
+        _apply_solver_counters(ctx.timings, payload.get("solver", {}))
+        ctx.comparison = comparison
+
+
+class Pipeline:
+    """An ordered stage composition over a shared :class:`RunContext`."""
+
+    def __init__(self, stages: Sequence[Stage]) -> None:
+        self.stages: Tuple[Stage, ...] = tuple(stages)
+        produced: set = set()
+        for stage in self.stages:
+            missing = [name for name in stage.inputs if name not in produced]
+            if missing:
+                raise PipelineDefinitionError(
+                    f"stage {stage.name!r} needs {missing} but earlier "
+                    f"stages only produce {sorted(produced)}"
+                )
+            produced.update(stage.outputs)
+
+    def run(self, ctx: RunContext) -> RunContext:
+        """Run every stage in order; stop at the first failed stage.
+
+        Per-stage wall clock (computed or restored) lands in the stage's
+        ``timing_field``; a :class:`StageFailure` sets ``ctx.failure``
+        and short-circuits the remaining stages, mirroring the paper's
+        FAILED classification path.
+        """
+        for stage in self.stages:
+            started = time.perf_counter()
+            try:
+                self._run_stage(stage, ctx)
+            except StageFailure as failure:
+                ctx.failure = str(failure)
+                self._credit_time(ctx, stage, started)
+                break
+            self._credit_time(ctx, stage, started)
+        return ctx
+
+    @staticmethod
+    def _credit_time(ctx: RunContext, stage: Stage, started: float) -> None:
+        elapsed = time.perf_counter() - started
+        current = getattr(ctx.timings, stage.timing_field)
+        setattr(ctx.timings, stage.timing_field, current + elapsed)
+
+    @staticmethod
+    def _run_stage(stage: Stage, ctx: RunContext) -> None:
+        material: Optional[Dict[str, object]] = None
+        if ctx.store is not None:
+            material = dict(ctx.key_material())
+            material["stage"] = stage.name
+            if ctx.use_cache:
+                payload = ctx.store.load(stage.name, material)
+                if payload is not None:
+                    try:
+                        stage.restore(ctx, payload)
+                        ctx.timings.store_hits += 1
+                        return
+                    except StageFailure:
+                        # a cached deterministic failure replays as a hit
+                        ctx.timings.store_hits += 1
+                        raise
+                    except (
+                        ArtifactError, AttributeError, IndexError,
+                        KeyError, TypeError, ValueError,
+                    ):
+                        # Valid JSON wrapping a payload the codecs reject
+                        # (e.g. written by a different code version):
+                        # discard it and recompute, like any corruption.
+                        ctx.store.stats.hits -= 1  # load() counted it
+                        ctx.store.stats.invalid += 1
+                        try:
+                            ctx.store.path_for(stage.name, material).unlink()
+                        except OSError:
+                            pass
+            ctx.timings.store_misses += 1
+        try:
+            payload = stage.run(ctx)
+        except StageFailure as failure:
+            if material is not None and failure.payload is not None:
+                ctx.store.save(stage.name, material, failure.payload)
+            raise
+        if material is not None and payload is not None:
+            ctx.store.save(stage.name, material, payload)
+
+
+def default_pipeline() -> Pipeline:
+    """The paper's Figure 3 pipeline as a stage composition."""
+    return Pipeline([
+        RecordingStage(),
+        TransformationStage(),
+        GeneralizationStage(),
+        ComparisonStage(),
+    ])

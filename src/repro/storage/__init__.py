@@ -1,5 +1,22 @@
-"""Storage backends for capture-system output."""
+"""Storage backends: capture-system output and the pipeline artifact store."""
 
+from repro.storage.artifacts import (
+    ArtifactError,
+    ArtifactStore,
+    StoreStats,
+    canonical_key,
+    graph_from_payload,
+    graph_to_payload,
+)
 from repro.storage.neo4jsim import Neo4jSim, Neo4jSimError
 
-__all__ = ["Neo4jSim", "Neo4jSimError"]
+__all__ = [
+    "ArtifactError",
+    "ArtifactStore",
+    "Neo4jSim",
+    "Neo4jSimError",
+    "StoreStats",
+    "canonical_key",
+    "graph_from_payload",
+    "graph_to_payload",
+]

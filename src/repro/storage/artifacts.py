@@ -1,0 +1,260 @@
+"""Content-addressed persistent store for pipeline stage artifacts.
+
+Every pipeline stage output — trial recordings, transformed property
+graphs, generalized graphs, comparison targets, final benchmark results —
+can be serialized to a JSON payload and persisted here, addressed by a
+stable key over (benchmark, tool, resolved config, seed, stage).  Later
+runs with the same key reuse the stored artifact instead of recomputing
+the stage, which makes repeated sweeps near-free and ``provmark batch``
+resumable.
+
+Design points:
+
+* **Stable keys.** Keys are SHA-256 digests of canonical JSON (sorted
+  keys, no whitespace), never Python ``hash()`` — identical across
+  processes, interpreter restarts, and ``PYTHONHASHSEED`` values.
+* **Atomic writes.** Payloads are written to a unique temporary file and
+  ``os.replace``d into place, so concurrent writers (the process-pool
+  suite runner) and killed runs can never publish a half-written
+  artifact under the final name.
+* **Corruption tolerance.** A truncated, unparsable, or mismatched
+  artifact is treated as a miss: it is counted, best-effort deleted, and
+  the stage recomputes.  The store never raises on bad cache contents.
+
+The payload codecs for the graph/raw-output value types live here too, so
+every stage serializes through one vocabulary.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Union
+
+from repro.graph.model import PropertyGraph
+from repro.storage.neo4jsim import Neo4jSim
+
+#: bump when payload formats change incompatibly; old artifacts then
+#: read as misses instead of deserializing garbage
+STORE_VERSION = 1
+
+
+class ArtifactError(Exception):
+    """Raised for unusable store roots or malformed payload values."""
+
+
+def canonical_key(material: Mapping[str, object]) -> str:
+    """SHA-256 over canonical JSON — the artifact's content address.
+
+    ``material`` must be JSON-serializable.  Canonicalization (sorted
+    keys, compact separators) makes the digest independent of dict
+    insertion order and process identity.
+    """
+    try:
+        blob = json.dumps(material, sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError) as exc:
+        raise ArtifactError(f"unserializable key material: {exc}") from exc
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class StoreStats:
+    """Per-store-instance counters (one run's view of the cache)."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    #: corrupt/partial artifacts discarded and recomputed
+    invalid: int = 0
+
+    def as_row(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "invalid": self.invalid,
+        }
+
+
+class ArtifactStore:
+    """An on-disk artifact store rooted at a directory.
+
+    Layout: ``root/<stage>/<digest>.json`` where ``digest`` is
+    :func:`canonical_key` of the stage's key material.  Each file wraps
+    its payload with the store version and the stage name so a version
+    bump or a mis-filed artifact invalidates cleanly.
+    """
+
+    #: temp files older than this on store open are orphans of killed
+    #: runs (an in-flight write lives milliseconds) and are swept
+    STALE_TMP_SECONDS = 3600.0
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise ArtifactError(f"cannot create store root {root}: {exc}") from exc
+        self.stats = StoreStats()
+        self._sweep_stale_tmp()
+
+    def _sweep_stale_tmp(self) -> None:
+        """Remove temp files orphaned by killed runs.
+
+        Only files past :data:`STALE_TMP_SECONDS` are touched so a
+        concurrent writer's in-flight temp file is never yanked away.
+        """
+        cutoff = time.time() - self.STALE_TMP_SECONDS
+        for path in self.root.rglob("*.tmp"):
+            try:
+                if path.stat().st_mtime < cutoff:
+                    path.unlink()
+            except OSError:
+                pass
+
+    def path_for(self, stage: str, material: Mapping[str, object]) -> Path:
+        return self.root / stage / f"{canonical_key(material)}.json"
+
+    def load(
+        self, stage: str, material: Mapping[str, object]
+    ) -> Optional[object]:
+        """Return the stored payload, or ``None`` on miss/corruption."""
+        path = self.path_for(stage, material)
+        try:
+            text = path.read_text()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            wrapper = json.loads(text)
+            if not isinstance(wrapper, dict):
+                raise ValueError("artifact wrapper must be an object")
+            if wrapper.get("version") != STORE_VERSION:
+                raise ValueError("store version mismatch")
+            if wrapper.get("stage") != stage:
+                raise ValueError("stage mismatch")
+            payload = wrapper["payload"]
+        except (ValueError, KeyError):
+            # Truncated write, garbage, or a format from another life:
+            # drop it and recompute.
+            self.stats.invalid += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def save(
+        self, stage: str, material: Mapping[str, object], payload: object
+    ) -> Path:
+        """Atomically persist ``payload`` under the stage/material key."""
+        path = self.path_for(stage, material)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        wrapper = {
+            "version": STORE_VERSION,
+            "stage": stage,
+            "key": dict(material),
+            "payload": payload,
+        }
+        try:
+            blob = json.dumps(wrapper, sort_keys=True)
+        except (TypeError, ValueError) as exc:
+            raise ArtifactError(
+                f"unserializable payload for stage {stage!r}: {exc}"
+            ) from exc
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{path.stem}.", suffix=".tmp", dir=str(path.parent)
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(blob)
+            os.replace(tmp_name, path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+        return path
+
+    def clear(self) -> int:
+        """Delete every artifact (and temp file); returns artifacts removed."""
+        removed = 0
+        for path in sorted(self.root.rglob("*.json")):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        for path in self.root.rglob("*.tmp"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        return removed
+
+    def artifact_count(self) -> int:
+        return sum(1 for _ in self.root.rglob("*.json"))
+
+    def __repr__(self) -> str:
+        return f"ArtifactStore(root={str(self.root)!r}, stats={self.stats})"
+
+
+# -- payload codecs for shared value types ---------------------------------
+
+
+def graph_to_payload(graph: PropertyGraph) -> Dict[str, object]:
+    """Exact, order-preserving JSON form of a property graph.
+
+    Nodes and edges are listed in insertion order, so a graph rebuilt by
+    :func:`graph_from_payload` is byte-identical to the original under
+    ``PropertyGraph.__eq__`` *and* iterates in the same order (which the
+    matching engine's deterministic search relies on).
+    """
+    return {
+        "gid": graph.gid,
+        "nodes": [[n.id, n.label, dict(n.props)] for n in graph.nodes()],
+        "edges": [
+            [e.id, e.src, e.tgt, e.label, dict(e.props)]
+            for e in graph.edges()
+        ],
+    }
+
+
+def graph_from_payload(payload: Mapping[str, object]) -> PropertyGraph:
+    try:
+        graph = PropertyGraph(str(payload["gid"]))
+        for node_id, label, props in payload["nodes"]:
+            graph.add_node(node_id, label, props)
+        for edge_id, src, tgt, label, props in payload["edges"]:
+            graph.add_edge(edge_id, src, tgt, label, props)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ArtifactError(f"malformed graph payload: {exc}") from exc
+    return graph
+
+
+def raw_to_payload(raw: Union[str, Neo4jSim]) -> Dict[str, object]:
+    """Serialize a capture system's native output (text or Neo4j store)."""
+    if isinstance(raw, Neo4jSim):
+        return {"kind": "neo4j", "log": raw.dump_log()}
+    if isinstance(raw, str):
+        return {"kind": "text", "text": raw}
+    raise ArtifactError(f"unsupported raw output type {type(raw).__name__}")
+
+
+def raw_from_payload(payload: Mapping[str, object]) -> Union[str, Neo4jSim]:
+    kind = payload.get("kind")
+    if kind == "neo4j":
+        return Neo4jSim.from_log(str(payload["log"]))
+    if kind == "text":
+        return str(payload["text"])
+    raise ArtifactError(f"unknown raw payload kind {kind!r}")

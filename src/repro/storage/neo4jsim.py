@@ -38,7 +38,10 @@ class Neo4jSim:
         self._open = False
         self._node_index: Dict[int, str] = {}
         self._rel_index: Dict[int, str] = {}
-        self._label_index: Dict[str, List[int]] = {}
+        #: built lazily on the first label-filtered query; most sessions
+        #: (e.g. ProvMark's transformation stage) never touch labels, so
+        #: replay should not pay for indexing them
+        self._label_index: Optional[Dict[str, List[int]]] = None
 
     # -- write path (used by the OPUS capture system) -------------------------
 
@@ -78,17 +81,15 @@ class Neo4jSim:
         for _ in range(self.WARMUP_PASSES):
             node_index: Dict[int, str] = {}
             rel_index: Dict[int, str] = {}
-            label_index: Dict[str, List[int]] = {}
             for line in self._log:
                 record = json.loads(line)
                 if record["kind"] == "node":
                     node_index[record["id"]] = line
-                    label_index.setdefault(record["label"], []).append(record["id"])
                 else:
                     rel_index[record["id"]] = line
             self._node_index = node_index
             self._rel_index = rel_index
-            self._label_index = label_index
+        self._label_index = None
         self._open = True
 
     def shutdown(self) -> None:
@@ -104,13 +105,27 @@ class Neo4jSim:
 
     # -- query layer ----------------------------------------------------------------
 
+    def _labels(self) -> Dict[str, List[int]]:
+        """The label index, built on first use from the node index.
+
+        Node ids are appended in node-index (= log replay) order, so
+        label-filtered results are identical to the eager index's.
+        """
+        if self._label_index is None:
+            label_index: Dict[str, List[int]] = {}
+            for node_id, line in self._node_index.items():
+                record = json.loads(line)
+                label_index.setdefault(record["label"], []).append(node_id)
+            self._label_index = label_index
+        return self._label_index
+
     def match_nodes(
         self, label: Optional[str] = None
     ) -> Iterator[Tuple[int, str, Dict[str, str]]]:
         """``MATCH (n[:label]) RETURN n`` — deserializes each row."""
         self._require_open()
         if label is not None:
-            ids = self._label_index.get(label, [])
+            ids = self._labels().get(label, [])
             rows = [self._node_index[node_id] for node_id in ids]
         else:
             rows = list(self._node_index.values())

@@ -62,6 +62,45 @@ class TestQueries:
         assert row2[2]["pid"] == "42"
 
 
+class TestLazyLabelIndex:
+    def test_label_index_not_built_by_start(self, store):
+        store.start()
+        assert store._label_index is None
+
+    def test_unlabeled_queries_never_build_it(self, store):
+        store.start()
+        list(store.match_nodes())
+        list(store.match_relationships())
+        store.node_count()
+        assert store._label_index is None
+
+    def test_first_labeled_query_builds_it(self, store):
+        store.start()
+        list(store.match_nodes(label="Process"))
+        assert store._label_index is not None
+
+    def test_labeled_query_results_unchanged(self, store):
+        """Regression: lazy index returns exactly the eager index's rows."""
+        store.start()
+        eager = {}
+        for line in store._node_index.values():
+            import json
+            record = json.loads(line)
+            eager.setdefault(record["label"], []).append(
+                (record["id"], record["label"], dict(record["props"]))
+            )
+        for label in ("Process", "Global", "Ghost"):
+            assert list(store.match_nodes(label=label)) == eager.get(label, [])
+
+    def test_restart_invalidates_lazy_index(self, store):
+        store.start()
+        list(store.match_nodes(label="Process"))
+        store.create_node(7, "Process", {"pid": "99"})
+        store.start()  # replay picks the new node up
+        rows = list(store.match_nodes(label="Process"))
+        assert {row[0] for row in rows} == {1, 7}
+
+
 class TestPersistence:
     def test_log_roundtrip(self, store):
         text = store.dump_log()
