@@ -47,10 +47,10 @@ def test_embedding_engine(benchmark, engine):
 
 def test_engines_agree_end_to_end(benchmark):
     def run_both():
-        native = ProvMark(
+        native = ProvMark._internal(
             config=PipelineConfig(tool="spade", seed=5, engine="native")
         ).run_benchmark("open")
-        asp = ProvMark(
+        asp = ProvMark._internal(
             config=PipelineConfig(tool="spade", seed=5, engine="asp")
         ).run_benchmark("open")
         return native, asp

@@ -51,7 +51,7 @@ def mixed_workload() -> Program:
 
 @pytest.mark.parametrize("factor", [16, 32])
 def test_scale_headroom_spade(benchmark, factor):
-    provmark = ProvMark(tool="spade", seed=5)
+    provmark = ProvMark._internal(tool="spade", seed=5)
     program = scale_program(factor)
     result = benchmark.pedantic(
         provmark.run_benchmark, args=(program,), rounds=1, iterations=1
@@ -68,7 +68,7 @@ def test_scale_headroom_spade(benchmark, factor):
 
 @pytest.mark.parametrize("tool", ["spade", "camflow"])
 def test_mixed_workload(benchmark, tool):
-    provmark = ProvMark(tool=tool, seed=5)
+    provmark = ProvMark._internal(tool=tool, seed=5)
     result = benchmark.pedantic(
         provmark.run_benchmark, args=(mixed_workload(),), rounds=1, iterations=1
     )

@@ -26,7 +26,7 @@ CASES = [
 
 
 def best_processing(tool, name, rounds=3):
-    provmark = ProvMark(tool=tool, seed=5)
+    provmark = ProvMark._internal(tool=tool, seed=5)
     results = [provmark.run_benchmark(name) for _ in range(rounds)]
     best = min(results, key=lambda r: r.timings.processing)
     assert best.classification.value == "ok"
@@ -69,7 +69,7 @@ def test_scale_headroom_within_step_budget(benchmark):
     def run():
         rows = {}
         for tool in ("spade", "camflow"):
-            provmark = ProvMark(tool=tool, seed=5)
+            provmark = ProvMark._internal(tool=tool, seed=5)
             for name in ("scale16", "scale32"):
                 rows[(tool, name)] = provmark.run_benchmark(name)
         return rows

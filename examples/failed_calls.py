@@ -13,7 +13,7 @@ Expected outcome (paper):
   not record it in this configuration → empty.
 """
 
-from repro import ProvMark
+from repro.api import BenchmarkService, RunRequest
 from repro.graph.stats import summarize
 from repro.suite.registry import FAILURE_BENCHMARKS
 
@@ -21,11 +21,14 @@ from repro.suite.registry import FAILURE_BENCHMARKS
 def main() -> None:
     print("Failed-call coverage (who records denied operations?)\n")
     verdicts = {}
+    service = BenchmarkService()
     for benchmark in FAILURE_BENCHMARKS:
         print(f"benchmark: {benchmark} "
               f"({FAILURE_BENCHMARKS[benchmark].description})")
         for tool in ("spade", "opus", "camflow"):
-            result = ProvMark(tool=tool, seed=13).run_benchmark(benchmark)
+            result = service.run(
+                RunRequest(benchmark=benchmark, tool=tool, seed=13)
+            ).result
             recorded = result.is_ok
             verdicts.setdefault(tool, []).append(recorded)
             detail = summarize(result.target_graph).describe()

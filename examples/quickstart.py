@@ -3,18 +3,20 @@
 
 Runs the full four-stage ProvMark pipeline (record, transform,
 generalize, compare) for the ``open`` benchmark and prints what each
-tool's provenance graph says about the call.
+tool's provenance graph says about the call, through the typed
+``repro.api`` surface (the supported entry point since v1.1).
 """
 
-from repro import ProvMark
+from repro.api import BenchmarkService, RunRequest
 from repro.graph.dot import graph_to_dot
 from repro.graph.stats import summarize
 
 
 def main() -> None:
+    service = BenchmarkService()
     for tool in ("spade", "opus", "camflow"):
-        provmark = ProvMark(tool=tool, seed=7)
-        result = provmark.run_benchmark("open")
+        request = RunRequest(benchmark="open", tool=tool, seed=7)
+        result = service.run(request).result
         summary = summarize(result.target_graph)
         print(f"=== {tool} ===")
         print(f"  classification : {result.classification}")

@@ -13,8 +13,10 @@ flags immediately.
 """
 
 import tempfile
+import warnings
 
 from repro import PipelineConfig, ProvMark
+from repro.api import BenchmarkService, RunRequest
 from repro.capture.spade import SpadeCapture, SpadeConfig
 from repro.core.regression import RegressionStore
 
@@ -25,24 +27,34 @@ def main() -> None:
     with tempfile.TemporaryDirectory() as root:
         store = RegressionStore(root)
 
+        service = BenchmarkService()
+
         print("Step 1: record baselines with the current SPADE build")
-        baseline_pm = ProvMark(tool="spade", seed=99)
         for name in BENCHMARKS:
-            result = baseline_pm.run_benchmark(name)
+            result = service.run(
+                RunRequest(benchmark=name, tool="spade", seed=99)
+            ).result
             report = store.check_and_update(result)
             print(f"  {name:<8} {report.status}")
 
         print("\nStep 2: re-run unchanged — everything should be stable")
-        rerun_pm = ProvMark(tool="spade", seed=1234)  # different seed!
         for name in BENCHMARKS:
-            report = store.check(rerun_pm.run_benchmark(name))
+            result = service.run(  # different seed!
+                RunRequest(benchmark=name, tool="spade", seed=1234)
+            ).result
+            report = store.check(result)
             print(f"  {name:<8} {report.status}")
 
         print("\nStep 3: 'upgrade' SPADE (enable artifact versioning) and re-run")
-        upgraded = ProvMark(
-            capture=SpadeCapture(SpadeConfig(versioning=True)),
-            config=PipelineConfig(tool="spade", seed=7),
-        )
+        # Hand-injected captures are a legacy-driver capability the
+        # declarative API deliberately does not cover; quiet the shim's
+        # DeprecationWarning for this one construction.
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            upgraded = ProvMark(
+                capture=SpadeCapture(SpadeConfig(versioning=True)),
+                config=PipelineConfig(tool="spade", seed=7),
+            )
         changed = []
         for name in BENCHMARKS:
             report = store.check(upgraded.run_benchmark(name))

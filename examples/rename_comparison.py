@@ -6,7 +6,7 @@ The paper opens with this example: SPADE, OPUS, and CamFlow each record a
 the comparison and prints the per-tool structures side by side.
 """
 
-from repro import ProvMark
+from repro.api import BenchmarkService, RunRequest
 from repro.graph.dot import graph_to_dot
 from repro.graph.stats import summarize
 
@@ -14,8 +14,11 @@ from repro.graph.stats import summarize
 def main() -> None:
     print("A rename system call, as recorded by three provenance recorders")
     print("(paper Figure 1)\n")
+    service = BenchmarkService()
     for tool in ("spade", "camflow", "opus"):
-        result = ProvMark(tool=tool, seed=1).run_benchmark("rename")
+        result = service.run(
+            RunRequest(benchmark="rename", tool=tool, seed=1)
+        ).result
         graph = result.target_graph
         print(f"--- {tool} ---")
         print(f"  {summarize(graph).describe()}")

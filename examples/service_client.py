@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Drive the typed API: async jobs, then the embedded HTTP service.
+
+Part one submits a benchmark run to :class:`~repro.api.BenchmarkService`
+and polls the job to completion, watching the per-stage progress the
+pipeline reports at stage boundaries.  Part two starts the embedded
+HTTP JSON service on a free port, performs the same run with a plain
+``POST /v1/runs``, and checks the two answers agree — the HTTP surface
+is the same façade, one process boundary further away.
+"""
+
+import json
+import threading
+import time
+import urllib.request
+
+from repro.api import BenchmarkService, RunRequest, RunResponse
+from repro.api.http import make_server
+
+REQUEST = RunRequest(benchmark="rename", tool="spade", seed=11)
+
+
+def drive_jobs(service: BenchmarkService) -> RunResponse:
+    print("=== async: submit() / poll() ===")
+    job = service.submit(REQUEST)
+    print(f"submitted {job.job_id} (state={job.state})")
+    seen = set()
+    while True:
+        status = service.poll(job.job_id)
+        if status.stage and status.stage not in seen:
+            seen.add(status.stage)
+            print(f"  progress: {status.stage}")
+        if status.finished:
+            break
+        time.sleep(0.02)
+    print(f"finished: state={status.state} "
+          f"({status.completed}/{status.total} benchmarks)")
+    if status.state != "done":
+        raise SystemExit(f"job {status.state}: {status.error}")
+    print(f"  {status.result.result.summary()}")
+    return status.result
+
+
+def drive_http(service: BenchmarkService) -> RunResponse:
+    print("\n=== HTTP: POST /v1/runs (wait=true) ===")
+    server = make_server(service, port=0)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        body = REQUEST.to_payload()
+        body["wait"] = True
+        http_request = urllib.request.Request(
+            f"http://{host}:{port}/v1/runs",
+            data=json.dumps(body).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(http_request, timeout=120) as resp:
+            payload = json.loads(resp.read())
+        response = RunResponse.from_payload(payload)
+        print(f"  POST /v1/runs -> {response.result.summary()}")
+        with urllib.request.urlopen(
+            f"http://{host}:{port}/v1/tools", timeout=30
+        ) as resp:
+            tools = json.loads(resp.read())["tools"]
+        print(f"  GET /v1/tools -> {len(tools)} backends: "
+              + ", ".join(t["name"] for t in tools))
+        return response
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def main() -> None:
+    with BenchmarkService() as service:
+        job_result = drive_jobs(service)
+        http_result = drive_http(service)
+    agree = (
+        job_result.result.classification is http_result.result.classification
+        and job_result.result.target_graph == http_result.result.target_graph
+    )
+    print(f"\njob result == HTTP result: {agree}")
+
+
+if __name__ == "__main__":
+    main()

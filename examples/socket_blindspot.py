@@ -11,7 +11,7 @@ CamFlow's LSM vantage observes the channel — SPADE's default audit rules
 and OPUS's interposition set are blind to it.
 """
 
-from repro import ProvMark
+from repro.api import BenchmarkService, RunRequest
 from repro.graph.stats import summarize
 from repro.suite.extended import SOCKET_BENCHMARKS
 
@@ -19,10 +19,13 @@ from repro.suite.extended import SOCKET_BENCHMARKS
 def main() -> None:
     print("Who sees a local-socket covert channel?\n")
     verdicts = {}
+    service = BenchmarkService()
     for name, program in SOCKET_BENCHMARKS.items():
         print(f"benchmark: {name} ({program.description})")
         for tool in ("spade", "opus", "camflow"):
-            result = ProvMark(tool=tool, seed=21).run_benchmark(name)
+            result = service.run(
+                RunRequest(benchmark=name, tool=tool, seed=21)
+            ).result
             seen = result.is_ok
             verdicts.setdefault(tool, []).append(seen)
             print(

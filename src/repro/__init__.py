@@ -8,23 +8,42 @@ three simulated capture systems (SPADE, OPUS, CamFlow), the four-stage
 ProvMark pipeline, the benchmark suite, and the analysis tooling that
 regenerates every table and figure of the paper.
 
-Quickstart::
+Quickstart (the supported surface is :mod:`repro.api`)::
 
-    from repro import ProvMark
-    provmark = ProvMark(tool="spade")
-    result = provmark.run_benchmark("open")
-    print(result.classification, result.target_graph.size)
+    from repro.api import BenchmarkService, RunRequest
+    service = BenchmarkService()
+    response = service.run(RunRequest(benchmark="open", tool="spade"))
+    print(response.result.classification, response.result.target_graph.size)
+
+The legacy ``ProvMark`` driver remains importable as a deprecated
+compatibility shim over the service (identical results).
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro.core.pipeline import PipelineConfig, ProvMark  # noqa: E402
 from repro.core.result import BenchmarkResult, Classification  # noqa: E402
+from repro.api import (  # noqa: E402
+    API_VERSION,
+    BatchRequest,
+    BenchmarkService,
+    JobStatus,
+    RunRequest,
+    RunResponse,
+    ToolQuery,
+)
 
 __all__ = [
+    "API_VERSION",
+    "BatchRequest",
     "BenchmarkResult",
+    "BenchmarkService",
     "Classification",
+    "JobStatus",
     "PipelineConfig",
     "ProvMark",
+    "RunRequest",
+    "RunResponse",
+    "ToolQuery",
     "__version__",
 ]

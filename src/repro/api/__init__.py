@@ -1,0 +1,70 @@
+"""``repro.api`` — the versioned, typed public surface (v1).
+
+The single supported way in, for programs and remote clients alike:
+
+* :mod:`repro.api.types` — frozen request/response dataclasses with
+  strict validation and JSON codecs (:data:`API_VERSION` tags the
+  vocabulary);
+* :mod:`repro.api.service` — :class:`BenchmarkService`, the façade over
+  the staged pipeline, capture registry, suite registry, and artifact
+  store;
+* :mod:`repro.api.jobs` — the async :class:`JobManager` behind
+  ``submit()``/``poll()``/``cancel()``;
+* :mod:`repro.api.http` — the embedded stdlib HTTP JSON service
+  (``provmark serve``);
+* :mod:`repro.api.errors` — the error vocabulary the CLI and HTTP
+  surfaces render identically.
+
+Quickstart::
+
+    from repro.api import BenchmarkService, RunRequest
+
+    service = BenchmarkService()
+    response = service.run(RunRequest(benchmark="open", tool="spade", seed=5))
+    print(response.result.summary())
+
+    job = service.submit(RunRequest(benchmark="open", tool="camflow", seed=5))
+    while not service.poll(job.job_id).finished:
+        ...
+"""
+
+from repro.api.errors import (
+    ApiError,
+    NotFoundError,
+    ValidationError,
+    render_error,
+)
+from repro.api.http import ApiHTTPServer, DEFAULT_PORT, make_server
+from repro.api.jobs import JobCancelled, JobManager
+from repro.api.service import BenchmarkService
+from repro.api.types import (
+    API_VERSION,
+    BatchRequest,
+    BenchmarkInfo,
+    JobStatus,
+    RunRequest,
+    RunResponse,
+    ToolInfo,
+    ToolQuery,
+)
+
+__all__ = [
+    "API_VERSION",
+    "ApiError",
+    "ApiHTTPServer",
+    "BatchRequest",
+    "BenchmarkInfo",
+    "BenchmarkService",
+    "DEFAULT_PORT",
+    "JobCancelled",
+    "JobManager",
+    "JobStatus",
+    "NotFoundError",
+    "RunRequest",
+    "RunResponse",
+    "ToolInfo",
+    "ToolQuery",
+    "ValidationError",
+    "make_server",
+    "render_error",
+]

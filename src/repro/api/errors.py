@@ -1,0 +1,51 @@
+"""Error vocabulary shared by the service façade, the CLI, and HTTP.
+
+Every user-facing failure of the typed API is an :class:`ApiError`
+carrying both its HTTP status (for ``repro/api/http.py``) and its CLI
+exit code (for ``provmark``), so the two entry surfaces render the same
+condition the same way: the CLI prints ``provmark: <message>`` and exits
+2, the HTTP service answers 400/404 with ``{"error": {...}}`` — one
+message, produced in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class ApiError(Exception):
+    """Base class for typed-API failures (500 / exit 1 by default)."""
+
+    http_status: int = 500
+    exit_code: int = 1
+
+
+class ValidationError(ApiError, ValueError):
+    """A request (or payload being decoded) is malformed."""
+
+    http_status = 400
+    exit_code = 2
+
+
+class NotFoundError(ApiError, LookupError):
+    """A named tool, benchmark, profile, or job does not exist."""
+
+    http_status = 404
+    exit_code = 2
+
+
+def render_error(error: BaseException) -> str:
+    """One-line, traceback-free rendering shared by CLI and HTTP."""
+    message = str(error).strip() or type(error).__name__
+    return " ".join(message.split())
+
+
+def error_body(error: ApiError) -> Dict[str, object]:
+    """The JSON error envelope the HTTP service sends."""
+    return {
+        "error": {
+            "status": error.http_status,
+            "type": type(error).__name__,
+            "message": render_error(error),
+        }
+    }

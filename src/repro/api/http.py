@@ -1,0 +1,196 @@
+"""Embedded HTTP JSON service over :class:`BenchmarkService`.
+
+Pure stdlib (``http.server``) — no new dependencies.  Endpoints, all
+JSON, all prefixed with the API version:
+
+* ``GET /v1/tools`` (optionally ``?name=<tool>``) — registered capture
+  backends with their resolved profiles;
+* ``GET /v1/benchmarks`` — the suite catalog;
+* ``POST /v1/runs`` — body is a :class:`~repro.api.types.RunRequest`
+  payload; by default the run is submitted as an async job (``202``
+  with a :class:`~repro.api.types.JobStatus` envelope to poll), while
+  ``"wait": true`` in the body blocks and answers ``200`` with the
+  :class:`~repro.api.types.RunResponse` directly;
+* ``GET /v1/jobs/<id>`` — job status, including the result envelope
+  once the job is done;
+* ``DELETE /v1/jobs/<id>`` — request cancellation.
+
+Errors share the CLI's rendering helper: a
+:class:`~repro.api.errors.NotFoundError` is a 404 and a
+:class:`~repro.api.errors.ValidationError` a 400, each with
+``{"error": {"status", "type", "message"}}`` carrying the exact one-line
+message ``provmark`` prints before exiting 2.
+
+Start it with ``provmark serve --port N`` (``--port 0`` picks a free
+port and prints it), or embed it::
+
+    from repro.api.http import make_server
+    server = make_server(port=0)
+    print(server.server_address)
+    server.serve_forever()
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.api.errors import (
+    ApiError,
+    NotFoundError,
+    ValidationError,
+    error_body,
+    render_error,
+)
+from repro.api.service import BenchmarkService
+from repro.api.types import API_VERSION, RunRequest, ToolQuery
+
+#: default TCP port of ``provmark serve``
+DEFAULT_PORT = 8321
+
+#: request bodies past this size are rejected (a RunRequest is tiny)
+MAX_BODY_BYTES = 1 << 20
+
+
+class ApiHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server owning one :class:`BenchmarkService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], service: BenchmarkService):
+        super().__init__(address, ApiRequestHandler)
+        self.service = service
+
+
+class ApiRequestHandler(BaseHTTPRequestHandler):
+    server_version = f"provmark-api/{API_VERSION}"
+
+    @property
+    def service(self) -> BenchmarkService:
+        return self.server.service
+
+    # -- routing ------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        self._dispatch(self._route_get)
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch(self._route_post)
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch(self._route_delete)
+
+    def _dispatch(self, route) -> None:
+        try:
+            route()
+        except ApiError as exc:
+            self._send_json(exc.http_status, error_body(exc))
+        except BrokenPipeError:
+            pass  # client went away mid-response
+        except Exception as exc:  # noqa: BLE001 — never kill the server
+            fallback = ApiError(
+                f"internal error: {type(exc).__name__}: {render_error(exc)}"
+            )
+            self._send_json(fallback.http_status, error_body(fallback))
+
+    def _route_get(self) -> None:
+        split = urlsplit(self.path)
+        path, query = split.path.rstrip("/"), dict(parse_qsl(split.query))
+        if path == "/v1/tools":
+            tool_query = ToolQuery(name=query.get("name"))
+            self._send_json(200, {
+                "api_version": API_VERSION,
+                "tools": [t.to_payload() for t in self.service.tools(tool_query)],
+            })
+        elif path == "/v1/benchmarks":
+            self._send_json(200, {
+                "api_version": API_VERSION,
+                "benchmarks": [
+                    b.to_payload() for b in self.service.benchmarks()
+                ],
+            })
+        elif path.startswith("/v1/jobs/"):
+            job_id = path[len("/v1/jobs/"):]
+            self._send_json(200, self.service.poll(job_id).to_payload())
+        else:
+            raise NotFoundError(f"no route for GET {split.path}")
+
+    def _route_post(self) -> None:
+        path = urlsplit(self.path).path.rstrip("/")
+        if path != "/v1/runs":
+            raise NotFoundError(f"no route for POST {path}")
+        body = self._read_json_body()
+        wait = body.pop("wait", False)
+        if not isinstance(wait, bool):
+            raise ValidationError("'wait' must be a boolean")
+        request = RunRequest.from_payload(body)
+        # Filesystem locations are operator-controlled: a remote client
+        # must not steer server-side writes (store_path) or reads
+        # (config_path).
+        for field in ("store_path", "config_path"):
+            if getattr(request, field) is not None:
+                raise ValidationError(
+                    f"{field!r} is not accepted over HTTP; server-side "
+                    "paths are configured by the operator"
+                )
+        if wait:
+            self._send_json(200, self.service.run(request).to_payload())
+        else:
+            self._send_json(202, self.service.submit(request).to_payload())
+
+    def _route_delete(self) -> None:
+        path = urlsplit(self.path).path.rstrip("/")
+        if not path.startswith("/v1/jobs/"):
+            raise NotFoundError(f"no route for DELETE {path}")
+        job_id = path[len("/v1/jobs/"):]
+        self._send_json(200, self.service.cancel(job_id).to_payload())
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _read_json_body(self) -> Dict[str, object]:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            raise ValidationError("invalid Content-Length header") from None
+        if length <= 0:
+            raise ValidationError("request body must be a JSON object")
+        if length > MAX_BODY_BYTES:
+            raise ValidationError(
+                f"request body too large ({length} > {MAX_BODY_BYTES} bytes)"
+            )
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            raise ValidationError("request body is not valid JSON") from None
+        if not isinstance(body, dict):
+            raise ValidationError("request body must be a JSON object")
+        return body
+
+    def _send_json(self, status: int, payload: Dict[str, object]) -> None:
+        blob = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(blob)))
+        self.end_headers()
+        self.wfile.write(blob)
+
+    def log_message(self, format: str, *args: object) -> None:
+        # Quiet by default; the serve command prints its own one-liner.
+        pass
+
+
+def make_server(
+    service: Optional[BenchmarkService] = None,
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+) -> ApiHTTPServer:
+    """Bind the API server (``port=0`` picks a free port).
+
+    The caller owns the lifecycle: ``serve_forever()`` to run,
+    ``server_close()`` (plus ``service.close()``) to stop.
+    """
+    return ApiHTTPServer((host, port), service or BenchmarkService())

@@ -1,0 +1,256 @@
+"""Async job manager behind ``BenchmarkService.submit/poll/cancel``.
+
+Jobs run on a shared :class:`~concurrent.futures.ThreadPoolExecutor`;
+each job thread drives the same façade entry points a synchronous caller
+would (``service.run`` / ``service.run_batch``), so results are
+byte-identical either way.  A batch job with ``max_workers > 1`` fans
+its benchmarks over ``run_many``'s process-pool workers — at the cost of
+per-stage progress and mid-sweep cancellation, which need the serial
+in-process path (stage events cannot cross process boundaries).
+
+Progress flows the other way through the :class:`Pipeline`'s
+stage-boundary hook: every :class:`~repro.core.stages.ProgressEvent` a
+job's pipeline emits updates that job's record, and the same hook is the
+cancellation point — ``cancel()`` marks the job, and the next stage
+boundary raises :class:`JobCancelled` out of the pipeline, aborting the
+run without killing the worker thread.  A queued job cancels
+immediately; a cancelled running job stops at the next boundary.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+import uuid
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Dict, List, Optional, Tuple
+
+from repro.api.errors import (
+    ApiError,
+    NotFoundError,
+    ValidationError,
+    render_error,
+)
+from repro.api.types import JobStatus, RunResponse
+from repro.core.stages import ProgressEvent
+
+
+class JobCancelled(Exception):
+    """Raised inside a job's pipeline when its cancellation was requested."""
+
+
+class _Job:
+    """Mutable job record; snapshots go out as frozen JobStatus values."""
+
+    def __init__(self, job_id: str, kind: str, total: int) -> None:
+        self.job_id = job_id
+        self.kind = kind
+        self.state = "queued"
+        self.submitted_at = time.time()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.total = total
+        self.completed = 0
+        self.stage = ""
+        self.error = ""
+        self.result: Optional[RunResponse] = None
+        self.results: Optional[Tuple[RunResponse, ...]] = None
+        self.cancel_requested = threading.Event()
+        self.future: Optional[Future] = None
+
+    def snapshot(self) -> JobStatus:
+        return JobStatus(
+            job_id=self.job_id,
+            state=self.state,
+            kind=self.kind,
+            submitted_at=self.submitted_at,
+            started_at=self.started_at,
+            finished_at=self.finished_at,
+            total=self.total,
+            completed=self.completed,
+            stage=self.stage,
+            error=self.error,
+            result=self.result,
+            results=self.results,
+        )
+
+
+class JobManager:
+    """Thread-pool execution of submitted run/batch requests."""
+
+    #: finished job records retained for polling; the oldest are evicted
+    #: beyond this, bounding a long-running server's memory (each record
+    #: holds full result graphs)
+    MAX_FINISHED_JOBS = 256
+
+    def __init__(self, max_workers: int = 4) -> None:
+        self._max_workers = max(1, max_workers)
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._jobs: Dict[str, _Job] = {}
+        self._lock = threading.RLock()
+        self._seq = itertools.count(1)
+        self._closed = False
+
+    # -- public API ---------------------------------------------------------
+
+    def submit(self, service, request, kind: str, total: int) -> JobStatus:
+        """Queue a validated run/batch job (``kind``/``total`` resolved
+        by the service, which already expanded the benchmark list)."""
+        with self._lock:
+            if self._closed:
+                raise ValidationError(
+                    "job manager is shut down; no new jobs accepted"
+                )
+            # The unguessable suffix is the only access control on job
+            # ids (they are capability tokens over /v1/jobs), so use the
+            # full 128 bits of uuid4, not a truncation.
+            job_id = f"job-{next(self._seq):04d}-{uuid.uuid4().hex}"
+            job = _Job(job_id, kind, total)
+            self._jobs[job_id] = job
+            self._evict_finished()
+            job.future = self._executor().submit(
+                self._run_job, service, job, request
+            )
+            # snapshot under the lock: the worker thread may already be
+            # flipping the job to "running"
+            return job.snapshot()
+
+    def poll(self, job_id: str) -> JobStatus:
+        """A point-in-time status snapshot (NotFoundError for bad ids)."""
+        with self._lock:
+            return self._get(job_id).snapshot()
+
+    def cancel(self, job_id: str) -> JobStatus:
+        """Request cancellation; queued jobs stop now, running ones at
+        the next stage boundary."""
+        with self._lock:
+            job = self._get(job_id)
+            job.cancel_requested.set()
+            if job.state == "queued" and job.future is not None:
+                if job.future.cancel():
+                    job.state = "cancelled"
+                    job.finished_at = time.time()
+            return job.snapshot()
+
+    def jobs(self) -> List[JobStatus]:
+        """Snapshots of every job this manager has seen, oldest first."""
+        with self._lock:
+            return [job.snapshot() for job in self._jobs.values()]
+
+    def shutdown(self, wait: bool = True, cancel: bool = False) -> None:
+        """Stop accepting jobs and release the worker pool.
+
+        ``cancel=True`` additionally requests cancellation of every
+        queued and running job first (running pipelines stop at their
+        next stage boundary), so ``wait=True`` returns promptly instead
+        of sitting out in-flight sweeps — the ``provmark serve``
+        Ctrl-C path.  Job records stay pollable after shutdown.
+        """
+        with self._lock:
+            self._closed = True
+            if cancel:
+                for job in self._jobs.values():
+                    if job.state in ("queued", "running"):
+                        job.cancel_requested.set()
+                        if job.future is not None and job.future.cancel():
+                            job.state = "cancelled"
+                            job.finished_at = time.time()
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=wait)
+
+    # -- internals ----------------------------------------------------------
+
+    def _executor(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._max_workers,
+                thread_name_prefix="provmark-job",
+            )
+        return self._pool
+
+    def _evict_finished(self) -> None:
+        """Drop the oldest finished job records past the retention cap.
+
+        Called under the lock.  In-flight (queued/running) jobs are
+        never evicted, so a terminal ``poll`` can only miss after
+        another ``MAX_FINISHED_JOBS`` jobs have since completed.
+        """
+        finished = [
+            job_id for job_id, job in self._jobs.items()
+            if job.state in ("done", "failed", "cancelled")
+        ]
+        for job_id in finished[:max(0, len(finished) - self.MAX_FINISHED_JOBS)]:
+            del self._jobs[job_id]
+
+    def _get(self, job_id: str) -> _Job:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            # Deliberately does not list known ids: job ids are the only
+            # access control on /v1/jobs, so enumerating them in a 404
+            # body would let any client find and cancel others' jobs.
+            raise NotFoundError(f"unknown job {job_id!r}") from None
+
+    def _run_job(self, service, job: _Job, request) -> None:
+        with self._lock:
+            if job.cancel_requested.is_set():
+                job.state = "cancelled"
+                job.finished_at = time.time()
+                return
+            job.state = "running"
+            job.started_at = time.time()
+
+        def progress(event: ProgressEvent) -> None:
+            if job.cancel_requested.is_set():
+                raise JobCancelled(job.job_id)
+            with self._lock:
+                job.stage = f"{event.benchmark}/{event.stage}:{event.status}"
+
+        def advance(response: RunResponse) -> None:
+            with self._lock:
+                job.completed += 1
+
+        workers = getattr(request, "max_workers", None)
+        try:
+            if job.kind == "run":
+                response = service.run(request, progress=progress)
+                with self._lock:
+                    job.result = response
+                    job.completed = 1
+                    job.state = "done"
+            elif workers is not None and workers > 1:
+                # Honor the process-pool fan-out.  Stage boundaries are
+                # not observable across worker processes, so progress
+                # stays coarse and cancellation only applies before the
+                # sweep starts.
+                if job.cancel_requested.is_set():
+                    raise JobCancelled(job.job_id)
+                responses = service.run_batch(request)
+                with self._lock:
+                    job.results = responses
+                    job.completed = len(responses)
+                    job.state = "done"
+            else:
+                responses = service.run_batch(
+                    request, progress=progress, on_response=advance
+                )
+                with self._lock:
+                    job.results = responses
+                    job.completed = len(responses)
+                    job.state = "done"
+        except JobCancelled:
+            with self._lock:
+                job.state = "cancelled"
+        except ApiError as exc:
+            with self._lock:
+                job.state = "failed"
+                job.error = render_error(exc)
+        except Exception as exc:  # noqa: BLE001 — job threads must not die
+            with self._lock:
+                job.state = "failed"
+                job.error = f"{type(exc).__name__}: {render_error(exc)}"
+        finally:
+            with self._lock:
+                job.finished_at = time.time()

@@ -1,0 +1,350 @@
+"""The :class:`BenchmarkService` façade — the supported entry surface.
+
+One object fronts the whole stack: the staged pipeline kernel
+(`repro.core.stages`), the capture-backend plugin registry
+(`repro.capture.registry`), the benchmark suite registry
+(`repro.suite.registry`), and the persistent artifact store
+(`repro.storage.artifacts`).  Callers declare work as frozen request
+objects (:class:`~repro.api.types.RunRequest`,
+:class:`~repro.api.types.BatchRequest`) instead of constructing pipeline
+internals; results come back as :class:`~repro.api.types.RunResponse`
+envelopes that are byte-identical — same graphs, same timing semantics,
+same solver/store counters — to what the legacy ``ProvMark`` driver
+produced for the same configuration (the driver survives as a deprecated
+shim over the same machinery).
+
+Synchronous calls (:meth:`BenchmarkService.run`,
+:meth:`BenchmarkService.run_batch`) block; :meth:`submit` /
+:meth:`poll` / :meth:`cancel` hand the same requests to the
+:class:`~repro.api.jobs.JobManager`, whose jobs report per-stage
+progress through the pipeline's :class:`~repro.core.stages.ProgressEvent`
+hook.  All lookup failures surface as
+:class:`~repro.api.errors.NotFoundError` /
+:class:`~repro.api.errors.ValidationError`, which the CLI and the HTTP
+service render identically.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.api.errors import NotFoundError, ValidationError
+from repro.api.jobs import JobManager
+from repro.api.types import (
+    API_VERSION,
+    BatchRequest,
+    BenchmarkInfo,
+    JobStatus,
+    RunRequest,
+    RunResponse,
+    ToolInfo,
+    ToolQuery,
+)
+from repro.capture.registry import (
+    UnknownToolError,
+    get_backend,
+    iter_backends,
+)
+from repro.config import ProfileError, get_profile
+from repro.core.pipeline import PipelineConfig, ProvMark
+from repro.core.stages import ProgressCallback
+from repro.suite.registry import ALL_BENCHMARKS, TABLE2_ORDER
+
+Request = Union[RunRequest, BatchRequest]
+
+
+class BenchmarkService:
+    """Typed façade over pipeline, registries, store, and job manager."""
+
+    api_version = API_VERSION
+
+    #: total idle drivers retained across all configurations
+    _DRIVER_POOL_SIZE = 32
+
+    def __init__(self, jobs: Optional[JobManager] = None) -> None:
+        # Created eagerly (the manager itself spins its thread pool up
+        # lazily): a lazily-created manager would race under the
+        # threaded HTTP server, orphaning jobs in a lost instance.
+        self._jobs = jobs if jobs is not None else JobManager()
+        self._owns_jobs = jobs is None
+        # Idle drivers (capture system, pipeline, artifact-store handle)
+        # pooled by resolved configuration.  A driver is leased to
+        # exactly one call at a time — captures and stores are not safe
+        # to share between concurrently running jobs — but the pool is
+        # shared across threads, so short-lived HTTP handler threads
+        # still reuse drivers instead of rebuilding them per request.
+        self._pool_lock = threading.Lock()
+        self._driver_pool: Dict[tuple, List[ProvMark]] = {}
+        self._pooled_count = 0
+
+    # -- catalog ------------------------------------------------------------
+
+    def tools(self, query: Optional[ToolQuery] = None) -> Tuple[ToolInfo, ...]:
+        """Registered capture backends (optionally filtered to one name)."""
+        query = query or ToolQuery()
+        if query.name is not None:
+            try:
+                backends = [get_backend(query.name)]
+            except UnknownToolError as exc:
+                raise NotFoundError(str(exc)) from None
+        else:
+            backends = list(iter_backends())
+        return tuple(
+            ToolInfo(
+                name=backend.name,
+                trials=backend.profile.trials,
+                filtergraphs=backend.profile.filtergraphs,
+                output_format=backend.cls.output_format,
+                description=backend.profile.description,
+            )
+            for backend in backends
+        )
+
+    def benchmarks(self) -> Tuple[BenchmarkInfo, ...]:
+        """Every registered suite benchmark, sorted by name."""
+        return tuple(
+            BenchmarkInfo(
+                name=name,
+                group=program.group,
+                group_name=program.group_name,
+                description=program.description,
+            )
+            for name, program in sorted(ALL_BENCHMARKS.items())
+        )
+
+    def resolve_batch_names(self, request: BatchRequest) -> List[str]:
+        """The concrete benchmark list a batch request names.
+
+        ``benchmarks=None`` expands to the full Table 2 order; every
+        name is checked against the suite registry up front so a batch
+        fails fast instead of mid-sweep.
+        """
+        names = (
+            list(request.benchmarks)
+            if request.benchmarks is not None else list(TABLE2_ORDER)
+        )
+        for name in names:
+            self.check_benchmark(name)
+        return names
+
+    # -- synchronous runs ---------------------------------------------------
+
+    def run(
+        self,
+        request: RunRequest,
+        progress: Optional[ProgressCallback] = None,
+    ) -> RunResponse:
+        """Run one benchmark to completion and envelope the result."""
+        if not isinstance(request, RunRequest):
+            raise ValidationError(
+                f"run() takes a RunRequest, got {type(request).__name__}"
+            )
+        self.check_benchmark(request.benchmark)
+        with self._leased_driver(request, progress) as driver:
+            return RunResponse(result=driver.run_benchmark(request.benchmark))
+
+    def run_batch(
+        self,
+        request: BatchRequest,
+        progress: Optional[ProgressCallback] = None,
+        on_response: Optional[object] = None,
+    ) -> Tuple[RunResponse, ...]:
+        """Run a batch, optionally across ``run_many`` worker processes.
+
+        With a ``progress``/``on_response`` observer the batch runs
+        serially in-process so stage boundaries are observable (and
+        cancellable); unobserved batches keep the process-pool fan-out
+        and its identical-to-serial result order.
+        """
+        if not isinstance(request, BatchRequest):
+            raise ValidationError(
+                f"run_batch() takes a BatchRequest, got "
+                f"{type(request).__name__}"
+            )
+        names = self.resolve_batch_names(request)
+        observed = progress is not None or on_response is not None
+        workers = request.max_workers
+        with self._leased_driver(request, progress) as driver:
+            if not observed and workers is not None and workers > 1:
+                results = driver.run_many(names, max_workers=workers)
+                return tuple(RunResponse(result=r) for r in results)
+            responses = []
+            for name in names:
+                response = RunResponse(result=driver.run_benchmark(name))
+                responses.append(response)
+                if on_response is not None:
+                    on_response(response)
+            return tuple(responses)
+
+    # -- async jobs ---------------------------------------------------------
+
+    @property
+    def jobs(self) -> JobManager:
+        return self._jobs
+
+    def submit(self, request: Request) -> JobStatus:
+        """Queue a run/batch job; returns its initial status snapshot.
+
+        Name lookups (benchmark, tool, profile) are validated *now*, so
+        a misspelled request is a synchronous NotFoundError — never a
+        job that sits in the queue only to fail.
+        """
+        if isinstance(request, RunRequest):
+            self.check_benchmark(request.benchmark)
+            self._check_names(request)
+            kind, total = "run", 1
+        elif isinstance(request, BatchRequest):
+            names = self.resolve_batch_names(request)
+            self._check_names(request)
+            kind, total = "batch", len(names)
+        else:
+            raise ValidationError(
+                "submit() takes a RunRequest or BatchRequest, got "
+                f"{type(request).__name__}"
+            )
+        return self.jobs.submit(self, request, kind, total)
+
+    def poll(self, job_id: str) -> JobStatus:
+        """Current status of a submitted job (with results when done)."""
+        return self.jobs.poll(job_id)
+
+    def cancel(self, job_id: str) -> JobStatus:
+        """Cancel a queued job now, or a running one at the next stage
+        boundary."""
+        return self.jobs.cancel(job_id)
+
+    def close(self, cancel: bool = False) -> None:
+        """Stop the job manager (if this service created one).
+
+        The manager is kept (not discarded), so completed jobs remain
+        pollable after close; only new ``submit()`` calls are refused.
+        ``cancel=True`` cancels in-flight jobs instead of waiting for
+        them (the ``provmark serve`` shutdown path).
+        """
+        if self._jobs is not None and self._owns_jobs:
+            self._jobs.shutdown(wait=True, cancel=cancel)
+
+    def __enter__(self) -> "BenchmarkService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- internals ----------------------------------------------------------
+
+    @contextlib.contextmanager
+    def _leased_driver(
+        self, request: Request, progress: Optional[ProgressCallback]
+    ) -> Iterator[ProvMark]:
+        """Lease a resolved driver for one call, pooled by configuration.
+
+        Rebuilding the capture system and re-opening the artifact store
+        per call would dominate warm runs; pooling keeps façade dispatch
+        within the <5% overhead budget
+        (``benchmarks/bench_api_overhead.py``) — including for the HTTP
+        server, whose per-connection handler threads all draw from this
+        one pool.  A leased driver is exclusive to its call, so pooled
+        captures/stores are never driven by two runs at once.
+        """
+        key = (
+            request.tool, request.profile, request.config_path,
+            request.trials, request.filtergraphs, request.engine,
+            request.seed, request.truncation_rate, request.fg_pair_policy,
+            request.bg_pair_policy, request.store_path, request.resume,
+            request.cache,
+        )
+        with self._pool_lock:
+            idle = self._driver_pool.get(key)
+            driver = idle.pop() if idle else None
+            if driver is not None:
+                self._pooled_count -= 1
+        if driver is None:
+            driver = self._driver(request)
+        # the observer is per call, not part of the pooled configuration
+        driver.progress = progress
+        try:
+            yield driver
+        finally:
+            driver.progress = None
+            with self._pool_lock:
+                if self._pooled_count < self._DRIVER_POOL_SIZE:
+                    self._driver_pool.setdefault(key, []).append(driver)
+                    self._pooled_count += 1
+
+    @staticmethod
+    def _check_names(request: Request) -> None:
+        """Fail fast on unknown tool/profile names (NotFoundError)."""
+        if request.profile:
+            try:
+                get_profile(request.profile, config_path=request.config_path)
+            except ProfileError as exc:
+                raise NotFoundError(str(exc)) from None
+            return
+        try:
+            get_backend(request.tool)
+        except UnknownToolError as exc:
+            raise NotFoundError(str(exc)) from None
+
+    @staticmethod
+    def check_benchmark(name: str) -> None:
+        """Raise NotFoundError for names absent from the suite registry.
+
+        The single source of the unknown-benchmark message for every
+        surface (façade, CLI — including ``provmark show`` — and HTTP).
+        """
+        if name not in ALL_BENCHMARKS:
+            raise NotFoundError(
+                f"unknown benchmark {name!r}; available: "
+                f"{sorted(ALL_BENCHMARKS)}"
+            )
+
+    @staticmethod
+    def _driver(request: Request) -> ProvMark:
+        """Resolve a request into the (shimmed) pipeline driver.
+
+        Mirrors the legacy CLI resolution exactly — profile selection
+        first, explicit ``trials``/``filtergraphs`` overriding the
+        profile — so façade results stay byte-identical to the old
+        ``ProvMark`` paths.
+        """
+        if request.profile:
+            try:
+                profile = get_profile(
+                    request.profile, config_path=request.config_path
+                )
+                provmark = profile.make_provmark(
+                    seed=request.seed, engine=request.engine
+                )
+            except ProfileError as exc:
+                raise NotFoundError(str(exc)) from None
+            if request.trials is not None:
+                provmark.config.trials = request.trials
+            if request.filtergraphs is not None:
+                provmark.config.filtergraphs = request.filtergraphs
+            provmark.config.truncation_rate = request.truncation_rate
+            provmark.config.fg_pair_policy = request.fg_pair_policy
+            provmark.config.bg_pair_policy = request.bg_pair_policy
+            provmark.config.store_path = request.store_path
+            provmark.config.resume = request.resume
+            provmark.config.cache = request.cache
+            return provmark
+        try:
+            get_backend(request.tool)
+        except UnknownToolError as exc:
+            raise NotFoundError(str(exc)) from None
+        config = PipelineConfig(
+            tool=request.tool,
+            trials=request.trials,
+            filtergraphs=request.filtergraphs,
+            engine=request.engine,
+            seed=request.seed,
+            truncation_rate=request.truncation_rate,
+            fg_pair_policy=request.fg_pair_policy,
+            bg_pair_policy=request.bg_pair_policy,
+            store_path=request.store_path,
+            resume=request.resume,
+            cache=request.cache,
+        )
+        return ProvMark._internal(config=config)

@@ -1,0 +1,497 @@
+"""Typed requests and responses of the ``repro.api`` v1 surface.
+
+Every type is a frozen dataclass that validates strictly on
+construction (:class:`~repro.api.errors.ValidationError` on the first
+bad field) and round-trips through JSON::
+
+    decode(encode(x)) == x
+
+``to_payload()`` emits plain JSON-serializable dicts; ``from_payload()``
+rejects unknown keys and wrong-typed values, so a malformed HTTP body or
+a stale stored payload fails loudly instead of half-decoding.  Graph and
+result values reuse the PR 2 payload codecs
+(:meth:`repro.core.result.BenchmarkResult.to_payload` and the graph
+codecs in :mod:`repro.storage.artifacts`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.api.errors import ValidationError
+from repro.core.result import BenchmarkResult
+from repro.storage.artifacts import ArtifactError
+
+#: version tag of this request/response vocabulary; served as the
+#: ``/v1`` HTTP prefix and embedded in every response envelope
+API_VERSION = "1"
+
+#: the two graph-matching engines a request may name
+ENGINES = ("native", "asp")
+
+#: similarity-class pair choice policies (paper §3.4)
+PAIR_POLICIES = ("smallest", "largest")
+
+#: lifecycle states of an async job
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: kinds of work a job can carry
+JOB_KINDS = ("run", "batch")
+
+
+# -- field validation helpers -----------------------------------------------
+
+
+def _fail(type_name: str, field: str, message: str) -> None:
+    raise ValidationError(f"{type_name}.{field}: {message}")
+
+
+def _check_str(
+    type_name: str, field: str, value: object,
+    optional: bool = False, non_empty: bool = False,
+) -> None:
+    if value is None:
+        if not optional:
+            _fail(type_name, field, "must be a string, not None")
+        return
+    if not isinstance(value, str):
+        _fail(type_name, field, f"must be a string, got {type(value).__name__}")
+    if non_empty and not value:
+        _fail(type_name, field, "must be non-empty")
+
+
+def _check_bool(
+    type_name: str, field: str, value: object, optional: bool = False
+) -> None:
+    if value is None and optional:
+        return
+    if not isinstance(value, bool):
+        _fail(type_name, field, f"must be a bool, got {type(value).__name__}")
+
+
+def _check_int(
+    type_name: str, field: str, value: object,
+    optional: bool = False, minimum: Optional[int] = None,
+) -> None:
+    if value is None and optional:
+        return
+    if not isinstance(value, int) or isinstance(value, bool):
+        _fail(type_name, field, f"must be an int, got {type(value).__name__}")
+    if minimum is not None and value < minimum:
+        _fail(type_name, field, f"must be >= {minimum}, got {value}")
+
+
+def _check_number(
+    type_name: str, field: str, value: object,
+    optional: bool = False,
+    minimum: Optional[float] = None, maximum: Optional[float] = None,
+) -> None:
+    if value is None and optional:
+        return
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        _fail(type_name, field, f"must be a number, got {type(value).__name__}")
+    if minimum is not None and value < minimum:
+        _fail(type_name, field, f"must be >= {minimum}, got {value}")
+    if maximum is not None and value > maximum:
+        _fail(type_name, field, f"must be <= {maximum}, got {value}")
+
+
+def _check_choice(
+    type_name: str, field: str, value: object, choices: Tuple[str, ...]
+) -> None:
+    if value not in choices:
+        _fail(type_name, field, f"must be one of {list(choices)}, got {value!r}")
+
+
+def _decode_kwargs(cls, payload: object) -> Dict[str, object]:
+    """Strictly map a JSON object onto ``cls``'s dataclass fields.
+
+    Unknown keys are rejected (malformed payloads must not half-decode);
+    missing keys fall back to the field defaults, and JSON arrays are
+    coerced to the tuples the frozen types carry.
+    """
+    if not isinstance(payload, Mapping):
+        raise ValidationError(
+            f"{cls.__name__} payload must be a JSON object, "
+            f"got {type(payload).__name__}"
+        )
+    names = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(payload) - names)
+    if unknown:
+        raise ValidationError(
+            f"{cls.__name__} payload has unknown keys: {unknown}"
+        )
+    kwargs: Dict[str, object] = {}
+    for key, value in payload.items():
+        kwargs[key] = tuple(value) if isinstance(value, list) else value
+    return kwargs
+
+
+def _construct(cls, kwargs: Dict[str, object]):
+    """Build the dataclass, turning missing-field TypeErrors into
+    ValidationErrors (field validation itself happens in __post_init__)."""
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise ValidationError(f"{cls.__name__} payload: {exc}") from exc
+
+
+def _validate_pipeline_fields(request: object, type_name: str) -> None:
+    """The configuration fields RunRequest and BatchRequest share."""
+    _check_str(type_name, "tool", request.tool, non_empty=True)
+    _check_str(type_name, "profile", request.profile, optional=True)
+    _check_str(type_name, "config_path", request.config_path, optional=True)
+    _check_int(type_name, "trials", request.trials, optional=True, minimum=1)
+    _check_bool(
+        type_name, "filtergraphs", request.filtergraphs, optional=True
+    )
+    _check_choice(type_name, "engine", request.engine, ENGINES)
+    _check_int(type_name, "seed", request.seed, optional=True)
+    _check_number(
+        type_name, "truncation_rate", request.truncation_rate,
+        minimum=0.0, maximum=1.0,
+    )
+    _check_choice(
+        type_name, "fg_pair_policy", request.fg_pair_policy, PAIR_POLICIES
+    )
+    _check_choice(
+        type_name, "bg_pair_policy", request.bg_pair_policy, PAIR_POLICIES
+    )
+    _check_str(type_name, "store_path", request.store_path, optional=True)
+    _check_bool(type_name, "resume", request.resume)
+    _check_bool(type_name, "cache", request.cache)
+
+
+def _pipeline_payload(request: object) -> Dict[str, object]:
+    return {
+        "tool": request.tool,
+        "profile": request.profile,
+        "config_path": request.config_path,
+        "trials": request.trials,
+        "filtergraphs": request.filtergraphs,
+        "engine": request.engine,
+        "seed": request.seed,
+        "truncation_rate": request.truncation_rate,
+        "fg_pair_policy": request.fg_pair_policy,
+        "bg_pair_policy": request.bg_pair_policy,
+        "store_path": request.store_path,
+        "resume": request.resume,
+        "cache": request.cache,
+    }
+
+
+# -- requests ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One benchmark run, fully declared.
+
+    ``profile`` (optionally with ``config_path``) selects a config.ini
+    tool profile exactly like ``provmark run --profile``; it overrides
+    ``tool`` while ``trials``/``filtergraphs`` still apply on top.
+    """
+
+    benchmark: str
+    tool: str = "spade"
+    profile: Optional[str] = None
+    config_path: Optional[str] = None
+    trials: Optional[int] = None
+    filtergraphs: Optional[bool] = None
+    engine: str = "native"
+    seed: Optional[int] = None
+    truncation_rate: float = 0.0
+    fg_pair_policy: str = "smallest"
+    bg_pair_policy: str = "smallest"
+    store_path: Optional[str] = None
+    resume: bool = False
+    cache: bool = True
+
+    def __post_init__(self) -> None:
+        _check_str("RunRequest", "benchmark", self.benchmark, non_empty=True)
+        _validate_pipeline_fields(self, "RunRequest")
+
+    def to_payload(self) -> Dict[str, object]:
+        payload = {"benchmark": self.benchmark}
+        payload.update(_pipeline_payload(self))
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "RunRequest":
+        return _construct(cls, _decode_kwargs(cls, payload))
+
+
+@dataclass(frozen=True)
+class BatchRequest:
+    """Many benchmark runs under one configuration.
+
+    ``benchmarks=None`` means the full Table 2 suite; ``max_workers``
+    fans independent benchmarks over a process pool exactly like
+    ``provmark batch --max-workers``.
+    """
+
+    benchmarks: Optional[Tuple[str, ...]] = None
+    max_workers: Optional[int] = None
+    tool: str = "spade"
+    profile: Optional[str] = None
+    config_path: Optional[str] = None
+    trials: Optional[int] = None
+    filtergraphs: Optional[bool] = None
+    engine: str = "native"
+    seed: Optional[int] = None
+    truncation_rate: float = 0.0
+    fg_pair_policy: str = "smallest"
+    bg_pair_policy: str = "smallest"
+    store_path: Optional[str] = None
+    resume: bool = False
+    cache: bool = True
+
+    def __post_init__(self) -> None:
+        if self.benchmarks is not None:
+            if not isinstance(self.benchmarks, tuple):
+                _fail("BatchRequest", "benchmarks",
+                      "must be a tuple of names or None")
+            for i, name in enumerate(self.benchmarks):
+                _check_str(
+                    "BatchRequest", f"benchmarks[{i}]", name, non_empty=True
+                )
+        _check_int(
+            "BatchRequest", "max_workers", self.max_workers,
+            optional=True, minimum=1,
+        )
+        _validate_pipeline_fields(self, "BatchRequest")
+
+    def to_payload(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "benchmarks": (
+                list(self.benchmarks) if self.benchmarks is not None else None
+            ),
+            "max_workers": self.max_workers,
+        }
+        payload.update(_pipeline_payload(self))
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "BatchRequest":
+        return _construct(cls, _decode_kwargs(cls, payload))
+
+
+@dataclass(frozen=True)
+class ToolQuery:
+    """Catalog query for registered capture backends.
+
+    ``name=None`` lists every backend; a name restricts the answer to
+    that backend (NotFoundError if it is not registered).
+    """
+
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        _check_str("ToolQuery", "name", self.name, optional=True,
+                   non_empty=True)
+
+    def to_payload(self) -> Dict[str, object]:
+        return {"name": self.name}
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "ToolQuery":
+        return _construct(cls, _decode_kwargs(cls, payload))
+
+
+# -- responses --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ToolInfo:
+    """One registered capture backend with its resolved profile."""
+
+    name: str
+    trials: int
+    filtergraphs: bool
+    output_format: str
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        _check_str("ToolInfo", "name", self.name, non_empty=True)
+        _check_int("ToolInfo", "trials", self.trials, minimum=1)
+        _check_bool("ToolInfo", "filtergraphs", self.filtergraphs)
+        _check_str("ToolInfo", "output_format", self.output_format,
+                   non_empty=True)
+        _check_str("ToolInfo", "description", self.description)
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "trials": self.trials,
+            "filtergraphs": self.filtergraphs,
+            "output_format": self.output_format,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "ToolInfo":
+        return _construct(cls, _decode_kwargs(cls, payload))
+
+
+@dataclass(frozen=True)
+class BenchmarkInfo:
+    """One suite benchmark as the catalog endpoints describe it."""
+
+    name: str
+    group: int
+    group_name: str
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        _check_str("BenchmarkInfo", "name", self.name, non_empty=True)
+        _check_int("BenchmarkInfo", "group", self.group, minimum=0)
+        _check_str("BenchmarkInfo", "group_name", self.group_name)
+        _check_str("BenchmarkInfo", "description", self.description)
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "group": self.group,
+            "group_name": self.group_name,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "BenchmarkInfo":
+        return _construct(cls, _decode_kwargs(cls, payload))
+
+
+@dataclass(frozen=True)
+class RunResponse:
+    """The result envelope for one completed benchmark run.
+
+    ``result`` is the full :class:`~repro.core.result.BenchmarkResult`
+    — graphs, timings, solver and store counters — byte-identical to
+    what the pre-redesign ``ProvMark.run_benchmark`` produced.
+    """
+
+    result: BenchmarkResult
+    api_version: str = API_VERSION
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.result, BenchmarkResult):
+            _fail("RunResponse", "result",
+                  f"must be a BenchmarkResult, got {type(self.result).__name__}")
+        if self.api_version != API_VERSION:
+            _fail("RunResponse", "api_version",
+                  f"must be {API_VERSION!r}, got {self.api_version!r}")
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "api_version": self.api_version,
+            "result": self.result.to_payload(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "RunResponse":
+        kwargs = _decode_kwargs(cls, payload)
+        if "result" not in kwargs:
+            raise ValidationError("RunResponse payload is missing 'result'")
+        try:
+            result = BenchmarkResult.from_payload(kwargs["result"])
+        except (ArtifactError, AttributeError, IndexError, KeyError,
+                TypeError, ValueError) as exc:
+            raise ValidationError(
+                f"RunResponse.result: malformed BenchmarkResult payload "
+                f"({exc})"
+            ) from exc
+        kwargs["result"] = result
+        return _construct(cls, kwargs)
+
+
+@dataclass(frozen=True)
+class JobStatus:
+    """A point-in-time snapshot of an async job.
+
+    ``result`` (run jobs) or ``results`` (batch jobs) is populated once
+    ``state == "done"``; ``stage`` tracks the most recent
+    stage-boundary :class:`~repro.core.stages.ProgressEvent` as
+    ``"<benchmark>/<stage>:<status>"``.
+    """
+
+    job_id: str
+    state: str
+    kind: str = "run"
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    total: int = 1
+    completed: int = 0
+    stage: str = ""
+    error: str = ""
+    result: Optional[RunResponse] = None
+    results: Optional[Tuple[RunResponse, ...]] = None
+    api_version: str = API_VERSION
+
+    def __post_init__(self) -> None:
+        _check_str("JobStatus", "job_id", self.job_id, non_empty=True)
+        _check_choice("JobStatus", "state", self.state, JOB_STATES)
+        _check_choice("JobStatus", "kind", self.kind, JOB_KINDS)
+        _check_number("JobStatus", "submitted_at", self.submitted_at,
+                      minimum=0.0)
+        _check_number("JobStatus", "started_at", self.started_at,
+                      optional=True, minimum=0.0)
+        _check_number("JobStatus", "finished_at", self.finished_at,
+                      optional=True, minimum=0.0)
+        _check_int("JobStatus", "total", self.total, minimum=0)
+        _check_int("JobStatus", "completed", self.completed, minimum=0)
+        _check_str("JobStatus", "stage", self.stage)
+        _check_str("JobStatus", "error", self.error)
+        if self.result is not None and not isinstance(self.result, RunResponse):
+            _fail("JobStatus", "result", "must be a RunResponse or None")
+        if self.results is not None:
+            if not isinstance(self.results, tuple) or any(
+                not isinstance(r, RunResponse) for r in self.results
+            ):
+                _fail("JobStatus", "results",
+                      "must be a tuple of RunResponse or None")
+        if self.api_version != API_VERSION:
+            _fail("JobStatus", "api_version",
+                  f"must be {API_VERSION!r}, got {self.api_version!r}")
+
+    @property
+    def finished(self) -> bool:
+        return self.state in ("done", "failed", "cancelled")
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "api_version": self.api_version,
+            "job_id": self.job_id,
+            "state": self.state,
+            "kind": self.kind,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "total": self.total,
+            "completed": self.completed,
+            "stage": self.stage,
+            "error": self.error,
+            "result": self.result.to_payload() if self.result else None,
+            "results": (
+                [r.to_payload() for r in self.results]
+                if self.results is not None else None
+            ),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "JobStatus":
+        kwargs = _decode_kwargs(cls, payload)
+        if kwargs.get("result") is not None:
+            kwargs["result"] = RunResponse.from_payload(kwargs["result"])
+        if kwargs.get("results") is not None:
+            results = kwargs["results"]
+            if not isinstance(results, tuple):
+                raise ValidationError(
+                    "JobStatus.results payload must be an array"
+                )
+            kwargs["results"] = tuple(
+                RunResponse.from_payload(r) for r in results
+            )
+        return _construct(cls, kwargs)

@@ -5,6 +5,7 @@ Tool lookup goes through the plugin registry in
 read-only view of it (tool name -> capture class) for existing callers.
 """
 
+import warnings
 from collections.abc import Mapping
 from typing import Iterator, Type
 
@@ -31,14 +32,26 @@ from repro.capture.spade import (
 from repro.capture.spade_camflow import SpadeCamFlowCapture, SpadeCamFlowConfig
 
 
+def _warn_legacy_tools(replacement: str) -> None:
+    warnings.warn(
+        f"the legacy TOOLS view is deprecated; use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 class _ToolClassView(Mapping):
     """Read-only ``name -> capture class`` view over the registry.
 
     Stays live: tools registered through ``register_tool`` appear here
     immediately, so legacy ``TOOLS`` consumers see plugins too.
+    Deprecated — look backends up through
+    :func:`repro.capture.registry.get_backend` (or
+    ``BenchmarkService.tools()``) instead.
     """
 
     def __getitem__(self, name: str) -> Type[CaptureSystem]:
+        _warn_legacy_tools("repro.capture.registry.get_backend()")
         try:
             return get_backend(name).cls
         except UnknownToolError:
@@ -46,6 +59,7 @@ class _ToolClassView(Mapping):
             raise KeyError(name) from None
 
     def __iter__(self) -> Iterator[str]:
+        _warn_legacy_tools("repro.capture.registry.registered_tools()")
         return iter(registered_tools())
 
     def __len__(self) -> int:

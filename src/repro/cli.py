@@ -1,9 +1,17 @@
 """Command-line interface, mirroring ProvMark's ``fullAutomation.py``.
 
+A thin client of :class:`repro.api.BenchmarkService`: every command
+constructs typed requests (:class:`~repro.api.RunRequest`,
+:class:`~repro.api.BatchRequest`, :class:`~repro.api.ToolQuery`) and
+renders the responses — no pipeline internals are touched here.  Lookup
+failures (unknown tool/benchmark/profile) exit with code 2 and the same
+one-line message the HTTP service sends as 404/400.
+
 Examples::
 
     provmark run --tool spade --benchmark open
     provmark batch --tool camflow --trials 5 --result-type rh --out results.html
+    provmark serve --port 8321
     provmark table2
     provmark list
 """
@@ -17,13 +25,16 @@ from typing import List, Optional
 from repro.analysis.table2 import generate_table2
 from repro.analysis.table3 import generate_table3
 from repro.analysis.loc import generate_table4
-from repro.capture.registry import iter_backends, registered_tools
-from repro.config import default_config_ini, get_profile
-from repro.core.pipeline import PipelineConfig, ProvMark
+from repro.api.errors import ApiError, render_error
+from repro.api.http import DEFAULT_PORT, make_server
+from repro.api.service import BenchmarkService
+from repro.api.types import API_VERSION, BatchRequest, RunRequest, ToolQuery
+from repro.capture.registry import registered_tools
+from repro.config import default_config_ini
 from repro.core.regression import RegressionStore
 from repro.core.report import render_text, write_html
 from repro.graph.dot import graph_to_dot
-from repro.suite import ALL_BENCHMARKS, TABLE2_ORDER, get_benchmark
+from repro.suite import TABLE2_ORDER, get_benchmark
 
 
 def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
@@ -73,32 +84,24 @@ def _add_store_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _make_provmark(args: argparse.Namespace) -> ProvMark:
-    store_path = getattr(args, "artifact_store", None)
-    resume = getattr(args, "resume", False)
-    cache = not getattr(args, "no_cache", False)
-    if args.profile:
-        profile = get_profile(args.profile, config_path=args.config)
-        provmark = profile.make_provmark(seed=args.seed, engine=args.engine)
-        if args.trials is not None:
-            provmark.config.trials = args.trials
-        if args.filtergraphs is not None:
-            provmark.config.filtergraphs = args.filtergraphs
-        provmark.config.store_path = store_path
-        provmark.config.resume = resume
-        provmark.config.cache = cache
-        return provmark
-    config = PipelineConfig(
+def _request_kwargs(args: argparse.Namespace) -> dict:
+    """Shared RunRequest/BatchRequest fields from parsed CLI options."""
+    return dict(
         tool=args.tool,
+        profile=args.profile,
+        config_path=args.config,
         trials=args.trials,
+        filtergraphs=args.filtergraphs,
         engine=args.engine,
         seed=args.seed,
-        filtergraphs=args.filtergraphs,
-        store_path=store_path,
-        resume=resume,
-        cache=cache,
+        store_path=getattr(args, "artifact_store", None),
+        resume=getattr(args, "resume", False),
+        cache=not getattr(args, "no_cache", False),
     )
-    return ProvMark(config=config)
+
+
+def _run_request(args: argparse.Namespace, benchmark: str) -> RunRequest:
+    return RunRequest(benchmark=benchmark, **_request_kwargs(args))
 
 
 def _store_summary(results) -> str:
@@ -119,8 +122,9 @@ def _warn_unseeded_store(args: argparse.Namespace) -> None:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     _warn_unseeded_store(args)
-    provmark = _make_provmark(args)
-    result = provmark.run_benchmark(args.benchmark)
+    with BenchmarkService() as service:
+        response = service.run(_run_request(args, args.benchmark))
+    result = response.result
     print(result.summary())
     if args.show_graph and not result.target_graph.is_empty():
         print(graph_to_dot(result.target_graph), end="")
@@ -129,9 +133,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_batch(args: argparse.Namespace) -> int:
     _warn_unseeded_store(args)
-    provmark = _make_provmark(args)
-    names = args.benchmarks or list(TABLE2_ORDER)
-    results = provmark.run_many(names, max_workers=args.max_workers)
+    request = BatchRequest(
+        benchmarks=tuple(args.benchmarks) if args.benchmarks else None,
+        max_workers=args.max_workers,
+        **_request_kwargs(args),
+    )
+    with BenchmarkService() as service:
+        responses = service.run_batch(request)
+    results = [response.result for response in responses]
     if args.result_type == "rh":
         path = write_html(results, args.out or "finalResult/index.html")
         print(f"wrote {path}")
@@ -141,6 +150,27 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print(_store_summary(results))
     failed = sum(1 for r in results if r.classification.value == "failed")
     return 1 if failed else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    service = BenchmarkService()
+    server = make_server(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(
+        f"provmark api v{API_VERSION} serving on http://{host}:{port}/v1 "
+        "(Ctrl-C to stop)",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        # cancel in-flight jobs: Ctrl-C must stop promptly, not sit out
+        # a running benchmark sweep
+        service.close(cancel=True)
+    return 0
 
 
 def _cmd_table2(args: argparse.Namespace) -> int:
@@ -165,24 +195,25 @@ def _cmd_table4(args: argparse.Namespace) -> int:
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
+    service = BenchmarkService()
     if args.tools:
-        for backend in iter_backends():
-            profile = backend.profile
+        for info in service.tools(ToolQuery()):
             flags = (
-                f"trials={profile.trials} "
-                f"filtergraphs={str(profile.filtergraphs).lower()} "
-                f"format={backend.cls.output_format}"
+                f"trials={info.trials} "
+                f"filtergraphs={str(info.filtergraphs).lower()} "
+                f"format={info.output_format}"
             )
-            detail = f" — {profile.description}" if profile.description else ""
-            print(f"{backend.name:<14} {flags}{detail}")
+            detail = f" — {info.description}" if info.description else ""
+            print(f"{info.name:<14} {flags}{detail}")
         return 0
-    for name, program in sorted(ALL_BENCHMARKS.items()):
-        print(f"{name:<14} group {program.group} ({program.group_name})"
-              + (f" — {program.description}" if program.description else ""))
+    for info in service.benchmarks():
+        print(f"{info.name:<14} group {info.group} ({info.group_name})"
+              + (f" — {info.description}" if info.description else ""))
     return 0
 
 
 def _cmd_show(args: argparse.Namespace) -> int:
+    BenchmarkService.check_benchmark(args.benchmark)
     program = get_benchmark(args.benchmark)
     print(program.to_c_source(), end="")
     return 0
@@ -218,6 +249,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument("--out", default=None, help="HTML output path")
     batch.set_defaults(func=_cmd_batch)
+
+    serve = sub.add_parser(
+        "serve", help="serve the typed JSON API over HTTP (repro.api v1)"
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address",
+    )
+    serve.add_argument(
+        "--port", type=int, default=DEFAULT_PORT,
+        help=f"TCP port; 0 picks a free one (default: {DEFAULT_PORT})",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     table2 = sub.add_parser("table2", help="regenerate paper Table 2")
     table2.add_argument("--seed", type=int, default=None)
@@ -273,10 +316,12 @@ def _cmd_coverage(args: argparse.Namespace) -> int:
         render_group_coverage,
     )
     names = args.benchmarks or list(TABLE2_ORDER)
+    service = BenchmarkService()
     results = []
     for tool in ("spade", "opus", "camflow"):
-        provmark = ProvMark(config=PipelineConfig(tool=tool, seed=args.seed))
-        results.extend(provmark.run_benchmark(name) for name in names)
+        for name in names:
+            request = RunRequest(benchmark=name, tool=tool, seed=args.seed)
+            results.append(service.run(request).result)
     print(render_group_coverage(results))
     universal = blind_spot_overlap(results)
     if universal:
@@ -285,12 +330,12 @@ def _cmd_coverage(args: argparse.Namespace) -> int:
 
 
 def _cmd_regress(args: argparse.Namespace) -> int:
-    provmark = _make_provmark(args)
+    service = BenchmarkService()
     store = RegressionStore(args.store)
     names = args.benchmarks or list(TABLE2_ORDER)
     changed = 0
     for name in names:
-        result = provmark.run_benchmark(name)
+        result = service.run(_run_request(args, name)).result
         report = store.check_and_update(result, accept_changes=args.accept)
         detail = f"  ({report.detail})" if report.detail else ""
         print(f"{name:<14} {report.status}{detail}")
@@ -308,9 +353,20 @@ def _cmd_config(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """Parse and dispatch; typed-API failures become one-line exits.
+
+    Unknown tools, benchmarks, and profiles — whether raised by command
+    code here or deep in the service façade — print
+    ``provmark: <message>`` (no traceback) and exit with code 2, the
+    exact message the HTTP service pairs with its 404/400 responses.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ApiError as error:
+        print(f"provmark: {render_error(error)}", file=sys.stderr)
+        return error.exit_code
 
 
 if __name__ == "__main__":

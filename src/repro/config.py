@@ -61,7 +61,7 @@ class ToolProfile:
     def make_provmark(self, seed: Optional[int] = None, engine: str = "native") -> ProvMark:
         # Pass the (picklable) factory rather than a built capture so
         # run_many can rebuild the capture in worker processes.
-        return ProvMark(
+        return ProvMark._internal(
             capture_factory=self.make_capture,
             config=PipelineConfig(
                 tool=self.stage1tool,

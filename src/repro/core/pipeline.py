@@ -19,6 +19,7 @@ The public entry point is :class:`ProvMark`.
 
 from __future__ import annotations
 
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -38,6 +39,7 @@ from repro.core.result import BenchmarkResult, Classification, StageTimings
 from repro.core.stages import (
     RESULT_STAGE,
     Pipeline,
+    ProgressCallback,
     RunContext,
     default_pipeline,
 )
@@ -47,15 +49,28 @@ from repro.suite.program import Program
 from repro.suite.registry import get_benchmark
 
 
+def _warn_legacy_view(name: str, replacement: str) -> None:
+    warnings.warn(
+        f"the legacy {name} view is deprecated; use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 class _ToolProfileView(Mapping):
     """Legacy ``TOOL_PROFILES`` mapping, backed by the plugin registry.
 
     Yields ``{"trials": ..., "filtergraphs": ...}`` rows exactly as the
     old hard-coded table did, but stays live: registered plugin backends
-    appear here too.
+    appear here too.  Deprecated — read
+    :func:`repro.capture.registry.tool_profile` (or
+    ``BenchmarkService.tools()``) instead.
     """
 
     def __getitem__(self, name: str) -> Dict[str, object]:
+        _warn_legacy_view(
+            "TOOL_PROFILES", "repro.capture.registry.tool_profile()"
+        )
         try:
             profile = tool_profile(name)
         except UnknownToolError:
@@ -63,6 +78,9 @@ class _ToolProfileView(Mapping):
         return {"trials": profile.trials, "filtergraphs": profile.filtergraphs}
 
     def __iter__(self) -> Iterator[str]:
+        _warn_legacy_view(
+            "TOOL_PROFILES", "repro.capture.registry.registered_tools()"
+        )
         return iter(registered_tools())
 
     def __len__(self) -> int:
@@ -119,6 +137,12 @@ class ProvMark:
     >>> result = provmark.run_benchmark("open")
     >>> result.classification.value
     'ok'
+
+    .. deprecated::
+        Direct construction is a compatibility shim over the supported
+        surface, :class:`repro.api.BenchmarkService` — results are
+        byte-identical, but new code should build a
+        :class:`repro.api.RunRequest` and call the service.
     """
 
     def __init__(
@@ -127,11 +151,44 @@ class ProvMark:
         capture: Optional[CaptureSystem] = None,
         config: Optional[PipelineConfig] = None,
         capture_factory: Optional[Callable[[], CaptureSystem]] = None,
+        progress: Optional[ProgressCallback] = None,
+        **config_kwargs: object,
+    ) -> None:
+        warnings.warn(
+            "direct ProvMark(...) construction is deprecated; use "
+            "repro.api.BenchmarkService with a RunRequest instead "
+            "(identical results)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._init(
+            tool=tool, capture=capture, config=config,
+            capture_factory=capture_factory, progress=progress,
+            **config_kwargs,
+        )
+
+    @classmethod
+    def _internal(cls, **kwargs: object) -> "ProvMark":
+        """Construct without the deprecation warning (façade/driver use)."""
+        self = cls.__new__(cls)
+        self._init(**kwargs)  # type: ignore[arg-type]
+        return self
+
+    def _init(
+        self,
+        tool: str = "spade",
+        capture: Optional[CaptureSystem] = None,
+        config: Optional[PipelineConfig] = None,
+        capture_factory: Optional[Callable[[], CaptureSystem]] = None,
+        progress: Optional[ProgressCallback] = None,
         **config_kwargs: object,
     ) -> None:
         if config is None:
             config = PipelineConfig(tool=tool, **config_kwargs)  # type: ignore[arg-type]
         self.config = config
+        #: stage-boundary observer handed to every RunContext this
+        #: driver builds (the job manager's progress/cancellation hook)
+        self.progress = progress
         #: picklable factory (e.g. ``ToolProfile.make_capture``) letting
         #: worker processes rebuild the capture for parallel run_many
         self._capture_factory = capture_factory
@@ -270,6 +327,7 @@ class ProvMark:
             timings=StageTimings(),
             store=store,
             use_cache=config.cache,
+            progress=self.progress,
         )
 
     def _result_material(self, ctx: RunContext) -> Dict[str, object]:
@@ -352,7 +410,7 @@ def _run_benchmark_task(
 ) -> BenchmarkResult:
     """Process-pool worker: rebuild the pipeline from config and run."""
     _ensure_registered(backend)
-    return ProvMark(config=config).run_benchmark(name)
+    return ProvMark._internal(config=config).run_benchmark(name)
 
 
 def _run_benchmark_factory_task(
@@ -363,4 +421,6 @@ def _run_benchmark_factory_task(
 ) -> BenchmarkResult:
     """Process-pool worker for profile-built captures: rebuild and run."""
     _ensure_registered(backend)
-    return ProvMark(config=config, capture_factory=factory).run_benchmark(name)
+    return ProvMark._internal(
+        config=config, capture_factory=factory
+    ).run_benchmark(name)

@@ -28,7 +28,7 @@ from __future__ import annotations
 import abc
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.capture.base import CaptureSystem
 from repro.core.compare import ComparisonError, ComparisonOutcome, compare
@@ -57,6 +57,26 @@ RESULT_STAGE = "result"
 
 class PipelineDefinitionError(Exception):
     """A pipeline's stages do not chain (missing input products)."""
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One stage-boundary notification emitted by :meth:`Pipeline.run`.
+
+    ``status`` is ``"started"`` before a stage executes, ``"finished"``
+    after it completes (computed or restored from the artifact store),
+    and ``"failed"`` when it raised :class:`StageFailure`.  ``elapsed``
+    is the stage's wall clock so far (0.0 for ``"started"``).
+    """
+
+    benchmark: str
+    stage: str
+    status: str
+    elapsed: float = 0.0
+
+
+#: callback signature for stage-boundary progress notifications
+ProgressCallback = Callable[[ProgressEvent], None]
 
 
 class StageFailure(Exception):
@@ -96,6 +116,9 @@ class RunContext:
     store: Optional[ArtifactStore] = None
     #: read stage artifacts (False: recompute everything, refresh store)
     use_cache: bool = True
+    #: stage-boundary observer (job progress, cancellation); exceptions
+    #: it raises propagate out of :meth:`Pipeline.run` unchanged
+    progress: Optional[ProgressCallback] = None
     # -- stage products ----------------------------------------------------
     session: Optional[RecordingSession] = None
     fg_graphs: Optional[List[PropertyGraph]] = None
@@ -362,24 +385,41 @@ class Pipeline:
         Per-stage wall clock (computed or restored) lands in the stage's
         ``timing_field``; a :class:`StageFailure` sets ``ctx.failure``
         and short-circuits the remaining stages, mirroring the paper's
-        FAILED classification path.
+        FAILED classification path.  With ``ctx.progress`` set, a
+        :class:`ProgressEvent` is emitted at every stage boundary
+        (started / finished / failed); callback exceptions propagate,
+        which is how job cancellation aborts a run between stages.
         """
         for stage in self.stages:
+            self._emit(ctx, stage, "started", 0.0)
             started = time.perf_counter()
             try:
                 self._run_stage(stage, ctx)
             except StageFailure as failure:
                 ctx.failure = str(failure)
-                self._credit_time(ctx, stage, started)
+                elapsed = self._credit_time(ctx, stage, started)
+                self._emit(ctx, stage, "failed", elapsed)
                 break
-            self._credit_time(ctx, stage, started)
+            elapsed = self._credit_time(ctx, stage, started)
+            self._emit(ctx, stage, "finished", elapsed)
         return ctx
 
     @staticmethod
-    def _credit_time(ctx: RunContext, stage: Stage, started: float) -> None:
+    def _emit(
+        ctx: RunContext, stage: Stage, status: str, elapsed: float
+    ) -> None:
+        if ctx.progress is not None:
+            ctx.progress(ProgressEvent(
+                benchmark=ctx.program.name, stage=stage.name,
+                status=status, elapsed=elapsed,
+            ))
+
+    @staticmethod
+    def _credit_time(ctx: RunContext, stage: Stage, started: float) -> float:
         elapsed = time.perf_counter() - started
         current = getattr(ctx.timings, stage.timing_field)
         setattr(ctx.timings, stage.timing_field, current + elapsed)
+        return elapsed
 
     @staticmethod
     def _run_stage(stage: Stage, ctx: RunContext) -> None:

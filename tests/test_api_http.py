@@ -1,0 +1,204 @@
+"""The embedded HTTP JSON service: routing, parity, errors, serve CLI."""
+
+import json
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.api import BenchmarkService, RunRequest
+from repro.api.http import make_server
+from repro.api.types import API_VERSION, JobStatus, RunResponse
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+@pytest.fixture()
+def server():
+    server = make_server(port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        server.service.close()
+
+
+def base_url(server) -> str:
+    host, port = server.server_address[:2]
+    return f"http://{host}:{port}"
+
+
+def http_get(server, path):
+    with urllib.request.urlopen(base_url(server) + path, timeout=30) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def http_post(server, path, body):
+    request = urllib.request.Request(
+        base_url(server) + path,
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=120) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def http_error(call):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        call()
+    error = excinfo.value
+    return error.code, json.loads(error.read())
+
+
+class TestCatalogRoutes:
+    def test_tools(self, server):
+        status, body = http_get(server, "/v1/tools")
+        assert status == 200
+        assert body["api_version"] == API_VERSION
+        names = {t["name"] for t in body["tools"]}
+        assert {"spade", "opus", "camflow"} <= names
+
+    def test_tools_filter(self, server):
+        status, body = http_get(server, "/v1/tools?name=camflow")
+        assert status == 200
+        (tool,) = body["tools"]
+        assert tool["trials"] == 5 and tool["filtergraphs"] is True
+
+    def test_benchmarks(self, server):
+        status, body = http_get(server, "/v1/benchmarks")
+        assert status == 200
+        names = [b["name"] for b in body["benchmarks"]]
+        assert "open" in names and names == sorted(names)
+
+    def test_unknown_route_404(self, server):
+        code, body = http_error(lambda: http_get(server, "/v1/nope"))
+        assert code == 404
+        assert "no route" in body["error"]["message"]
+
+
+class TestRuns:
+    def test_sync_run_matches_direct_service_call(self, server):
+        payload = RunRequest(
+            benchmark="open", tool="spade", seed=5
+        ).to_payload()
+        payload["wait"] = True
+        status, body = http_post(server, "/v1/runs", payload)
+        assert status == 200
+        over_http = RunResponse.from_payload(body)
+        direct = BenchmarkService().run(
+            RunRequest(benchmark="open", tool="spade", seed=5)
+        )
+        a, b = over_http.result, direct.result
+        assert a.classification is b.classification
+        assert a.target_graph == b.target_graph
+        assert a.foreground == b.foreground
+        assert a.background == b.background
+        assert a.timings.solver_row() == b.timings.solver_row()
+        assert a.timings.store_row() == b.timings.store_row()
+
+    def test_async_run_job_lifecycle(self, server):
+        payload = RunRequest(benchmark="open", tool="opus", seed=5).to_payload()
+        status, body = http_post(server, "/v1/runs", payload)
+        assert status == 202
+        job = JobStatus.from_payload(body)
+        assert job.state in ("queued", "running")
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            _, body = http_get(server, f"/v1/jobs/{job.job_id}")
+            current = JobStatus.from_payload(body)
+            if current.finished:
+                break
+            time.sleep(0.05)
+        assert current.state == "done"
+        assert current.result.result.benchmark == "open"
+
+    def test_unknown_benchmark_404(self, server):
+        code, body = http_error(lambda: http_post(
+            server, "/v1/runs", {"benchmark": "nosuch", "wait": True}
+        ))
+        assert code == 404
+        assert "unknown benchmark" in body["error"]["message"]
+
+    def test_malformed_body_400(self, server):
+        code, body = http_error(lambda: http_post(
+            server, "/v1/runs", {"benchmark": "open", "trials": "zz"}
+        ))
+        assert code == 400
+        assert "trials" in body["error"]["message"]
+
+    def test_unknown_key_400(self, server):
+        code, body = http_error(lambda: http_post(
+            server, "/v1/runs", {"benchmark": "open", "bogus": 1}
+        ))
+        assert code == 400
+        assert "unknown keys" in body["error"]["message"]
+
+    def test_non_json_body_400(self, server):
+        request = urllib.request.Request(
+            base_url(server) + "/v1/runs",
+            data=b"not json at all",
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+
+    def test_unknown_job_404(self, server):
+        code, _ = http_error(lambda: http_get(server, "/v1/jobs/job-none"))
+        assert code == 404
+
+    @pytest.mark.parametrize("field", ["store_path", "config_path"])
+    def test_server_side_paths_rejected(self, server, field):
+        # remote clients must not steer server-side filesystem access
+        body = {"benchmark": "open", "seed": 5, field: "/tmp/anywhere"}
+        code, payload = http_error(
+            lambda: http_post(server, "/v1/runs", body)
+        )
+        assert code == 400
+        assert field in payload["error"]["message"]
+
+
+class TestServeCommand:
+    def test_serve_smoke_over_subprocess(self, tmp_path):
+        """`provmark serve` on a free port answers a real POST /v1/runs."""
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", "--port", "0"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"},
+            text=True,
+        )
+        try:
+            line = proc.stdout.readline()
+            assert "serving on http://" in line
+            url = line.split("serving on ")[1].split(" ")[0].rstrip("/")
+            body = RunRequest(benchmark="open", tool="spade",
+                              seed=5).to_payload()
+            body["wait"] = True
+            request = urllib.request.Request(
+                url.replace("/v1", "") + "/v1/runs",
+                data=json.dumps(body).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=120) as resp:
+                payload = json.loads(resp.read())
+            over_http = RunResponse.from_payload(payload)
+            direct = BenchmarkService().run(
+                RunRequest(benchmark="open", tool="spade", seed=5)
+            )
+            assert over_http.result.target_graph == direct.result.target_graph
+            assert over_http.result.classification is \
+                direct.result.classification
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)

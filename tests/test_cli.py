@@ -70,3 +70,51 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "--- spade ---" in out
         assert "setresuid" in out
+
+
+class TestUniformErrors:
+    """Unknown tool/benchmark/profile: exit code 2, one line, no traceback."""
+
+    def test_unknown_benchmark_run(self, capsys):
+        code = main(["run", "--benchmark", "nosuch"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("provmark: unknown benchmark 'nosuch'")
+        assert len(captured.err.strip().splitlines()) == 1
+        assert "Traceback" not in captured.err
+
+    def test_unknown_benchmark_batch(self, capsys):
+        code = main(["batch", "--benchmarks", "open", "nosuch"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "unknown benchmark 'nosuch'" in captured.err
+
+    def test_unknown_profile(self, capsys):
+        code = main(["run", "--profile", "zzz", "--benchmark", "open"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("provmark: unknown profile 'zzz'")
+        assert len(captured.err.strip().splitlines()) == 1
+
+    def test_unknown_benchmark_show(self, capsys):
+        code = main(["show", "--benchmark", "nosuch"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "unknown benchmark" in captured.err
+
+    def test_unknown_tool_is_an_argparse_usage_error(self):
+        # --tool is constrained by argparse choices: exit code 2 as well
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--tool", "dtrace", "--benchmark", "open"])
+        assert excinfo.value.code == 2
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8321
+
+    def test_serve_port_override(self):
+        args = build_parser().parse_args(["serve", "--port", "0"])
+        assert args.port == 0
