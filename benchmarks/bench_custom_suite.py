@@ -1,0 +1,167 @@
+"""Spec-defined benchmark suites: authoring overhead + cold/warm sweeps (PR 4).
+
+The declarative BenchmarkSpec surface must be cheap enough to sit in
+front of every run: JSON decoding + semantic validation + compilation
+is measured per spec, registration through the service façade on top,
+and then a suite of N generated spec benchmarks is swept cold
+(populating an artifact store) and store-warm from a *fresh* process
+state (new service, new registry — the specs resolve from the store's
+``spec`` stage, exactly the ``provmark bench add`` --> ``provmark batch
+--store`` flow).  Warm sweeps must beat cold ones; results land in
+``benchmarks/output/BENCH_PR4.json``.
+"""
+
+import base64
+import shutil
+import statistics
+import tempfile
+import time
+
+from repro.api import BatchRequest, BenchmarkService, BenchmarkSpec
+from repro.api.specs import compile_spec, persist_spec
+from repro.storage.artifacts import ArtifactStore
+from repro.suite.registry import SUITE_REGISTRY, SuiteRegistry
+
+from conftest import emit, record_bench
+
+N_SPECS = 12
+SEED = 2019
+VALIDATE_REPEATS = 50
+
+
+def generated_payload(i: int) -> dict:
+    """Deterministic spec #i: small file workloads with some variety."""
+    data = base64.b64encode(f"payload {i}".encode()).decode()
+    if i % 2 == 0:
+        ops = [
+            {"call": "creat", "args": [f"gen_{i}.txt", 0o644],
+             "result": "fd", "target": True},
+            {"call": "write", "args": ["$fd", {"base64": data}],
+             "target": True},
+            {"call": "close", "args": ["$fd"], "target": True},
+        ]
+        setup = []
+    else:
+        ops = [
+            {"call": "open", "args": [f"seed_{i}.txt", "O_RDWR"],
+             "result": "fd"},
+            {"call": "read", "args": ["$fd", 64], "target": True},
+            {"call": "chmod", "args": [f"seed_{i}.txt", 0o600],
+             "target": True},
+        ]
+        setup = [{"kind": "file", "path": f"seed_{i}.txt"}]
+    return {
+        "name": f"gen_spec_{i}",
+        "description": f"generated spec benchmark #{i}",
+        "tags": ["custom", "genbench"],
+        "program": {"ops": ops, "setup": setup},
+    }
+
+
+def builtin_only_registry() -> SuiteRegistry:
+    return SUITE_REGISTRY.builtin_copy()
+
+
+def median_seconds(fn, repeats):
+    fn()
+    samples = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - started)
+    return statistics.median(samples)
+
+
+def test_spec_suite_authoring_and_sweeps():
+    payloads = [generated_payload(i) for i in range(N_SPECS)]
+
+    # -- authoring overhead: decode + validate + compile, per spec ------
+    validate = median_seconds(
+        lambda: [
+            compile_spec(BenchmarkSpec.from_payload(p)) for p in payloads
+        ],
+        VALIDATE_REPEATS,
+    ) / N_SPECS
+
+    # -- registration through the façade --------------------------------
+    specs = [BenchmarkSpec.from_payload(p) for p in payloads]
+
+    def register_all():
+        service = BenchmarkService(registry=builtin_only_registry())
+        for spec in specs:
+            service.register_benchmark(spec)
+        return service
+
+    registration = median_seconds(register_all, VALIDATE_REPEATS) / N_SPECS
+
+    store_root = tempfile.mkdtemp(prefix="provmark-custom-suite-")
+    try:
+        store = ArtifactStore(store_root)
+        persist_started = time.perf_counter()
+        for spec in specs:
+            persist_spec(store, spec)
+        persist_elapsed = time.perf_counter() - persist_started
+
+        request = BatchRequest(
+            tags=("genbench",), tool="spade", seed=SEED,
+            store_path=store_root,
+        )
+
+        # cold: fresh registry, specs resolved from the store, every
+        # stage computed and persisted
+        cold_service = BenchmarkService(registry=builtin_only_registry())
+        cold_started = time.perf_counter()
+        cold = cold_service.run_batch(request)
+        cold_elapsed = time.perf_counter() - cold_started
+
+        # warm: another fresh registry + service (a new process in
+        # spirit); specs come from the spec stage, results from the
+        # result/stage artifacts
+        warm_service = BenchmarkService(registry=builtin_only_registry())
+        warm_started = time.perf_counter()
+        warm = warm_service.run_batch(request)
+        warm_elapsed = time.perf_counter() - warm_started
+
+        # store enumeration is digest-ordered, so compare as sets; cold
+        # and warm sweeps share the ordering (same store, same digests)
+        assert {r.result.benchmark for r in cold} == {
+            f"gen_spec_{i}" for i in range(N_SPECS)
+        }
+        assert [r.result.benchmark for r in cold] == [
+            r.result.benchmark for r in warm
+        ]
+        for cold_response, warm_response in zip(cold, warm):
+            assert cold_response.result.target_graph == \
+                warm_response.result.target_graph
+        store_hits = sum(r.result.timings.store_hits for r in warm)
+        assert store_hits > 0, "warm sweep did not touch the store"
+        assert warm_elapsed < cold_elapsed, (
+            f"warm sweep ({warm_elapsed:.3f}s) not faster than cold "
+            f"({cold_elapsed:.3f}s)"
+        )
+
+        lines = [
+            f"spec validate+compile        : {validate * 1e6:9.1f} us/spec",
+            f"service registration         : {registration * 1e6:9.1f} us/spec",
+            f"persist to store ({N_SPECS:2d} specs)  : "
+            f"{persist_elapsed * 1e3:9.3f} ms",
+            f"cold sweep ({N_SPECS} spec benchmarks): "
+            f"{cold_elapsed * 1e3:9.3f} ms",
+            f"warm sweep (store-served)    : {warm_elapsed * 1e3:9.3f} ms "
+            f"({cold_elapsed / warm_elapsed:.1f}x faster, "
+            f"{store_hits} stage hits)",
+        ]
+        emit("custom_suite", lines)
+        record_bench("custom_suite", {
+            "n_specs": N_SPECS,
+            "seed": SEED,
+            "spec_validate_compile_s": validate,
+            "register_s": registration,
+            "persist_s": persist_elapsed,
+            "cold_sweep_s": cold_elapsed,
+            "warm_sweep_s": warm_elapsed,
+            "warm_store_hits": store_hits,
+            "speedup": cold_elapsed / warm_elapsed,
+        })
+    finally:
+        shutil.rmtree(store_root, ignore_errors=True)

@@ -10,7 +10,7 @@ stages behave.
 import pytest
 
 from repro import ProvMark
-from repro.suite.program import Op, Program, create_file
+from repro.suite.program import Op, Program
 
 from conftest import emit
 

@@ -5,6 +5,10 @@ The single supported way in, for programs and remote clients alike:
 * :mod:`repro.api.types` — frozen request/response dataclasses with
   strict validation and JSON codecs (:data:`API_VERSION` tags the
   vocabulary);
+* :mod:`repro.api.specs` — declarative benchmark specifications
+  (:class:`BenchmarkSpec` and friends): benchmarks as validated data
+  objects that compile into suite programs and persist in the artifact
+  store;
 * :mod:`repro.api.service` — :class:`BenchmarkService`, the façade over
   the staged pipeline, capture registry, suite registry, and artifact
   store;
@@ -37,6 +41,20 @@ from repro.api.errors import (
 from repro.api.http import ApiHTTPServer, DEFAULT_PORT, make_server
 from repro.api.jobs import JobCancelled, JobManager
 from repro.api.service import BenchmarkService
+from repro.api.specs import (
+    SPEC_STAGE,
+    BenchmarkSpec,
+    ExpectationSpec,
+    OpSpec,
+    ProgramSpec,
+    SetupSpec,
+    compile_spec,
+    load_persisted_specs,
+    persist_spec,
+    remove_persisted_spec,
+    spec_digest,
+    spec_from_program,
+)
 from repro.api.types import (
     API_VERSION,
     BatchRequest,
@@ -55,16 +73,28 @@ __all__ = [
     "BatchRequest",
     "BenchmarkInfo",
     "BenchmarkService",
+    "BenchmarkSpec",
     "DEFAULT_PORT",
+    "ExpectationSpec",
     "JobCancelled",
     "JobManager",
     "JobStatus",
     "NotFoundError",
+    "OpSpec",
+    "ProgramSpec",
     "RunRequest",
     "RunResponse",
+    "SPEC_STAGE",
+    "SetupSpec",
     "ToolInfo",
     "ToolQuery",
     "ValidationError",
+    "compile_spec",
+    "load_persisted_specs",
     "make_server",
+    "persist_spec",
+    "remove_persisted_spec",
+    "spec_digest",
+    "spec_from_program",
     "render_error",
 ]

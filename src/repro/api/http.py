@@ -3,11 +3,25 @@
 Pure stdlib (``http.server``) — no new dependencies.  Endpoints, all
 JSON, all prefixed with the API version:
 
+* ``GET /v1/health`` — liveness: ``{"status": "ok", "api_version",
+  "jobs": {...}}`` with job counts by state (what CI polls instead of
+  sleep-retrying);
 * ``GET /v1/tools`` (optionally ``?name=<tool>``) — registered capture
   backends with their resolved profiles;
-* ``GET /v1/benchmarks`` — the suite catalog;
+* ``GET /v1/benchmarks`` — the suite catalog (builtin and custom, with
+  tags);
+* ``POST /v1/benchmarks`` — body is a
+  :class:`~repro.api.specs.BenchmarkSpec` payload; the spec is
+  validated (strict decoding plus the semantic validator — the safety
+  boundary for untrusted clients), compiled, and registered; answers
+  ``201`` with the catalog row and the spec's content digest;
+* ``GET /v1/benchmarks/<name>`` — the declarative spec of any
+  registered benchmark (builtins are re-expressed as specs exactly);
+* ``DELETE /v1/benchmarks/<name>`` — unregister a custom benchmark
+  (builtin rows refuse with 400);
 * ``POST /v1/runs`` — body is a :class:`~repro.api.types.RunRequest`
-  payload; by default the run is submitted as an async job (``202``
+  payload naming a registered benchmark *or* carrying an inline
+  ``"spec"``; by default the run is submitted as an async job (``202``
   with a :class:`~repro.api.types.JobStatus` envelope to poll), while
   ``"wait": true`` in the body blocks and answers ``200`` with the
   :class:`~repro.api.types.RunResponse` directly;
@@ -45,7 +59,8 @@ from repro.api.errors import (
     render_error,
 )
 from repro.api.service import BenchmarkService
-from repro.api.types import API_VERSION, RunRequest, ToolQuery
+from repro.api.specs import BenchmarkSpec, spec_digest
+from repro.api.types import API_VERSION, JOB_STATES, RunRequest, ToolQuery
 
 #: default TCP port of ``provmark serve``
 DEFAULT_PORT = 8321
@@ -99,7 +114,9 @@ class ApiRequestHandler(BaseHTTPRequestHandler):
     def _route_get(self) -> None:
         split = urlsplit(self.path)
         path, query = split.path.rstrip("/"), dict(parse_qsl(split.query))
-        if path == "/v1/tools":
+        if path == "/v1/health":
+            self._send_json(200, self._health_body())
+        elif path == "/v1/tools":
             tool_query = ToolQuery(name=query.get("name"))
             self._send_json(200, {
                 "api_version": API_VERSION,
@@ -112,16 +129,54 @@ class ApiRequestHandler(BaseHTTPRequestHandler):
                     b.to_payload() for b in self.service.benchmarks()
                 ],
             })
+        elif path.startswith("/v1/benchmarks/"):
+            name = path[len("/v1/benchmarks/"):]
+            spec = self.service.benchmark_spec(name)
+            info = self.service.benchmark_info(name)
+            self._send_json(200, {
+                "api_version": API_VERSION,
+                "name": name,
+                "builtin": info.builtin,
+                "tags": list(info.tags),
+                "digest": spec_digest(spec),
+                "spec": spec.to_payload(),
+            })
         elif path.startswith("/v1/jobs/"):
             job_id = path[len("/v1/jobs/"):]
             self._send_json(200, self.service.poll(job_id).to_payload())
         else:
             raise NotFoundError(f"no route for GET {split.path}")
 
+    def _health_body(self) -> Dict[str, object]:
+        states = {state: 0 for state in JOB_STATES}
+        jobs = self.service.jobs.jobs()
+        for job in jobs:
+            states[job.state] += 1
+        return {
+            "status": "ok",
+            "api_version": API_VERSION,
+            "jobs": {"total": len(jobs), **states},
+        }
+
     def _route_post(self) -> None:
         path = urlsplit(self.path).path.rstrip("/")
-        if path != "/v1/runs":
+        if path == "/v1/benchmarks":
+            self._register_benchmark()
+        elif path == "/v1/runs":
+            self._submit_run()
+        else:
             raise NotFoundError(f"no route for POST {path}")
+
+    def _register_benchmark(self) -> None:
+        spec = BenchmarkSpec.from_payload(self._read_json_body())
+        info = self.service.register_benchmark(spec)
+        self._send_json(201, {
+            "api_version": API_VERSION,
+            "benchmark": info.to_payload(),
+            "digest": spec_digest(spec),
+        })
+
+    def _submit_run(self) -> None:
         body = self._read_json_body()
         wait = body.pop("wait", False)
         if not isinstance(wait, bool):
@@ -143,10 +198,17 @@ class ApiRequestHandler(BaseHTTPRequestHandler):
 
     def _route_delete(self) -> None:
         path = urlsplit(self.path).path.rstrip("/")
-        if not path.startswith("/v1/jobs/"):
+        if path.startswith("/v1/jobs/"):
+            job_id = path[len("/v1/jobs/"):]
+            self._send_json(200, self.service.cancel(job_id).to_payload())
+        elif path.startswith("/v1/benchmarks/"):
+            name = path[len("/v1/benchmarks/"):]
+            self._send_json(200, {
+                "api_version": API_VERSION,
+                "removed": self.service.unregister_benchmark(name),
+            })
+        else:
             raise NotFoundError(f"no route for DELETE {path}")
-        job_id = path[len("/v1/jobs/"):]
-        self._send_json(200, self.service.cancel(job_id).to_payload())
 
     # -- plumbing -----------------------------------------------------------
 

@@ -28,10 +28,16 @@ from __future__ import annotations
 
 import contextlib
 import threading
+import warnings
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.api.errors import NotFoundError, ValidationError
 from repro.api.jobs import JobManager
+from repro.api.specs import (
+    BenchmarkSpec,
+    compile_spec,
+    iter_persisted_specs,
+)
 from repro.api.types import (
     API_VERSION,
     BatchRequest,
@@ -50,7 +56,15 @@ from repro.capture.registry import (
 from repro.config import ProfileError, get_profile
 from repro.core.pipeline import PipelineConfig, ProvMark
 from repro.core.stages import ProgressCallback
-from repro.suite.registry import ALL_BENCHMARKS, TABLE2_ORDER
+from repro.storage.artifacts import ArtifactError, ArtifactStore
+from repro.suite.executor import ExecutionError
+from repro.suite.program import Program
+from repro.suite.registry import (
+    SUITE_REGISTRY,
+    SuiteRegistry,
+    SuiteRegistryError,
+    TABLE2_ORDER,
+)
 
 Request = Union[RunRequest, BatchRequest]
 
@@ -63,12 +77,34 @@ class BenchmarkService:
     #: total idle drivers retained across all configurations
     _DRIVER_POOL_SIZE = 32
 
-    def __init__(self, jobs: Optional[JobManager] = None) -> None:
+    #: spec-store handles retained (oldest evicted beyond this)
+    _SPEC_STORE_CACHE_SIZE = 8
+
+    def __init__(
+        self,
+        jobs: Optional[JobManager] = None,
+        registry: Optional[SuiteRegistry] = None,
+    ) -> None:
         # Created eagerly (the manager itself spins its thread pool up
         # lazily): a lazily-created manager would race under the
         # threaded HTTP server, orphaning jobs in a lost instance.
         self._jobs = jobs if jobs is not None else JobManager()
         self._owns_jobs = jobs is None
+        #: the open suite registry this service reads and extends
+        #: (shared default unless a private one is injected)
+        self._registry = registry if registry is not None else SUITE_REGISTRY
+        # Spec-store loading state: store handles are reused (opening a
+        # store sweeps its temp files; the cache is bounded like the
+        # driver pool) and the digests of *successfully registered*
+        # specs are remembered, so re-resolving against the same store
+        # costs a directory listing, not a re-decode of every persisted
+        # spec.  Failed registrations are not remembered — they retry
+        # on the next load — and unregistering a benchmark forgets its
+        # digest so the persisted spec is loadable again.
+        self._spec_lock = threading.Lock()
+        self._spec_stores: Dict[str, ArtifactStore] = {}
+        self._loaded_spec_digests: set = set()
+        self._spec_digest_by_name: Dict[str, str] = {}
         # Idle drivers (capture system, pipeline, artifact-store handle)
         # pooled by resolved configuration.  A driver is leased to
         # exactly one call at a time — captures and stores are not safe
@@ -103,31 +139,144 @@ class BenchmarkService:
         )
 
     def benchmarks(self) -> Tuple[BenchmarkInfo, ...]:
-        """Every registered suite benchmark, sorted by name."""
+        """Every registered suite benchmark, sorted by name.
+
+        Built from one registry snapshot, so a concurrent register/
+        unregister (another HTTP handler thread) cannot make the
+        listing half-updated or raise mid-iteration.
+        """
+        entries = self._registry.snapshot()
         return tuple(
-            BenchmarkInfo(
-                name=name,
-                group=program.group,
-                group_name=program.group_name,
-                description=program.description,
-            )
-            for name, program in sorted(ALL_BENCHMARKS.items())
+            self._info_from_entry(name, entry)
+            for name, entry in sorted(entries.items())
         )
+
+    def benchmark_info(self, name: str) -> BenchmarkInfo:
+        """The catalog row of one registered benchmark (404 if absent)."""
+        return self._benchmark_info(name)
+
+    def benchmark_spec(self, name: str) -> BenchmarkSpec:
+        """The declarative spec of any registered benchmark.
+
+        Custom entries return the spec they were registered from;
+        builtin rows are re-expressed through
+        :func:`~repro.api.specs.spec_from_program` — the round-trip is
+        exact, so a spec fetched here and re-submitted runs identically.
+        """
+        try:
+            return self._registry.spec(name)
+        except KeyError:
+            raise NotFoundError(self._unknown_benchmark(name)) from None
+
+    def register_benchmark(self, spec: BenchmarkSpec) -> BenchmarkInfo:
+        """Validate, compile, and register a spec-defined benchmark.
+
+        The spec's semantic validation (syscall arity, ``$var``
+        dataflow, setup-path confinement, uid/gid ranges) is the safety
+        boundary for untrusted clients; builtin names cannot be shadowed
+        and the custom-entry count is capped.
+        """
+        if not isinstance(spec, BenchmarkSpec):
+            raise ValidationError(
+                "register_benchmark() takes a BenchmarkSpec, got "
+                f"{type(spec).__name__}"
+            )
+        program = compile_spec(spec)
+        try:
+            self._registry.register(program, tags=spec.tags, spec=spec)
+        except SuiteRegistryError as exc:
+            raise ValidationError(str(exc)) from None
+        return self._benchmark_info(program.name)
+
+    def unregister_benchmark(self, name: str) -> str:
+        """Remove a custom benchmark (builtins refuse, unknowns 404)."""
+        try:
+            self._registry.unregister(name)
+        except SuiteRegistryError as exc:
+            raise ValidationError(str(exc)) from None
+        except KeyError:
+            raise NotFoundError(self._unknown_benchmark(name)) from None
+        self._forget_spec(name)
+        return name
+
+    def load_spec_store(self, store_path: str) -> int:
+        """Register every benchmark spec persisted in an artifact store.
+
+        The ``provmark bench add --store`` companion: a run/batch
+        request naming a stored benchmark resolves through this, so
+        ``--store`` sweeps and ``--resume`` cover user benchmarks.
+        Stored specs that no longer validate, collide with builtin
+        names, or overflow the registry cap are skipped — and reported
+        in one bounded ``RuntimeWarning`` naming what was dropped and
+        why, so a sweep never loses user benchmarks silently.  Returns
+        the number registered.
+        """
+        with self._spec_lock:
+            store = self._spec_stores.get(store_path)
+            if store is None:
+                try:
+                    store = ArtifactStore(store_path)
+                except ArtifactError as exc:
+                    raise ValidationError(str(exc)) from None
+                while len(self._spec_stores) >= self._SPEC_STORE_CACHE_SIZE:
+                    self._spec_stores.pop(next(iter(self._spec_stores)))
+                self._spec_stores[store_path] = store
+            count = 0
+            skipped: List[str] = []
+            for path, spec in iter_persisted_specs(
+                store, skip_digests=self._loaded_spec_digests
+            ):
+                try:
+                    program = compile_spec(spec)
+                    self._registry.register(
+                        program, tags=spec.tags, spec=spec
+                    )
+                except (ValidationError, SuiteRegistryError) as exc:
+                    # not remembered: an unusable spec retries on the
+                    # next load (the registry may have room by then)
+                    skipped.append(f"{spec.name}: {exc}")
+                    continue
+                self._remember_spec(spec.name, path.stem)
+                count += 1
+        if skipped:
+            # a sweep must not silently lose user benchmarks: surface
+            # what was dropped and why (bounded, one warning per load)
+            detail = "; ".join(skipped[:5])
+            if len(skipped) > 5:
+                detail += f"; ... and {len(skipped) - 5} more"
+            warnings.warn(
+                f"skipped {len(skipped)} persisted benchmark spec(s) in "
+                f"{store_path}: {detail}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return count
+
+    def _remember_spec(self, name: str, digest: str) -> None:
+        """Record a registered spec digest (called under _spec_lock)."""
+        stale = self._spec_digest_by_name.get(name)
+        if stale is not None:
+            self._loaded_spec_digests.discard(stale)
+        self._spec_digest_by_name[name] = digest
+        self._loaded_spec_digests.add(digest)
+
+    def _forget_spec(self, name: str) -> None:
+        """Make a name's persisted spec loadable again after removal."""
+        with self._spec_lock:
+            digest = self._spec_digest_by_name.pop(name, None)
+            if digest is not None:
+                self._loaded_spec_digests.discard(digest)
 
     def resolve_batch_names(self, request: BatchRequest) -> List[str]:
-        """The concrete benchmark list a batch request names.
+        """The concrete benchmark list a batch request selects.
 
-        ``benchmarks=None`` expands to the full Table 2 order; every
-        name is checked against the suite registry up front so a batch
-        fails fast instead of mid-sweep.
+        ``benchmarks`` names runs explicitly (checked against the
+        registry up front so a batch fails fast instead of mid-sweep);
+        ``tags`` selects every registered benchmark carrying all the
+        given tags; with neither, the full Table 2 order.  A configured
+        ``store_path`` contributes its persisted specs first.
         """
-        names = (
-            list(request.benchmarks)
-            if request.benchmarks is not None else list(TABLE2_ORDER)
-        )
-        for name in names:
-            self.check_benchmark(name)
-        return names
+        return [p.name for p in self._batch_programs(request)]
 
     # -- synchronous runs ---------------------------------------------------
 
@@ -141,9 +290,9 @@ class BenchmarkService:
             raise ValidationError(
                 f"run() takes a RunRequest, got {type(request).__name__}"
             )
-        self.check_benchmark(request.benchmark)
+        program = self._run_program(request)
         with self._leased_driver(request, progress) as driver:
-            return RunResponse(result=driver.run_benchmark(request.benchmark))
+            return RunResponse(result=self._execute(driver, program))
 
     def run_batch(
         self,
@@ -163,16 +312,19 @@ class BenchmarkService:
                 f"run_batch() takes a BatchRequest, got "
                 f"{type(request).__name__}"
             )
-        names = self.resolve_batch_names(request)
+        programs = self._batch_programs(request)
         observed = progress is not None or on_response is not None
         workers = request.max_workers
         with self._leased_driver(request, progress) as driver:
             if not observed and workers is not None and workers > 1:
-                results = driver.run_many(names, max_workers=workers)
+                try:
+                    results = driver.run_many(programs, max_workers=workers)
+                except ExecutionError as exc:
+                    raise ValidationError(self._execution_message(exc)) from exc
                 return tuple(RunResponse(result=r) for r in results)
             responses = []
-            for name in names:
-                response = RunResponse(result=driver.run_benchmark(name))
+            for program in programs:
+                response = RunResponse(result=self._execute(driver, program))
                 responses.append(response)
                 if on_response is not None:
                     on_response(response)
@@ -187,12 +339,18 @@ class BenchmarkService:
     def submit(self, request: Request) -> JobStatus:
         """Queue a run/batch job; returns its initial status snapshot.
 
-        Name lookups (benchmark, tool, profile) are validated *now*, so
-        a misspelled request is a synchronous NotFoundError — never a
-        job that sits in the queue only to fail.
+        Name lookups (benchmark, tool, profile) are validated *now*
+        against the current registry, so a misspelled request is a
+        synchronous NotFoundError rather than a queued job doomed from
+        the start.  The job re-resolves when it executes (the registry
+        is open and deliberately fresh): concurrent unregistration can
+        therefore still fail a queued job, cleanly, with the same
+        not-found message in its ``error`` field.
         """
         if isinstance(request, RunRequest):
-            self.check_benchmark(request.benchmark)
+            # resolves the name (or compiles the inline spec) now, so a
+            # malformed benchmark is a synchronous error too
+            self._run_program(request)
             self._check_names(request)
             kind, total = "run", 1
         elif isinstance(request, BatchRequest):
@@ -287,18 +445,110 @@ class BenchmarkService:
         except UnknownToolError as exc:
             raise NotFoundError(str(exc)) from None
 
-    @staticmethod
-    def check_benchmark(name: str) -> None:
-        """Raise NotFoundError for names absent from the suite registry.
-
-        The single source of the unknown-benchmark message for every
-        surface (façade, CLI — including ``provmark show`` — and HTTP).
+    def check_benchmark(self, name: str) -> None:
+        """Public helper: NotFoundError for names absent from the
+        registry, with the same message every internal surface renders.
+        (Internal paths resolve through ``_resolve_program`` /
+        ``_benchmark_info``, which also consult store-persisted specs.)
         """
-        if name not in ALL_BENCHMARKS:
-            raise NotFoundError(
-                f"unknown benchmark {name!r}; available: "
-                f"{sorted(ALL_BENCHMARKS)}"
+        if name not in self._registry:
+            raise NotFoundError(self._unknown_benchmark(name))
+
+    def _unknown_benchmark(self, name: str) -> str:
+        return (
+            f"unknown benchmark {name!r}; available: "
+            f"{sorted(self._registry.names())}"
+        )
+
+    def _benchmark_info(self, name: str) -> BenchmarkInfo:
+        try:
+            entry = self._registry.entry(name)
+        except KeyError:
+            raise NotFoundError(self._unknown_benchmark(name)) from None
+        return self._info_from_entry(name, entry)
+
+    @staticmethod
+    def _info_from_entry(name: str, entry) -> BenchmarkInfo:
+        """The one place a registry entry becomes a catalog row."""
+        return BenchmarkInfo(
+            name=name,
+            group=entry.program.group,
+            group_name=entry.program.group_name,
+            description=entry.program.description,
+            tags=entry.tags,
+            builtin=entry.builtin,
+        )
+
+    @staticmethod
+    def _execute(driver: ProvMark, program: Program):
+        """One pipeline run, with benchmark misbehaviour as a 400.
+
+        The spec validator is static: a spec can pass it and still
+        violate its own declarations at run time (an op marked
+        ``expect_success`` that fails, an open of a path no setup
+        action staged).  That is a defect in the *benchmark*, not the
+        service, so it renders as ValidationError — one CLI line /
+        HTTP 400 — rather than escaping as a 500.
+        """
+        try:
+            return driver.run_benchmark(program)
+        except ExecutionError as exc:
+            raise ValidationError(
+                BenchmarkService._execution_message(exc)
+            ) from exc
+
+    @staticmethod
+    def _execution_message(exc: ExecutionError) -> str:
+        return f"benchmark program failed its own declaration: {exc}"
+
+    def _run_program(self, request: RunRequest) -> Program:
+        """The program a run request denotes (inline spec or lookup)."""
+        if request.spec is not None:
+            return compile_spec(request.spec)
+        return self._resolve_program(request.benchmark, request.store_path)
+
+    def _resolve_program(
+        self, name: str, store_path: Optional[str]
+    ) -> Program:
+        """Registry lookup, falling back to store-persisted specs.
+
+        A miss with a configured store loads the store's ``spec`` stage
+        into the registry and retries, so ``provmark bench add --store``
+        benchmarks are runnable by name from any later process.
+        """
+        try:
+            return self._registry.get(name)
+        except KeyError:
+            pass
+        if store_path:
+            self.load_spec_store(store_path)
+            try:
+                return self._registry.get(name)
+            except KeyError:
+                pass
+        raise NotFoundError(self._unknown_benchmark(name))
+
+    def _batch_programs(self, request: BatchRequest) -> List[Program]:
+        if not isinstance(request, BatchRequest):
+            raise ValidationError(
+                f"expected a BatchRequest, got {type(request).__name__}"
             )
+        if request.tags is not None:
+            if request.store_path:
+                self.load_spec_store(request.store_path)
+            names = self._registry.select(request.tags)
+            if not names:
+                raise NotFoundError(
+                    f"no benchmarks match tags {sorted(request.tags)}"
+                )
+        else:
+            names = (
+                list(request.benchmarks)
+                if request.benchmarks is not None else list(TABLE2_ORDER)
+            )
+        return [
+            self._resolve_program(name, request.store_path) for name in names
+        ]
 
     @staticmethod
     def _driver(request: Request) -> ProvMark:

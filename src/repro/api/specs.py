@@ -1,0 +1,897 @@
+"""Declarative benchmark specifications — benchmarks as data (v1).
+
+The paper's suite is 44 fixed syscall benchmarks, but its stated goal is
+extensibility: users bring *their own* target behaviours to probe a
+capture tool's expressiveness.  This module is the contract that lets
+them do it safely: a benchmark enters the system as a validated JSON
+document, not Python code, travels over the same typed v1 API that runs
+it, and compiles into exactly the :class:`~repro.suite.program.Program`
+a hand-written registry row would have produced.
+
+Vocabulary (all frozen dataclasses):
+
+* :class:`OpSpec` — one syscall invocation (call, args, result binding,
+  target flag, expected success);
+* :class:`SetupSpec` — one staging-directory preparation action;
+* :class:`ProgramSpec` — the op sequence plus setup and credentials;
+* :class:`ExpectationSpec` — one per-tool Table 2 expectation row;
+* :class:`BenchmarkSpec` — the complete named unit with tags.
+
+Validation is layered, and every failure is a
+:class:`~repro.api.errors.ValidationError` carrying the **full nested
+field path** (``BenchmarkSpec.program.ops[3].args[0]``, never a bare
+``args``), rendered identically by the CLI and the HTTP envelope:
+
+1. **structural** (``from_payload``) — strict types, unknown-key
+   rejection, base64-tagged bytes; malformed documents never
+   half-decode;
+2. **semantic** (:meth:`BenchmarkSpec.validate`) — op names and arg
+   arity against the simulated kernel's syscall table
+   (:func:`syscall_table`), ``$var`` dataflow resolution for *both*
+   program variants (the background variant drops target ops, so a
+   non-target op must not consume a target op's result), setup-path
+   confinement to the staging directory, uid/gid ranges, and size caps
+   suitable for untrusted clients;
+3. **compilation** (:func:`compile_spec`) — a validated spec becomes a
+   :class:`~repro.suite.program.Program` that is equal (same dataclass
+   value, same ``repr``, hence the same artifact-store keys and
+   byte-identical pipeline results) to its hand-written counterpart.
+   :func:`spec_from_program` inverts it: every builtin registry row
+   round-trips ``Program -> BenchmarkSpec -> Program`` exactly.
+
+Custom specs persist in the artifact store under the :data:`SPEC_STAGE`
+stage, keyed by content digest (:func:`spec_digest`), so ``--store``
+sweeps and ``--resume`` cover user benchmarks; run artifacts already
+fingerprint the compiled program, so cached results stay correct.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import inspect
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Container, Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.api.errors import ValidationError
+from repro.kernel import Kernel
+from repro.storage.artifacts import ArtifactStore, canonical_key
+from repro.suite.program import Arg, Op, Program, SetupAction
+
+#: artifact-store stage under which benchmark specs persist
+SPEC_STAGE = "spec"
+
+#: staging actions :class:`SetupSpec` may declare
+SETUP_KINDS = ("file", "dir", "fifo", "symlink")
+
+#: Table 2 classifications an expectation may declare
+EXPECTED_CLASSIFICATIONS = ("ok", "empty")
+
+#: uid/gid values must stay below this (one 16-bit id namespace)
+MAX_ID = 65535
+
+#: size caps protecting the registry and the executor from hostile specs
+MAX_OPS = 1024
+MAX_SETUP = 128
+MAX_TAGS = 32
+MAX_NAME_LENGTH = 100
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]*$")
+_TAG_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]*$")
+_RESULT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def _fail(path: str, message: str) -> None:
+    raise ValidationError(f"{path}: {message}")
+
+
+# -- structural decoding helpers --------------------------------------------
+
+
+def _decode_mapping(
+    payload: object, path: str, keys: Tuple[str, ...]
+) -> Dict[str, object]:
+    """A strict JSON object: mapping type, no unknown keys."""
+    if not isinstance(payload, Mapping):
+        _fail(path, f"must be a JSON object, got {type(payload).__name__}")
+    unknown = sorted(set(payload) - set(keys))
+    if unknown:
+        _fail(path, f"unknown keys: {unknown}")
+    return dict(payload)
+
+
+def _decode_str(
+    value: object, path: str,
+    optional: bool = False, non_empty: bool = False,
+) -> Optional[str]:
+    if value is None and optional:
+        return None
+    if not isinstance(value, str):
+        _fail(path, f"must be a string, got {type(value).__name__}")
+    if non_empty and not value:
+        _fail(path, "must be non-empty")
+    return value
+
+
+def _decode_bool(value: object, path: str) -> bool:
+    if not isinstance(value, bool):
+        _fail(path, f"must be a bool, got {type(value).__name__}")
+    return value
+
+
+def _decode_int(value: object, path: str) -> int:
+    if not isinstance(value, int) or isinstance(value, bool):
+        _fail(path, f"must be an integer, got {type(value).__name__}")
+    return value
+
+
+def _decode_array(value: object, path: str) -> List[object]:
+    if not isinstance(value, (list, tuple)):
+        _fail(path, f"must be an array, got {type(value).__name__}")
+    return list(value)
+
+
+def _decode_bytes(value: object, path: str) -> bytes:
+    """Bytes travel through JSON as ``{"base64": "..."}`` objects."""
+    if isinstance(value, bytes):
+        return value
+    if isinstance(value, Mapping):
+        data = _decode_mapping(value, path, ("base64",))
+        encoded = _decode_str(data.get("base64"), f"{path}.base64")
+        try:
+            return base64.b64decode(encoded, validate=True)
+        except (binascii.Error, ValueError):
+            _fail(f"{path}.base64", "is not valid base64")
+    _fail(
+        path,
+        'must be bytes or a {"base64": "..."} object, '
+        f"got {type(value).__name__}",
+    )
+    raise AssertionError("unreachable")
+
+
+def _encode_bytes(value: bytes) -> Dict[str, str]:
+    return {"base64": base64.b64encode(value).decode("ascii")}
+
+
+def _decode_arg(value: object, path: str) -> Arg:
+    """One op argument: a string, an integer, or tagged base64 bytes."""
+    if isinstance(value, bool):
+        _fail(path, "must be a string, integer, or bytes, not a bool")
+    if isinstance(value, (str, int)):
+        return value
+    if isinstance(value, (bytes, Mapping)):
+        return _decode_bytes(value, path)
+    _fail(
+        path,
+        'must be a string, integer, or {"base64": "..."} object, '
+        f"got {type(value).__name__}",
+    )
+    raise AssertionError("unreachable")
+
+
+def _encode_arg(arg: Arg) -> object:
+    return _encode_bytes(arg) if isinstance(arg, bytes) else arg
+
+
+def _check_arg_value(value: object, path: str) -> None:
+    """Direct-construction twin of :func:`_decode_arg`."""
+    if isinstance(value, bool) or not isinstance(value, (str, int, bytes)):
+        _fail(path, f"must be a str, int, or bytes, got {type(value).__name__}")
+
+
+# -- the kernel syscall table ------------------------------------------------
+
+
+_SYSCALL_TABLE: Optional[Dict[str, Tuple[int, int]]] = None
+_SYSCALL_PARAMS: Optional[Dict[str, Tuple[Tuple[str, Optional[type]], ...]]] = None
+
+#: kernel parameter annotations the validator can type-check; anything
+#: else (e.g. execve's ``Optional[List[str]]`` argv) goes unchecked
+_ANNOTATION_TYPES: Dict[object, type] = {
+    "str": str, "int": int, "bytes": bytes,
+    str: str, int: int, bytes: bytes,
+}
+
+
+def _scan_kernel() -> None:
+    """Build both syscall caches from one pass over the Kernel class."""
+    global _SYSCALL_TABLE, _SYSCALL_PARAMS
+    table: Dict[str, Tuple[int, int]] = {}
+    param_map: Dict[str, Tuple[Tuple[str, Optional[type]], ...]] = {}
+    positional = (
+        inspect.Parameter.POSITIONAL_ONLY,
+        inspect.Parameter.POSITIONAL_OR_KEYWORD,
+    )
+    for attr in dir(Kernel):
+        if not attr.startswith("sys_"):
+            continue
+        params = [
+            p for p in
+            inspect.signature(getattr(Kernel, attr)).parameters.values()
+            if p.kind in positional
+        ][2:]  # drop self, process
+        required = sum(
+            1 for p in params if p.default is inspect.Parameter.empty
+        )
+        call = attr[len("sys_"):]
+        table[call] = (required, len(params))
+        param_map[call] = tuple(
+            (p.name, _ANNOTATION_TYPES.get(p.annotation)) for p in params
+        )
+    _SYSCALL_TABLE = table
+    _SYSCALL_PARAMS = param_map
+
+
+def syscall_table() -> Dict[str, Tuple[int, int]]:
+    """``call -> (required_args, max_args)`` from the simulated kernel.
+
+    Derived by introspection over the :class:`~repro.kernel.Kernel`
+    ``sys_*`` methods (dropping the ``self``/``process`` parameters), so
+    the validator can never drift from what the executor dispatches to.
+    """
+    if _SYSCALL_TABLE is None:
+        _scan_kernel()
+    return _SYSCALL_TABLE
+
+
+def syscall_params() -> Dict[str, Tuple[Tuple[str, Optional[type]], ...]]:
+    """Per-call ``((param_name, expected_type | None), ...)``.
+
+    ``None`` marks a parameter whose annotation the validator does not
+    type-check.  ``$var`` references are always exempt — they resolve
+    to kernel-bound integers at run time.
+    """
+    if _SYSCALL_PARAMS is None:
+        _scan_kernel()
+    return _SYSCALL_PARAMS
+
+
+# -- spec types ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """One operation of the benchmark program (one syscall invocation)."""
+
+    call: str
+    args: Tuple[Arg, ...] = ()
+    result: Optional[str] = None
+    target: bool = False
+    expect_success: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "args", tuple(self.args))
+        _decode_str(self.call, "OpSpec.call", non_empty=True)
+        for i, arg in enumerate(self.args):
+            _check_arg_value(arg, f"OpSpec.args[{i}]")
+        _decode_str(self.result, "OpSpec.result", optional=True,
+                    non_empty=True)
+        _decode_bool(self.target, "OpSpec.target")
+        _decode_bool(self.expect_success, "OpSpec.expect_success")
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "call": self.call,
+            "args": [_encode_arg(a) for a in self.args],
+            "result": self.result,
+            "target": self.target,
+            "expect_success": self.expect_success,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: object, path: str = "OpSpec") -> "OpSpec":
+        data = _decode_mapping(
+            payload, path,
+            ("call", "args", "result", "target", "expect_success"),
+        )
+        if "call" not in data:
+            _fail(path, "missing required key 'call'")
+        return cls(
+            call=_decode_str(data["call"], f"{path}.call", non_empty=True),
+            args=tuple(
+                _decode_arg(value, f"{path}.args[{i}]")
+                for i, value in enumerate(
+                    _decode_array(data.get("args", []), f"{path}.args")
+                )
+            ),
+            result=_decode_str(
+                data.get("result"), f"{path}.result", optional=True,
+                non_empty=True,
+            ),
+            target=_decode_bool(data.get("target", False), f"{path}.target"),
+            expect_success=_decode_bool(
+                data.get("expect_success", True), f"{path}.expect_success"
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class SetupSpec:
+    """One staging-directory preparation action (runs before recording)."""
+
+    kind: str
+    path: str
+    mode: int = 0o644
+    content: bytes = b"benchmark data\n"
+    link_target: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in SETUP_KINDS:
+            _fail("SetupSpec.kind",
+                  f"must be one of {list(SETUP_KINDS)}, got {self.kind!r}")
+        _decode_str(self.path, "SetupSpec.path", non_empty=True)
+        _decode_int(self.mode, "SetupSpec.mode")
+        if not isinstance(self.content, bytes):
+            _fail("SetupSpec.content",
+                  f"must be bytes, got {type(self.content).__name__}")
+        _decode_str(self.link_target, "SetupSpec.link_target")
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "path": self.path,
+            "mode": self.mode,
+            "content": _encode_bytes(self.content),
+            "link_target": self.link_target,
+        }
+
+    @classmethod
+    def from_payload(
+        cls, payload: object, path: str = "SetupSpec"
+    ) -> "SetupSpec":
+        data = _decode_mapping(
+            payload, path, ("kind", "path", "mode", "content", "link_target")
+        )
+        for key in ("kind", "path"):
+            if key not in data:
+                _fail(path, f"missing required key {key!r}")
+        kind = _decode_str(data["kind"], f"{path}.kind")
+        if kind not in SETUP_KINDS:
+            _fail(f"{path}.kind",
+                  f"must be one of {list(SETUP_KINDS)}, got {kind!r}")
+        return cls(
+            kind=kind,
+            path=_decode_str(data["path"], f"{path}.path", non_empty=True),
+            mode=_decode_int(data.get("mode", 0o644), f"{path}.mode"),
+            content=_decode_bytes(
+                data.get("content", b"benchmark data\n"), f"{path}.content"
+            ),
+            link_target=_decode_str(
+                data.get("link_target", ""), f"{path}.link_target"
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """The op sequence, staging setup, and credentials of one benchmark."""
+
+    ops: Tuple[OpSpec, ...] = ()
+    setup: Tuple[SetupSpec, ...] = ()
+    run_as_uid: int = 0
+    run_as_gid: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "ops", tuple(self.ops))
+        object.__setattr__(self, "setup", tuple(self.setup))
+        for i, op in enumerate(self.ops):
+            if not isinstance(op, OpSpec):
+                _fail(f"ProgramSpec.ops[{i}]",
+                      f"must be an OpSpec, got {type(op).__name__}")
+        for i, action in enumerate(self.setup):
+            if not isinstance(action, SetupSpec):
+                _fail(f"ProgramSpec.setup[{i}]",
+                      f"must be a SetupSpec, got {type(action).__name__}")
+        _decode_int(self.run_as_uid, "ProgramSpec.run_as_uid")
+        _decode_int(self.run_as_gid, "ProgramSpec.run_as_gid")
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "ops": [op.to_payload() for op in self.ops],
+            "setup": [action.to_payload() for action in self.setup],
+            "run_as_uid": self.run_as_uid,
+            "run_as_gid": self.run_as_gid,
+        }
+
+    @classmethod
+    def from_payload(
+        cls, payload: object, path: str = "ProgramSpec"
+    ) -> "ProgramSpec":
+        data = _decode_mapping(
+            payload, path, ("ops", "setup", "run_as_uid", "run_as_gid")
+        )
+        return cls(
+            ops=tuple(
+                OpSpec.from_payload(value, f"{path}.ops[{i}]")
+                for i, value in enumerate(
+                    _decode_array(data.get("ops", []), f"{path}.ops")
+                )
+            ),
+            setup=tuple(
+                SetupSpec.from_payload(value, f"{path}.setup[{i}]")
+                for i, value in enumerate(
+                    _decode_array(data.get("setup", []), f"{path}.setup")
+                )
+            ),
+            run_as_uid=_decode_int(
+                data.get("run_as_uid", 0), f"{path}.run_as_uid"
+            ),
+            run_as_gid=_decode_int(
+                data.get("run_as_gid", 0), f"{path}.run_as_gid"
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class ExpectationSpec:
+    """One per-tool expectation row (Table 2's ok/empty plus note)."""
+
+    tool: str
+    classification: str
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        _decode_str(self.tool, "ExpectationSpec.tool", non_empty=True)
+        _decode_str(self.classification, "ExpectationSpec.classification")
+        _decode_str(self.note, "ExpectationSpec.note")
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "tool": self.tool,
+            "classification": self.classification,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_payload(
+        cls, payload: object, path: str = "ExpectationSpec"
+    ) -> "ExpectationSpec":
+        data = _decode_mapping(
+            payload, path, ("tool", "classification", "note")
+        )
+        for key in ("tool", "classification"):
+            if key not in data:
+                _fail(path, f"missing required key {key!r}")
+        return cls(
+            tool=_decode_str(data["tool"], f"{path}.tool", non_empty=True),
+            classification=_decode_str(
+                data["classification"], f"{path}.classification"
+            ),
+            note=_decode_str(data.get("note", ""), f"{path}.note"),
+        )
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """A complete benchmark as a data object.
+
+    ``validate()`` runs the semantic checks and returns ``self``;
+    :func:`compile_spec` (or :meth:`to_program`) turns a valid spec into
+    the :class:`~repro.suite.program.Program` the pipeline runs.
+    """
+
+    name: str
+    program: ProgramSpec
+    group: int = 0
+    group_name: str = "Custom"
+    description: str = ""
+    tags: Tuple[str, ...] = ()
+    expectations: Tuple[ExpectationSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tags", tuple(self.tags))
+        object.__setattr__(self, "expectations", tuple(self.expectations))
+        _decode_str(self.name, "BenchmarkSpec.name", non_empty=True)
+        if not isinstance(self.program, ProgramSpec):
+            _fail("BenchmarkSpec.program",
+                  f"must be a ProgramSpec, got {type(self.program).__name__}")
+        _decode_int(self.group, "BenchmarkSpec.group")
+        _decode_str(self.group_name, "BenchmarkSpec.group_name")
+        _decode_str(self.description, "BenchmarkSpec.description")
+        for i, tag in enumerate(self.tags):
+            _decode_str(tag, f"BenchmarkSpec.tags[{i}]", non_empty=True)
+        for i, expectation in enumerate(self.expectations):
+            if not isinstance(expectation, ExpectationSpec):
+                _fail(f"BenchmarkSpec.expectations[{i}]",
+                      "must be an ExpectationSpec, "
+                      f"got {type(expectation).__name__}")
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "group": self.group,
+            "group_name": self.group_name,
+            "description": self.description,
+            "tags": list(self.tags),
+            "expectations": [e.to_payload() for e in self.expectations],
+            "program": self.program.to_payload(),
+        }
+
+    @classmethod
+    def from_payload(
+        cls, payload: object, path: str = "BenchmarkSpec"
+    ) -> "BenchmarkSpec":
+        data = _decode_mapping(
+            payload, path,
+            ("name", "group", "group_name", "description", "tags",
+             "expectations", "program"),
+        )
+        for key in ("name", "program"):
+            if key not in data:
+                _fail(path, f"missing required key {key!r}")
+        return cls(
+            name=_decode_str(data["name"], f"{path}.name", non_empty=True),
+            program=ProgramSpec.from_payload(
+                data["program"], f"{path}.program"
+            ),
+            group=_decode_int(data.get("group", 0), f"{path}.group"),
+            group_name=_decode_str(
+                data.get("group_name", "Custom"), f"{path}.group_name"
+            ),
+            description=_decode_str(
+                data.get("description", ""), f"{path}.description"
+            ),
+            tags=tuple(
+                _decode_str(value, f"{path}.tags[{i}]", non_empty=True)
+                for i, value in enumerate(
+                    _decode_array(data.get("tags", []), f"{path}.tags")
+                )
+            ),
+            expectations=tuple(
+                ExpectationSpec.from_payload(value, f"{path}.expectations[{i}]")
+                for i, value in enumerate(_decode_array(
+                    data.get("expectations", []), f"{path}.expectations"
+                ))
+            ),
+        )
+
+    # -- semantics ----------------------------------------------------------
+
+    def validate(self) -> "BenchmarkSpec":
+        """Run every semantic check; ValidationError paths are full."""
+        root = "BenchmarkSpec"
+        if len(self.name) > MAX_NAME_LENGTH:
+            _fail(f"{root}.name",
+                  f"must be at most {MAX_NAME_LENGTH} characters")
+        if not _NAME_RE.match(self.name):
+            _fail(f"{root}.name",
+                  "must match [A-Za-z0-9][A-Za-z0-9_.-]* "
+                  f"(got {self.name!r})")
+        if self.group < 0:
+            _fail(f"{root}.group", f"must be >= 0, got {self.group}")
+        self._validate_tags(root)
+        self._validate_expectations(root)
+        self._validate_program(f"{root}.program")
+        return self
+
+    def _validate_tags(self, root: str) -> None:
+        if len(self.tags) > MAX_TAGS:
+            _fail(f"{root}.tags", f"must have at most {MAX_TAGS} entries")
+        seen = set()
+        for i, tag in enumerate(self.tags):
+            if not _TAG_RE.match(tag):
+                _fail(f"{root}.tags[{i}]",
+                      f"must match [A-Za-z0-9][A-Za-z0-9_.-]* (got {tag!r})")
+            if tag in seen:
+                _fail(f"{root}.tags[{i}]", f"duplicate tag {tag!r}")
+            seen.add(tag)
+
+    def _validate_expectations(self, root: str) -> None:
+        seen = set()
+        for i, expectation in enumerate(self.expectations):
+            if expectation.classification not in EXPECTED_CLASSIFICATIONS:
+                _fail(f"{root}.expectations[{i}].classification",
+                      f"must be one of {list(EXPECTED_CLASSIFICATIONS)}, "
+                      f"got {expectation.classification!r}")
+            if expectation.tool in seen:
+                _fail(f"{root}.expectations[{i}].tool",
+                      f"duplicate expectation for tool {expectation.tool!r}")
+            seen.add(expectation.tool)
+
+    def _validate_program(self, root: str) -> None:
+        program = self.program
+        for field, value in (("run_as_uid", program.run_as_uid),
+                             ("run_as_gid", program.run_as_gid)):
+            if not 0 <= value <= MAX_ID:
+                _fail(f"{root}.{field}",
+                      f"must be in [0, {MAX_ID}], got {value}")
+        if not program.ops:
+            _fail(f"{root}.ops", "must declare at least one op")
+        if len(program.ops) > MAX_OPS:
+            _fail(f"{root}.ops", f"must have at most {MAX_OPS} entries")
+        if not any(op.target for op in program.ops):
+            _fail(f"{root}.ops",
+                  "at least one op must be marked \"target\": true")
+        if len(program.setup) > MAX_SETUP:
+            _fail(f"{root}.setup", f"must have at most {MAX_SETUP} entries")
+        for i, action in enumerate(program.setup):
+            self._validate_setup_action(action, f"{root}.setup[{i}]")
+        table, params = syscall_table(), syscall_params()
+        for i, op in enumerate(program.ops):
+            self._validate_op(op, table, params, f"{root}.ops[{i}]")
+        # Dataflow must resolve in the foreground program (all ops) AND
+        # in the background program (target ops stripped out, paper §3).
+        self._validate_dataflow(program.ops, root, variant="foreground")
+        self._validate_dataflow(
+            tuple(op if not op.target else None for op in program.ops),
+            root, variant="background",
+        )
+
+    @staticmethod
+    def _validate_setup_action(action: SetupSpec, path: str) -> None:
+        for field, value in (("path", action.path),
+                             ("link_target", action.link_target)):
+            if not value:
+                continue
+            if value.startswith("/") or "\\" in value:
+                _fail(f"{path}.{field}",
+                      "must be a relative path inside the staging "
+                      f"directory, got {value!r}")
+            if ".." in value.split("/"):
+                _fail(f"{path}.{field}",
+                      f"must not contain '..' segments, got {value!r}")
+        if not 0 <= action.mode <= 0o7777:
+            _fail(f"{path}.mode",
+                  f"must be in [0, 0o7777], got {action.mode}")
+        if action.kind == "symlink" and not action.link_target:
+            _fail(f"{path}.link_target",
+                  "is required for \"symlink\" setup actions")
+        if action.kind != "symlink" and action.link_target:
+            _fail(f"{path}.link_target",
+                  f"is only valid for \"symlink\" actions, not {action.kind!r}")
+
+    @staticmethod
+    def _validate_op(
+        op: OpSpec,
+        table: Mapping[str, Tuple[int, int]],
+        params: Mapping[str, Tuple[Tuple[str, Optional[type]], ...]],
+        path: str,
+    ) -> None:
+        if op.call not in table:
+            _fail(f"{path}.call",
+                  f"unknown syscall {op.call!r}; the kernel implements: "
+                  f"{sorted(table)}")
+        required, maximum = table[op.call]
+        if not required <= len(op.args) <= maximum:
+            expected = (
+                f"exactly {required}" if required == maximum
+                else f"between {required} and {maximum}"
+            )
+            _fail(f"{path}.args",
+                  f"{op.call} takes {expected} argument(s), "
+                  f"got {len(op.args)}")
+        for j, arg in enumerate(op.args):
+            name, expected_type = params[op.call][j]
+            if isinstance(arg, str) and arg.startswith("$"):
+                # a $var resolves to a kernel-bound *int* at run time,
+                # so it can only stand in an int (or unchecked) slot
+                if expected_type in (str, bytes):
+                    _fail(f"{path}.args[{j}]",
+                          f"{arg!r} resolves to an integer at run time, "
+                          f"but {op.call} argument {name!r} expects "
+                          f"{expected_type.__name__}")
+                continue
+            if expected_type is not None and (
+                not isinstance(arg, expected_type)
+                or isinstance(arg, bool)
+            ):
+                _fail(f"{path}.args[{j}]",
+                      f"{op.call} argument {name!r} must be "
+                      f"{expected_type.__name__}, "
+                      f"got {type(arg).__name__}")
+        if op.result is not None:
+            if not _RESULT_RE.match(op.result):
+                _fail(f"{path}.result",
+                      "must be an identifier ([A-Za-z_][A-Za-z0-9_]*), "
+                      f"got {op.result!r}")
+            if op.result == "self":
+                _fail(f"{path}.result",
+                      "'self' is bound implicitly and cannot be rebound")
+
+    @staticmethod
+    def _validate_dataflow(
+        ops: Tuple[Optional[OpSpec], ...], root: str, variant: str
+    ) -> None:
+        """Mirror the executor's variable binding over one variant.
+
+        ``ops`` carries ``None`` at the positions the variant drops, so
+        error paths still index into the full op list.
+        """
+        bound = {"self"}
+        for i, op in enumerate(ops):
+            if op is None:
+                continue
+            for j, arg in enumerate(op.args):
+                if not isinstance(arg, str) or not arg.startswith("$"):
+                    continue
+                name = arg[1:]
+                if name not in bound:
+                    hint = (
+                        " in the background variant (target ops are "
+                        "stripped out)" if variant == "background" else ""
+                    )
+                    _fail(f"{root}.ops[{i}].args[{j}]",
+                          f"references unbound variable {arg!r}{hint}")
+            # binding rules of repro.suite.executor._run_ops
+            if op.result:
+                bound.add(op.result)
+            if op.call in ("pipe", "pipe2"):
+                prefix = op.result or "pipe"
+                bound.update((f"{prefix}_r", f"{prefix}_w"))
+            if op.call == "socketpair":
+                prefix = op.result or "sock"
+                bound.update((f"{prefix}_a", f"{prefix}_b"))
+            if op.call in ("fork", "vfork", "clone"):
+                bound.add(op.result or "child")
+
+    def to_program(self) -> Program:
+        return compile_spec(self)
+
+
+# -- compilation --------------------------------------------------------------
+
+
+def compile_spec(spec: BenchmarkSpec) -> Program:
+    """Validate and compile a spec into the executable Program.
+
+    The result is the same dataclass value (hence the same ``repr`` and
+    the same artifact-store key material) a hand-written
+    ``suite/registry.py`` row with these fields would produce, so a
+    spec-defined benchmark yields byte-identical pipeline results.
+    """
+    if not isinstance(spec, BenchmarkSpec):
+        raise ValidationError(
+            f"compile_spec() takes a BenchmarkSpec, got {type(spec).__name__}"
+        )
+    spec.validate()
+    return Program(
+        name=spec.name,
+        ops=tuple(
+            Op(
+                call=op.call,
+                args=op.args,
+                result=op.result,
+                target=op.target,
+                expect_success=op.expect_success,
+            )
+            for op in spec.program.ops
+        ),
+        setup=tuple(
+            SetupAction(
+                kind=action.kind,
+                path=action.path,
+                mode=action.mode,
+                content=action.content,
+                link_target=action.link_target,
+            )
+            for action in spec.program.setup
+        ),
+        group=spec.group,
+        group_name=spec.group_name,
+        run_as_uid=spec.program.run_as_uid,
+        run_as_gid=spec.program.run_as_gid,
+        description=spec.description,
+        expected=tuple(
+            (e.tool, e.classification, e.note) for e in spec.expectations
+        ),
+    )
+
+
+def spec_from_program(
+    program: Program, tags: Tuple[str, ...] = ()
+) -> BenchmarkSpec:
+    """The inverse of :func:`compile_spec` (used for the builtin rows).
+
+    ``compile_spec(spec_from_program(p)) == p`` holds for every program
+    the suite registry carries; the round-trip test enforces it.
+    """
+    return BenchmarkSpec(
+        name=program.name,
+        program=ProgramSpec(
+            ops=tuple(
+                OpSpec(
+                    call=op.call,
+                    args=op.args,
+                    result=op.result,
+                    target=op.target,
+                    expect_success=op.expect_success,
+                )
+                for op in program.ops
+            ),
+            setup=tuple(
+                SetupSpec(
+                    kind=action.kind,
+                    path=action.path,
+                    mode=action.mode,
+                    content=action.content,
+                    link_target=action.link_target,
+                )
+                for action in program.setup
+            ),
+            run_as_uid=program.run_as_uid,
+            run_as_gid=program.run_as_gid,
+        ),
+        group=program.group,
+        group_name=program.group_name,
+        description=program.description,
+        tags=tuple(tags),
+        expectations=tuple(
+            ExpectationSpec(tool=tool, classification=classification,
+                            note=note)
+            for tool, classification, note in program.expected
+        ),
+    )
+
+
+# -- persistence (the artifact store's "spec" stage) -------------------------
+
+
+def spec_digest(spec: BenchmarkSpec) -> str:
+    """Content digest of a spec — its identity in the store's spec stage."""
+    return canonical_key({"spec": spec.to_payload()})
+
+
+def persist_spec(store: ArtifactStore, spec: BenchmarkSpec) -> str:
+    """Persist a validated spec under the ``spec`` stage; returns digest.
+
+    Keys are content digests, so re-adding the same spec is idempotent.
+    Persisting has *replace* semantics per name: older artifacts
+    carrying the same benchmark name under a different digest are
+    removed, so an edited spec never leaves a stale twin behind for
+    :func:`load_persisted_specs` to resurrect.
+    """
+    spec.validate()
+    payload = spec.to_payload()
+    digest = spec_digest(spec)
+    # An artifact's filename stem IS its content digest (store.save
+    # names files by canonical_key of the same material), so same-name
+    # staleness only needs the payload's name field — no per-file spec
+    # decode or digest recompute.
+    for path, stored in list(store.iter_stage(SPEC_STAGE)):
+        if (path.stem != digest and isinstance(stored, Mapping)
+                and stored.get("name") == spec.name):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+    store.save(SPEC_STAGE, {"spec": payload}, payload)
+    return digest
+
+
+def iter_persisted_specs(
+    store: ArtifactStore, skip_digests: Container[str] = ()
+) -> Iterator[Tuple[Path, BenchmarkSpec]]:
+    """Yield ``(artifact_path, spec)`` for every decodable stored spec.
+
+    Artifacts that fail structural decoding are skipped (and counted
+    invalid), matching the store's corruption-tolerance contract.
+    ``skip_digests`` (artifact filename stems) are dropped before any
+    file read, so incremental consumers rescan a store for the price
+    of a directory listing.
+    """
+    for path, payload in store.iter_stage(SPEC_STAGE, skip_digests):
+        try:
+            yield path, BenchmarkSpec.from_payload(payload)
+        except ValidationError:
+            store.stats.invalid += 1
+
+
+def load_persisted_specs(store: ArtifactStore) -> List[BenchmarkSpec]:
+    """Every decodable spec persisted in the store, path order."""
+    return [spec for _, spec in iter_persisted_specs(store)]
+
+
+def remove_persisted_spec(store: ArtifactStore, name: str) -> int:
+    """Delete every persisted spec named ``name``; returns count removed."""
+    removed = 0
+    for path, spec in list(iter_persisted_specs(store)):
+        if spec.name == name:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+    return removed

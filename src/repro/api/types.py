@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Tuple
 
 from repro.api.errors import ValidationError
+from repro.api.specs import BenchmarkSpec
 from repro.core.result import BenchmarkResult
 from repro.storage.artifacts import ArtifactError
 
@@ -189,12 +190,18 @@ def _pipeline_payload(request: object) -> Dict[str, object]:
 class RunRequest:
     """One benchmark run, fully declared.
 
+    The benchmark is named by exactly one of ``benchmark`` (a registered
+    suite name) or ``spec`` (an inline
+    :class:`~repro.api.specs.BenchmarkSpec`, validated and compiled on
+    the fly without touching the registry).
+
     ``profile`` (optionally with ``config_path``) selects a config.ini
     tool profile exactly like ``provmark run --profile``; it overrides
     ``tool`` while ``trials``/``filtergraphs`` still apply on top.
     """
 
-    benchmark: str
+    benchmark: Optional[str] = None
+    spec: Optional[BenchmarkSpec] = None
     tool: str = "spade"
     profile: Optional[str] = None
     config_path: Optional[str] = None
@@ -210,29 +217,48 @@ class RunRequest:
     cache: bool = True
 
     def __post_init__(self) -> None:
-        _check_str("RunRequest", "benchmark", self.benchmark, non_empty=True)
+        if self.spec is not None and not isinstance(self.spec, BenchmarkSpec):
+            _fail("RunRequest", "spec",
+                  f"must be a BenchmarkSpec, got {type(self.spec).__name__}")
+        if (self.benchmark is None) == (self.spec is None):
+            _fail("RunRequest", "benchmark",
+                  "exactly one of 'benchmark' or 'spec' must be set")
+        _check_str("RunRequest", "benchmark", self.benchmark, optional=True,
+                   non_empty=True)
         _validate_pipeline_fields(self, "RunRequest")
 
     def to_payload(self) -> Dict[str, object]:
-        payload = {"benchmark": self.benchmark}
+        payload: Dict[str, object] = {
+            "benchmark": self.benchmark,
+            "spec": self.spec.to_payload() if self.spec is not None else None,
+        }
         payload.update(_pipeline_payload(self))
         return payload
 
     @classmethod
     def from_payload(cls, payload: object) -> "RunRequest":
-        return _construct(cls, _decode_kwargs(cls, payload))
+        kwargs = _decode_kwargs(cls, payload)
+        if kwargs.get("spec") is not None:
+            kwargs["spec"] = BenchmarkSpec.from_payload(
+                kwargs["spec"], path="RunRequest.spec"
+            )
+        return _construct(cls, kwargs)
 
 
 @dataclass(frozen=True)
 class BatchRequest:
     """Many benchmark runs under one configuration.
 
-    ``benchmarks=None`` means the full Table 2 suite; ``max_workers``
-    fans independent benchmarks over a process pool exactly like
+    ``benchmarks`` names the runs explicitly; ``tags`` instead selects
+    every registered benchmark carrying *all* the given tags (an open
+    registry may match user-defined benchmarks too).  With neither set
+    the batch is the full Table 2 suite.  ``max_workers`` fans
+    independent benchmarks over a process pool exactly like
     ``provmark batch --max-workers``.
     """
 
     benchmarks: Optional[Tuple[str, ...]] = None
+    tags: Optional[Tuple[str, ...]] = None
     max_workers: Optional[int] = None
     tool: str = "spade"
     profile: Optional[str] = None
@@ -257,6 +283,15 @@ class BatchRequest:
                 _check_str(
                     "BatchRequest", f"benchmarks[{i}]", name, non_empty=True
                 )
+        if self.tags is not None:
+            if self.benchmarks is not None:
+                _fail("BatchRequest", "tags",
+                      "cannot be combined with an explicit 'benchmarks' list")
+            if not isinstance(self.tags, tuple) or not self.tags:
+                _fail("BatchRequest", "tags",
+                      "must be a non-empty tuple of tag names or None")
+            for i, tag in enumerate(self.tags):
+                _check_str("BatchRequest", f"tags[{i}]", tag, non_empty=True)
         _check_int(
             "BatchRequest", "max_workers", self.max_workers,
             optional=True, minimum=1,
@@ -268,6 +303,7 @@ class BatchRequest:
             "benchmarks": (
                 list(self.benchmarks) if self.benchmarks is not None else None
             ),
+            "tags": list(self.tags) if self.tags is not None else None,
             "max_workers": self.max_workers,
         }
         payload.update(_pipeline_payload(self))
@@ -343,12 +379,18 @@ class BenchmarkInfo:
     group: int
     group_name: str
     description: str = ""
+    tags: Tuple[str, ...] = ()
+    builtin: bool = True
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "tags", tuple(self.tags))
         _check_str("BenchmarkInfo", "name", self.name, non_empty=True)
         _check_int("BenchmarkInfo", "group", self.group, minimum=0)
         _check_str("BenchmarkInfo", "group_name", self.group_name)
         _check_str("BenchmarkInfo", "description", self.description)
+        for i, tag in enumerate(self.tags):
+            _check_str("BenchmarkInfo", f"tags[{i}]", tag, non_empty=True)
+        _check_bool("BenchmarkInfo", "builtin", self.builtin)
 
     def to_payload(self) -> Dict[str, object]:
         return {
@@ -356,6 +398,8 @@ class BenchmarkInfo:
             "group": self.group,
             "group_name": self.group_name,
             "description": self.description,
+            "tags": list(self.tags),
+            "builtin": self.builtin,
         }
 
     @classmethod

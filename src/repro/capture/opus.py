@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.capture.base import CaptureSystem, RawOutput
-from repro.kernel.trace import LibcEvent, ObjectInfo, Trace
+from repro.kernel.trace import LibcEvent, Trace
 from repro.storage.neo4jsim import Neo4jSim
 
 #: libc functions wrapped by the default OPUS interposition set.

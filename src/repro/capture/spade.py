@@ -27,8 +27,8 @@ reproduced from the paper:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 from repro.capture.base import CaptureSystem, RawOutput
 from repro.storage.neo4jsim import Neo4jSim

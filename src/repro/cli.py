@@ -11,6 +11,8 @@ Examples::
 
     provmark run --tool spade --benchmark open
     provmark batch --tool camflow --trials 5 --result-type rh --out results.html
+    provmark bench validate my_benchmark.json
+    provmark bench add my_benchmark.json --store .provmark-store
     provmark serve --port 8321
     provmark table2
     provmark list
@@ -19,21 +21,35 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from repro.analysis.table2 import generate_table2
 from repro.analysis.table3 import generate_table3
 from repro.analysis.loc import generate_table4
-from repro.api.errors import ApiError, render_error
+from repro.api.errors import (
+    ApiError,
+    NotFoundError,
+    ValidationError,
+    render_error,
+)
 from repro.api.http import DEFAULT_PORT, make_server
 from repro.api.service import BenchmarkService
+from repro.api.specs import (
+    BenchmarkSpec,
+    compile_spec,
+    persist_spec,
+    remove_persisted_spec,
+    spec_digest,
+)
 from repro.api.types import API_VERSION, BatchRequest, RunRequest, ToolQuery
 from repro.capture.registry import registered_tools
 from repro.config import default_config_ini
 from repro.core.regression import RegressionStore
 from repro.core.report import render_text, write_html
 from repro.graph.dot import graph_to_dot
+from repro.storage.artifacts import ArtifactError, ArtifactStore
 from repro.suite import TABLE2_ORDER, get_benchmark
 
 
@@ -135,6 +151,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     _warn_unseeded_store(args)
     request = BatchRequest(
         benchmarks=tuple(args.benchmarks) if args.benchmarks else None,
+        tags=tuple(args.tags) if args.tags else None,
         max_workers=args.max_workers,
         **_request_kwargs(args),
     )
@@ -213,10 +230,90 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 
 def _cmd_show(args: argparse.Namespace) -> int:
-    BenchmarkService.check_benchmark(args.benchmark)
-    program = get_benchmark(args.benchmark)
+    try:
+        program = get_benchmark(args.benchmark)
+    except KeyError as exc:
+        # the registry's KeyError carries the exact uniform message
+        raise NotFoundError(str(exc.args[0])) from None
     print(program.to_c_source(), end="")
     return 0
+
+
+# -- bench: declarative benchmark specs --------------------------------------
+
+
+def _load_spec_file(path: str) -> BenchmarkSpec:
+    """Read, decode, and semantically validate one spec JSON file."""
+    try:
+        raw = open(path, "r", encoding="utf-8").read()
+    except OSError as exc:
+        raise ValidationError(f"{path}: cannot read spec file ({exc})") from None
+    try:
+        payload = json.loads(raw)
+    except ValueError as exc:
+        raise ValidationError(f"{path}: not valid JSON ({exc})") from None
+    return BenchmarkSpec.from_payload(payload).validate()
+
+
+def _cmd_bench_validate(args: argparse.Namespace) -> int:
+    for path in args.files:
+        spec = _load_spec_file(path)
+        program = compile_spec(spec)
+        print(
+            f"{path}: ok — {spec.name} "
+            f"({len(program.ops)} ops, {len(program.setup)} setup, "
+            f"{len(program.target_ops())} target) "
+            f"digest {spec_digest(spec)[:12]}"
+        )
+    return 0
+
+
+def _cmd_bench_add(args: argparse.Namespace) -> int:
+    service = BenchmarkService()
+    store = _spec_store(args.artifact_store)
+    for path in args.files:
+        spec = _load_spec_file(path)
+        info = service.register_benchmark(spec)
+        try:
+            digest = persist_spec(store, spec)
+        except (ArtifactError, OSError) as exc:
+            raise ValidationError(
+                f"cannot persist {spec.name!r} to {args.artifact_store}: "
+                f"{exc}"
+            ) from None
+        print(
+            f"registered {info.name} (tags: {', '.join(info.tags) or '-'}) "
+            f"digest {digest[:12]} -> {args.artifact_store}"
+        )
+    return 0
+
+
+def _cmd_bench_show(args: argparse.Namespace) -> int:
+    service = BenchmarkService()
+    if args.artifact_store:
+        service.load_spec_store(args.artifact_store)
+    spec = service.benchmark_spec(args.benchmark)
+    print(json.dumps(spec.to_payload(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_bench_rm(args: argparse.Namespace) -> int:
+    store = _spec_store(args.artifact_store)
+    removed = remove_persisted_spec(store, args.benchmark)
+    if not removed:
+        raise NotFoundError(
+            f"no persisted spec named {args.benchmark!r} in "
+            f"{args.artifact_store}"
+        )
+    print(f"removed {removed} persisted spec(s) named {args.benchmark!r}")
+    return 0
+
+
+def _spec_store(path: str) -> ArtifactStore:
+    try:
+        return ArtifactStore(path)
+    except ArtifactError as exc:
+        raise ValidationError(str(exc)) from None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -238,6 +335,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_pipeline_options(batch)
     _add_store_options(batch)
     batch.add_argument("--benchmarks", nargs="*", default=None)
+    batch.add_argument(
+        "--tags", nargs="*", default=None,
+        help="select every registered benchmark carrying all these tags "
+        "(instead of --benchmarks)",
+    )
     batch.add_argument(
         "--max-workers", type=int, default=None,
         help="run benchmarks concurrently across this many worker "
@@ -282,6 +384,50 @@ def build_parser() -> argparse.ArgumentParser:
     show = sub.add_parser("show", help="show a benchmark's C source")
     show.add_argument("--benchmark", required=True)
     show.set_defaults(func=_cmd_show)
+
+    bench = sub.add_parser(
+        "bench",
+        help="author declarative benchmark specs (JSON in, suite entry out)",
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+
+    bench_validate = bench_sub.add_parser(
+        "validate", help="validate spec JSON files (full-path errors)"
+    )
+    bench_validate.add_argument("files", nargs="+", metavar="SPEC.json")
+    bench_validate.set_defaults(func=_cmd_bench_validate)
+
+    bench_add = bench_sub.add_parser(
+        "add",
+        help="validate spec files and persist them into an artifact "
+        "store, making them runnable by name with --store",
+    )
+    bench_add.add_argument("files", nargs="+", metavar="SPEC.json")
+    bench_add.add_argument(
+        "--store", dest="artifact_store", required=True, metavar="DIR",
+        help="artifact store the specs persist in (the same DIR later "
+        "run/batch --store commands use)",
+    )
+    bench_add.set_defaults(func=_cmd_bench_add)
+
+    bench_show = bench_sub.add_parser(
+        "show", help="print a registered benchmark as its JSON spec"
+    )
+    bench_show.add_argument("--benchmark", required=True)
+    bench_show.add_argument(
+        "--store", dest="artifact_store", default=None, metavar="DIR",
+        help="also load specs persisted in this artifact store",
+    )
+    bench_show.set_defaults(func=_cmd_bench_show)
+
+    bench_rm = bench_sub.add_parser(
+        "rm", help="remove a persisted spec from an artifact store"
+    )
+    bench_rm.add_argument("--benchmark", required=True)
+    bench_rm.add_argument(
+        "--store", dest="artifact_store", required=True, metavar="DIR",
+    )
+    bench_rm.set_defaults(func=_cmd_bench_rm)
 
     regress = sub.add_parser(
         "regress", help="regression-test a recorder against stored baselines"

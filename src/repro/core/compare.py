@@ -8,7 +8,7 @@ properties), subtracts the match, and keeps anchor nodes as dummies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping
 
 from repro.graph.model import PropertyGraph
 from repro.solver import subgraph_embedding

@@ -9,7 +9,7 @@ mismatches is computed, and only agreeing properties are kept.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Sequence
 
 from repro.graph.model import PropertyGraph
 from repro.solver import (

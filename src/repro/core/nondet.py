@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import random
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.capture import CaptureSystem, make_capture
@@ -175,7 +175,7 @@ class NondetProvMark:
                 outcome = compare(
                     fg_outcome.graph, bg_outcome.graph, engine=self.engine
                 )
-            except (GeneralizationError, ComparisonError) as error:
+            except (GeneralizationError, ComparisonError):
                 unmatched += len(members)
                 continue
             elapsed = time.perf_counter() - started

@@ -242,10 +242,15 @@ class ProvMark:
 
     def run_many(
         self,
-        names: List[str],
+        names: List[Union[str, Program]],
         max_workers: Optional[int] = None,
     ) -> List[BenchmarkResult]:
         """Run many benchmarks, optionally across worker processes.
+
+        Entries are registry names or :class:`Program` values directly
+        (how the service dispatches spec-defined benchmarks, which
+        worker processes' registries would not know by name; frozen
+        programs pickle cleanly).
 
         ``max_workers`` (or ``config.max_workers``) > 1 fans the runs out
         over a process pool — each benchmark is fully independent (fresh
@@ -405,7 +410,7 @@ def _ensure_registered(backend: Optional[Backend]) -> None:
 
 def _run_benchmark_task(
     config: PipelineConfig,
-    name: str,
+    name: Union[str, Program],
     backend: Optional[Backend] = None,
 ) -> BenchmarkResult:
     """Process-pool worker: rebuild the pipeline from config and run."""
@@ -416,7 +421,7 @@ def _run_benchmark_task(
 def _run_benchmark_factory_task(
     factory: Callable[[], CaptureSystem],
     config: PipelineConfig,
-    name: str,
+    name: Union[str, Program],
     backend: Optional[Backend] = None,
 ) -> BenchmarkResult:
     """Process-pool worker for profile-built captures: rebuild and run."""

@@ -12,7 +12,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import List, Optional, Union
 
 from repro.core.result import BenchmarkResult
 from repro.graph.datalog import datalog_to_graph, graph_to_datalog

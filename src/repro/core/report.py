@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import html
 from pathlib import Path
-from typing import Iterable, List, Optional, Union
+from typing import Iterable, List, Union
 
 from repro.core.result import BenchmarkResult
 from repro.graph.dot import graph_to_dot

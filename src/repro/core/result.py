@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, Mapping, Optional
 
 from repro.graph.model import PropertyGraph
 from repro.storage.artifacts import graph_from_payload, graph_to_payload

@@ -11,7 +11,7 @@ benchmark results.
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.graph.model import PropertyGraph
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 import enum
 import stat
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.kernel.clock import IdAllocator, VirtualClock
 from repro.kernel.errors import Errno, KernelError

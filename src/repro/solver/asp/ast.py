@@ -15,7 +15,7 @@ anonymous variable ``_``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple, Union
+from typing import Tuple, Union
 
 
 @dataclass(frozen=True)

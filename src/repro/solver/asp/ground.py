@@ -24,12 +24,9 @@ from repro.solver.asp.ast import (
     Anon,
     Atom,
     BodyElement,
-    ChoiceRule,
     Comparison,
     Const,
     Literal,
-    Minimize,
-    NormalRule,
     Program,
     Term,
     Var,

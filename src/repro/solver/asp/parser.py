@@ -181,7 +181,7 @@ class _Parser:
         # variable, number, or string.
         if self._at("NAME"):
             save = self.index
-            name = self._next()
+            self._next()
             if self._at("LPAREN"):
                 self.index = save
                 return Literal(self._atom())

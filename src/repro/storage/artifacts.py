@@ -34,7 +34,7 @@ import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Union
+from typing import Container, Dict, Mapping, Optional, Union
 
 from repro.graph.model import PropertyGraph
 from repro.storage.neo4jsim import Neo4jSim
@@ -185,6 +185,39 @@ class ArtifactStore:
             raise
         self.stats.writes += 1
         return path
+
+    def iter_stage(self, stage: str, skip_digests: Container[str] = ()):
+        """Yield ``(path, payload)`` for every readable stage artifact.
+
+        Used by consumers that enumerate a whole stage (the ``spec``
+        stage holding persisted benchmark definitions).  Corrupt or
+        mis-filed artifacts are skipped and counted invalid — not
+        deleted, since another process may be mid-write.  Paths are
+        yielded in sorted order so enumeration is deterministic.
+        ``skip_digests`` drops artifacts by filename stem (their
+        content digest) *before* reading them, so callers that track
+        what they have already consumed pay only a directory listing
+        on re-enumeration.
+        """
+        stage_dir = self.root / stage
+        if not stage_dir.is_dir():
+            return
+        for path in sorted(stage_dir.glob("*.json")):
+            if path.stem in skip_digests:
+                continue
+            try:
+                wrapper = json.loads(path.read_text())
+                if not isinstance(wrapper, dict):
+                    raise ValueError("artifact wrapper must be an object")
+                if wrapper.get("version") != STORE_VERSION:
+                    raise ValueError("store version mismatch")
+                if wrapper.get("stage") != stage:
+                    raise ValueError("stage mismatch")
+                payload = wrapper["payload"]
+            except (OSError, ValueError, KeyError):
+                self.stats.invalid += 1
+                continue
+            yield path, payload
 
     def clear(self) -> int:
         """Delete every artifact (and temp file); returns artifacts removed."""

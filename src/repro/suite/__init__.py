@@ -25,6 +25,10 @@ from repro.suite.registry import (
     ALL_BENCHMARKS,
     FAILURE_BENCHMARKS,
     SCALABILITY_BENCHMARKS,
+    SUITE_REGISTRY,
+    RegisteredBenchmark,
+    SuiteRegistry,
+    SuiteRegistryError,
     TABLE1_GROUPS,
     TABLE2_BENCHMARKS,
     TABLE2_ORDER,
@@ -45,7 +49,11 @@ __all__ = [
     "ProgramExecutor",
     "SCALABILITY_BENCHMARKS",
     "STAGING_DIR",
+    "SUITE_REGISTRY",
+    "RegisteredBenchmark",
     "SetupAction",
+    "SuiteRegistry",
+    "SuiteRegistryError",
     "TABLE1_GROUPS",
     "TABLE2_BENCHMARKS",
     "TABLE2_ORDER",

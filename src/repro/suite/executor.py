@@ -14,12 +14,12 @@ cancel out (paper §3).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
 from repro.kernel import BENCH_GID, BENCH_UID, Credentials, Kernel, Process
 from repro.kernel.fs import InodeType
 from repro.kernel.trace import Trace
-from repro.suite.program import Arg, Op, Program, SetupAction
+from repro.suite.program import Arg, Op, Program
 
 STAGING_DIR = "/home/bench/staging"
 

@@ -73,6 +73,14 @@ EXTENDED_BENCHMARKS: Dict[str, Program] = {
 }
 
 # Make the extended suite reachable through the normal lookup path.
-from repro.suite import registry as _registry  # noqa: E402
+from repro.suite.registry import SUITE_REGISTRY as _registry  # noqa: E402
 
-_registry.ALL_BENCHMARKS.update(EXTENDED_BENCHMARKS)
+for _program in SOCKET_BENCHMARKS.values():
+    _registry.register(
+        _program, tags=("builtin", "extended", "sockets"), builtin=True
+    )
+for _program in SEQUENCE_BENCHMARKS.values():
+    _registry.register(
+        _program, tags=("builtin", "extended", "sequences"), builtin=True
+    )
+del _program

@@ -16,8 +16,8 @@ results, e.g.::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
 
 Arg = Union[str, int, bytes]
 

@@ -1,15 +1,32 @@
-"""The benchmark suite: all 44 rows of Table 2, grouped as in Table 1.
+"""The benchmark suite: an open registry seeded with the paper's rows.
 
-Every benchmark declares the Table 2 expectation — ``ok`` or ``empty`` per
-tool with the paper's note (NR = behaviour not recorded by the default
-configuration, SC = only state changes monitored, LP = limitation in
-ProvMark, DV = disconnected vforked process) — which the analysis stage
-checks the pipeline's output against.
+The 44 rows of Table 2 (grouped as in Table 1), the failure benchmarks,
+the scalability sweep, and the extended suite are *builtin* entries of
+:class:`SuiteRegistry` — an open registry that user code (and the typed
+v1 API: ``POST /v1/benchmarks``, ``provmark bench add``) extends with
+benchmarks compiled from declarative :class:`~repro.api.specs.BenchmarkSpec`
+documents.  Entries carry tags for selection (``registry.select`` powers
+``BatchRequest.tags``); builtin rows are re-expressible as specs via
+:meth:`SuiteRegistry.spec`, so every benchmark — shipped or user-defined
+— travels through one vocabulary.
+
+Every builtin benchmark declares the Table 2 expectation — ``ok`` or
+``empty`` per tool with the paper's note (NR = behaviour not recorded by
+the default configuration, SC = only state changes monitored, LP =
+limitation in ProvMark, DV = disconnected vforked process) — which the
+analysis stage checks the pipeline's output against.
+
+The legacy module-level lookups (``ALL_BENCHMARKS``, ``get_benchmark``,
+the per-family dicts) are preserved: ``ALL_BENCHMARKS`` is a live
+mutable view of the default registry.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+import threading
+from collections.abc import MutableMapping
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.suite.program import Op, Program, create_file
 
@@ -293,23 +310,252 @@ TABLE2_BENCHMARKS: Dict[str, Program] = _build_table2_benchmarks()
 FAILURE_BENCHMARKS: Dict[str, Program] = _build_failure_benchmarks()
 SCALABILITY_BENCHMARKS: Dict[str, Program] = _build_scalability_benchmarks()
 
-ALL_BENCHMARKS: Dict[str, Program] = {
-    **TABLE2_BENCHMARKS,
-    **FAILURE_BENCHMARKS,
-    **SCALABILITY_BENCHMARKS,
-}
-
 #: Table 2 row order.
 TABLE2_ORDER: Tuple[str, ...] = tuple(TABLE2_BENCHMARKS)
 
 
+# -- the open registry --------------------------------------------------------
+
+
+class SuiteRegistryError(ValueError):
+    """An invalid registry mutation (builtin collision, overflow)."""
+
+
+@dataclass(frozen=True)
+class RegisteredBenchmark:
+    """One registry entry: the program plus its registration metadata."""
+
+    program: Program
+    tags: Tuple[str, ...] = ()
+    builtin: bool = False
+    #: the BenchmarkSpec the entry was registered from (None for
+    #: builtins and plain-Program registrations; synthesized on demand
+    #: by :meth:`SuiteRegistry.spec`)
+    spec: Optional[object] = None
+
+
+class SuiteRegistry:
+    """An open, thread-safe registry of benchmark programs.
+
+    Builtin entries (the paper's suite) are immutable: they can be
+    neither replaced nor unregistered.  Custom entries — registered by
+    user code, ``POST /v1/benchmarks``, or specs persisted in an
+    artifact store — may be freely replaced and removed, and their count
+    is capped so an open HTTP surface cannot grow the registry without
+    bound.
+    """
+
+    #: custom entries allowed beyond the builtins
+    MAX_CUSTOM = 1024
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: Dict[str, RegisteredBenchmark] = {}
+
+    # -- mutation -----------------------------------------------------------
+
+    def register(
+        self,
+        program: Program,
+        tags: Iterable[str] = (),
+        builtin: bool = False,
+        spec: Optional[object] = None,
+    ) -> None:
+        """Add (or, for custom names, replace) a benchmark entry."""
+        if not isinstance(program, Program):
+            raise SuiteRegistryError(
+                f"register() takes a Program, got {type(program).__name__}"
+            )
+        entry = RegisteredBenchmark(
+            program=program, tags=tuple(tags), builtin=builtin, spec=spec
+        )
+        with self._lock:
+            existing = self._entries.get(program.name)
+            if existing is not None and existing.builtin:
+                raise SuiteRegistryError(
+                    f"benchmark {program.name!r} is builtin and cannot be "
+                    "replaced"
+                )
+            if existing is None and not builtin:
+                custom = sum(
+                    1 for e in self._entries.values() if not e.builtin
+                )
+                if custom >= self.MAX_CUSTOM:
+                    raise SuiteRegistryError(
+                        f"registry holds the maximum of {self.MAX_CUSTOM} "
+                        "custom benchmarks; unregister one first"
+                    )
+            self._entries[program.name] = entry
+
+    def unregister(self, name: str) -> Program:
+        """Remove a custom entry; builtins refuse, unknown names raise."""
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None:
+                raise KeyError(self._unknown_message(name))
+            if entry.builtin:
+                raise SuiteRegistryError(
+                    f"benchmark {name!r} is builtin and cannot be "
+                    "unregistered"
+                )
+            del self._entries[name]
+            return entry.program
+
+    # -- lookup -------------------------------------------------------------
+    #
+    # Single-key reads rely on the GIL-atomicity of dict lookups;
+    # every *iterating* read works over an atomically-copied snapshot,
+    # so concurrent HTTP handler threads can list/select while another
+    # registers (never "dict changed size during iteration").
+
+    def get(self, name: str) -> Program:
+        try:
+            return self._entries[name].program
+        except KeyError:
+            raise KeyError(self._unknown_message(name)) from None
+
+    def entry(self, name: str) -> RegisteredBenchmark:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise KeyError(self._unknown_message(name)) from None
+
+    def snapshot(self) -> Dict[str, RegisteredBenchmark]:
+        """A consistent point-in-time copy of every entry.
+
+        ``dict(d)`` (like ``list(d)`` in :meth:`names`) copies at the C
+        level without releasing the GIL, so it needs no lock and is
+        safe to call from methods already holding it.
+        """
+        return dict(self._entries)
+
+    def builtin_copy(self) -> "SuiteRegistry":
+        """A new registry carrying (only) this one's builtin entries.
+
+        The isolation helper for services/tests/benches that must not
+        see — or leak — custom registrations through the shared default
+        registry; entry metadata (tags, spec) is preserved.
+        """
+        registry = SuiteRegistry()
+        for entry in self.snapshot().values():
+            if entry.builtin:
+                registry.register(entry.program, tags=entry.tags,
+                                  builtin=True, spec=entry.spec)
+        return registry
+
+    def spec(self, name: str) -> object:
+        """The entry's :class:`~repro.api.specs.BenchmarkSpec`.
+
+        Custom entries return the spec they were registered from;
+        builtin rows (and plain-Program registrations) are re-expressed
+        through :func:`~repro.api.specs.spec_from_program`, carrying the
+        entry's registry tags.
+        """
+        entry = self.entry(name)
+        if entry.spec is not None:
+            return entry.spec
+        # Late import: repro.api depends on this module at import time.
+        from repro.api.specs import spec_from_program
+
+        return spec_from_program(entry.program, tags=entry.tags)
+
+    def is_builtin(self, name: str) -> bool:
+        return self.entry(name).builtin
+
+    def tags(self, name: str) -> Tuple[str, ...]:
+        return self.entry(name).tags
+
+    def names(self) -> List[str]:
+        return list(self._entries)
+
+    def select(self, tags: Iterable[str]) -> List[str]:
+        """Names of entries carrying *all* the given tags, registry order."""
+        wanted = set(tags)
+        return [
+            name for name, entry in self.snapshot().items()
+            if wanted <= set(entry.tags)
+        ]
+
+    def items(self) -> List[Tuple[str, Program]]:
+        return [(n, e.program) for n, e in self.snapshot().items()]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _unknown_message(self, name: str) -> str:
+        return (
+            f"unknown benchmark {name!r}; available: "
+            f"{sorted(self.names())}"
+        )
+
+
+def _seed_builtins(registry: SuiteRegistry) -> None:
+    for program in TABLE2_BENCHMARKS.values():
+        registry.register(
+            program,
+            tags=("builtin", "table2", program.group_name.lower()),
+            builtin=True,
+        )
+    for program in FAILURE_BENCHMARKS.values():
+        registry.register(
+            program,
+            tags=("builtin", "failure", program.group_name.lower()),
+            builtin=True,
+        )
+    for program in SCALABILITY_BENCHMARKS.values():
+        registry.register(
+            program, tags=("builtin", "scalability"), builtin=True
+        )
+
+
+#: the default registry every surface (service, CLI, legacy lookups) shares
+SUITE_REGISTRY = SuiteRegistry()
+_seed_builtins(SUITE_REGISTRY)
+
+
+class _BenchmarkView(MutableMapping):
+    """Legacy ``ALL_BENCHMARKS`` mapping, live over the default registry.
+
+    Reads see every registered benchmark (builtin and custom); writes
+    register/unregister custom entries, so pre-registry code that did
+    ``ALL_BENCHMARKS[name] = program`` keeps working.
+    """
+
+    def __getitem__(self, name: str) -> Program:
+        try:
+            return SUITE_REGISTRY.get(name)
+        except KeyError:
+            raise KeyError(name) from None
+
+    def __setitem__(self, name: str, program: Program) -> None:
+        if name != program.name:
+            raise SuiteRegistryError(
+                f"key {name!r} does not match program name {program.name!r}"
+            )
+        SUITE_REGISTRY.register(program, tags=("custom",))
+
+    def __delitem__(self, name: str) -> None:
+        SUITE_REGISTRY.unregister(name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(SUITE_REGISTRY)
+
+    def __len__(self) -> int:
+        return len(SUITE_REGISTRY)
+
+
+#: legacy live view; prefer SUITE_REGISTRY (or BenchmarkService)
+ALL_BENCHMARKS: MutableMapping = _BenchmarkView()
+
+
 def get_benchmark(name: str) -> Program:
-    try:
-        return ALL_BENCHMARKS[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown benchmark {name!r}; available: {sorted(ALL_BENCHMARKS)}"
-        ) from None
+    return SUITE_REGISTRY.get(name)
 
 
 def benchmarks_in_group(group: int) -> List[Program]:

@@ -14,13 +14,32 @@ import pytest
 from repro.api import BenchmarkService, RunRequest
 from repro.api.http import make_server
 from repro.api.types import API_VERSION, JobStatus, RunResponse
+from repro.suite.registry import SUITE_REGISTRY
 
 SRC = str(Path(__file__).resolve().parent.parent / "src")
 
 
+def custom_spec_payload(name="http_touch"):
+    return {
+        "name": name,
+        "description": "create then close a new file",
+        "tags": ["custom", "http-demo"],
+        "program": {
+            "ops": [
+                {"call": "creat", "args": ["made.txt", 420], "result": "fd",
+                 "target": True},
+                {"call": "close", "args": ["$fd"], "target": True},
+            ],
+        },
+    }
+
+
 @pytest.fixture()
 def server():
-    server = make_server(port=0)
+    # a private builtin-only registry: tests mutate it freely without
+    # leaking registrations into the shared default
+    server = make_server(BenchmarkService(registry=SUITE_REGISTRY.builtin_copy()),
+                         port=0)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     try:
@@ -49,6 +68,14 @@ def http_post(server, path, body):
         method="POST",
     )
     with urllib.request.urlopen(request, timeout=120) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def http_delete(server, path):
+    request = urllib.request.Request(
+        base_url(server) + path, method="DELETE"
+    )
+    with urllib.request.urlopen(request, timeout=30) as resp:
         return resp.status, json.loads(resp.read())
 
 
@@ -83,6 +110,126 @@ class TestCatalogRoutes:
         code, body = http_error(lambda: http_get(server, "/v1/nope"))
         assert code == 404
         assert "no route" in body["error"]["message"]
+
+
+class TestHealth:
+    def test_health_ok(self, server):
+        status, body = http_get(server, "/v1/health")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["api_version"] == API_VERSION
+        assert body["jobs"]["total"] == 0
+        assert set(body["jobs"]) == {
+            "total", "queued", "running", "done", "failed", "cancelled"
+        }
+
+    def test_health_counts_jobs(self, server):
+        payload = RunRequest(benchmark="open", tool="spade",
+                             seed=5).to_payload()
+        http_post(server, "/v1/runs", payload)
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            _, body = http_get(server, "/v1/health")
+            assert body["status"] == "ok"
+            if body["jobs"]["done"] == 1:
+                break
+            time.sleep(0.05)
+        assert body["jobs"]["total"] == 1
+
+
+class TestBenchmarkAuthoring:
+    def test_register_get_run_delete_lifecycle(self, server):
+        status, body = http_post(
+            server, "/v1/benchmarks", custom_spec_payload()
+        )
+        assert status == 201
+        assert body["benchmark"]["name"] == "http_touch"
+        assert body["benchmark"]["builtin"] is False
+        assert "custom" in body["benchmark"]["tags"]
+        digest = body["digest"]
+
+        # catalog lists it
+        _, catalog = http_get(server, "/v1/benchmarks")
+        names = [b["name"] for b in catalog["benchmarks"]]
+        assert "http_touch" in names
+
+        # spec round-trips over GET
+        status, detail = http_get(server, "/v1/benchmarks/http_touch")
+        assert status == 200
+        assert detail["builtin"] is False
+        assert detail["digest"] == digest
+        assert detail["spec"]["program"]["ops"][0]["call"] == "creat"
+
+        # runnable by name, result identical to an inline-spec run
+        by_name = RunRequest(benchmark="http_touch", tool="spade",
+                             seed=9).to_payload()
+        by_name["wait"] = True
+        _, named_result = http_post(server, "/v1/runs", by_name)
+        inline = RunRequest(benchmark="http_touch", tool="spade",
+                            seed=9).to_payload()
+        inline["benchmark"] = None
+        inline["spec"] = custom_spec_payload()
+        inline["wait"] = True
+        _, inline_result = http_post(server, "/v1/runs", inline)
+        for payload in (named_result, inline_result):
+            for key in ("recording", "transformation", "generalization",
+                        "comparison"):
+                payload["result"]["timings"].pop(key)
+        assert named_result == inline_result
+
+        status, removed = http_delete(server, "/v1/benchmarks/http_touch")
+        assert status == 200 and removed["removed"] == "http_touch"
+        code, _ = http_error(
+            lambda: http_get(server, "/v1/benchmarks/http_touch")
+        )
+        assert code == 404
+
+    def test_builtin_spec_served(self, server):
+        status, detail = http_get(server, "/v1/benchmarks/tee")
+        assert status == 200
+        assert detail["builtin"] is True
+        calls = [op["call"] for op in detail["spec"]["program"]["ops"]]
+        assert calls == ["pipe", "pipe", "write", "tee"]
+
+    def test_builtin_delete_refused(self, server):
+        code, body = http_error(
+            lambda: http_delete(server, "/v1/benchmarks/open")
+        )
+        assert code == 400
+        assert "builtin" in body["error"]["message"]
+
+    def test_invalid_spec_error_carries_full_path(self, server):
+        """Satellite regression: the HTTP envelope renders the full
+        nested field path, exactly as the CLI does."""
+        payload = custom_spec_payload("bad_spec")
+        payload["program"]["ops"][1]["args"] = ["$nope"]
+        code, body = http_error(
+            lambda: http_post(server, "/v1/benchmarks", payload)
+        )
+        assert code == 400
+        message = body["error"]["message"]
+        assert "BenchmarkSpec.program.ops[1].args[0]" in message
+        assert "$nope" in message
+
+    def test_unknown_nested_key_full_path(self, server):
+        payload = custom_spec_payload("bad_spec")
+        payload["program"]["ops"][0]["flavour"] = "spicy"
+        code, body = http_error(
+            lambda: http_post(server, "/v1/benchmarks", payload)
+        )
+        assert code == 400
+        assert "BenchmarkSpec.program.ops[0]" in body["error"]["message"]
+
+    def test_inline_spec_validation_error_full_path(self, server):
+        body = {"spec": custom_spec_payload("bad_inline"), "wait": True,
+                "seed": 3}
+        body["spec"]["program"]["ops"][0]["call"] = "frobnicate"
+        code, payload = http_error(
+            lambda: http_post(server, "/v1/runs", body)
+        )
+        assert code == 400
+        assert ("BenchmarkSpec.program.ops[0].call"
+                in payload["error"]["message"])
 
 
 class TestRuns:

@@ -1,7 +1,6 @@
 """Engine-agreement tests: the mini-ASP engine running the paper's actual
 Listing 3/4 programs must agree with the native matcher."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

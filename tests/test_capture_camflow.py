@@ -3,7 +3,6 @@
 import json
 import random
 
-import pytest
 
 from repro.capture.camflow import (
     RECORDED_HOOKS,

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.capture.opus import OpusCapture, OpusConfig, WRAPPED_FUNCTIONS
 from repro.core.transform import transform

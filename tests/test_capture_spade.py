@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.capture.spade import (
     BASE_RENDER_SET,

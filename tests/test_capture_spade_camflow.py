@@ -3,7 +3,7 @@
 import pytest
 
 from repro import PipelineConfig, ProvMark
-from repro.capture.spade_camflow import SpadeCamFlowCapture, SpadeCamFlowConfig
+from repro.capture.spade_camflow import SpadeCamFlowCapture
 from repro.core.result import Classification
 
 

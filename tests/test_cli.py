@@ -1,8 +1,30 @@
 """CLI tests (argument wiring and command behaviour)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.suite.registry import SUITE_REGISTRY
+
+
+def write_spec(tmp_path, name="cli_touch", **overrides):
+    payload = {
+        "name": name,
+        "description": "create then close a new file",
+        "tags": ["custom", "cli-demo"],
+        "program": {
+            "ops": [
+                {"call": "creat", "args": ["made.txt", 420], "result": "fd",
+                 "target": True},
+                {"call": "close", "args": ["$fd"], "target": True},
+            ],
+        },
+    }
+    payload.update(overrides)
+    path = tmp_path / f"{name}.json"
+    path.write_text(json.dumps(payload))
+    return path
 
 
 class TestParser:
@@ -107,6 +129,99 @@ class TestUniformErrors:
         with pytest.raises(SystemExit) as excinfo:
             main(["run", "--tool", "dtrace", "--benchmark", "open"])
         assert excinfo.value.code == 2
+
+
+class TestBenchCommands:
+    """The declarative-spec authoring surface: add/validate/show/rm."""
+
+    def _cleanup(self, name):
+        if name in SUITE_REGISTRY and not SUITE_REGISTRY.is_builtin(name):
+            SUITE_REGISTRY.unregister(name)
+
+    def test_validate_ok(self, tmp_path, capsys):
+        spec = write_spec(tmp_path, "cli_validate_ok")
+        assert main(["bench", "validate", str(spec)]) == 0
+        out = capsys.readouterr().out
+        assert "cli_validate_ok" in out and "ok" in out and "digest" in out
+
+    def test_validate_error_carries_full_path(self, tmp_path, capsys):
+        """Satellite regression: the CLI renders the full nested field
+        path, one line, exit 2 — identical to the HTTP envelope."""
+        spec = write_spec(tmp_path, "cli_bad")
+        payload = json.loads(spec.read_text())
+        payload["program"]["ops"][1]["args"] = ["$nope"]
+        spec.write_text(json.dumps(payload))
+        code = main(["bench", "validate", str(spec)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "BenchmarkSpec.program.ops[1].args[0]" in captured.err
+        assert "$nope" in captured.err
+        assert len(captured.err.strip().splitlines()) == 1
+        assert "Traceback" not in captured.err
+
+    def test_validate_rejects_bad_json(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert main(["bench", "validate", str(path)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_add_run_show_rm_cycle(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        spec = write_spec(tmp_path, "cli_cycle")
+        try:
+            assert main(["bench", "add", str(spec), "--store",
+                         str(store)]) == 0
+            assert "registered cli_cycle" in capsys.readouterr().out
+
+            # runnable by name through --store (fresh service each call)
+            code = main(["run", "--benchmark", "cli_cycle", "--seed", "3",
+                         "--store", str(store)])
+            assert code == 0
+            assert "cli_cycle/spade: ok" in capsys.readouterr().out
+
+            assert main(["bench", "show", "--benchmark", "cli_cycle",
+                         "--store", str(store)]) == 0
+            shown = json.loads(capsys.readouterr().out)
+            assert shown["name"] == "cli_cycle"
+            assert shown["program"]["ops"][0]["call"] == "creat"
+
+            assert main(["bench", "rm", "--benchmark", "cli_cycle",
+                         "--store", str(store)]) == 0
+            assert "removed 1" in capsys.readouterr().out
+            assert main(["bench", "rm", "--benchmark", "cli_cycle",
+                         "--store", str(store)]) == 2
+        finally:
+            self._cleanup("cli_cycle")
+
+    def test_add_refuses_builtin_name(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        spec = write_spec(tmp_path, "open")
+        code = main(["bench", "add", str(spec), "--store", str(store)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "builtin" in captured.err
+
+    def test_batch_tags_selects_custom(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        spec = write_spec(tmp_path, "cli_tagged")
+        try:
+            assert main(["bench", "add", str(spec), "--store",
+                         str(store)]) == 0
+            capsys.readouterr()
+            code = main(["batch", "--tags", "cli-demo", "--seed", "3",
+                         "--store", str(store)])
+            out = capsys.readouterr().out
+            assert code == 0
+            assert "cli_tagged/spade" in out
+        finally:
+            self._cleanup("cli_tagged")
+
+    def test_show_builtin_as_spec(self, capsys):
+        assert main(["bench", "show", "--benchmark", "tee"]) == 0
+        shown = json.loads(capsys.readouterr().out)
+        assert [op["call"] for op in shown["program"]["ops"]] == [
+            "pipe", "pipe", "write", "tee"
+        ]
 
 
 class TestServeParser:

@@ -6,7 +6,7 @@ from repro import PipelineConfig, ProvMark
 from repro.capture.camflow import CamFlowCapture, CamFlowConfig
 from repro.core.pipeline import TOOL_PROFILES
 from repro.core.result import Classification
-from repro.suite.program import Op, Program, create_file
+from repro.suite.program import Op, Program
 
 
 class TestRunBenchmark:

@@ -1,10 +1,9 @@
 """Tests for the four pipeline stages in isolation."""
 
-import random
 
 import pytest
 
-from repro.capture.camflow import CamFlowCapture, CamFlowConfig
+from repro.capture.camflow import CamFlowCapture
 from repro.capture.opus import OpusCapture
 from repro.capture.spade import SpadeCapture
 from repro.core.compare import ComparisonError, compare

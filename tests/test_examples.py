@@ -1,7 +1,6 @@
 """Every example script must run cleanly (they are part of the API)."""
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest

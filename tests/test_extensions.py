@@ -15,11 +15,7 @@ from repro.config import (
 )
 from repro.core.result import Classification
 from repro.kernel import Kernel
-from repro.suite.extended import (
-    EXTENDED_BENCHMARKS,
-    SEQUENCE_BENCHMARKS,
-    SOCKET_BENCHMARKS,
-)
+from repro.suite.extended import SEQUENCE_BENCHMARKS, SOCKET_BENCHMARKS
 from repro.suite.registry import get_benchmark
 
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.kernel import Credentials, Kernel
-from repro.kernel.errors import Errno
 
 
 @pytest.fixture

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.kernel import BENCH_GID, BENCH_UID, Credentials, Kernel
-from repro.kernel.errors import Errno
 
 
 @pytest.fixture

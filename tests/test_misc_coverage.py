@@ -6,11 +6,9 @@ import random
 import pytest
 
 from repro.capture import TOOLS, make_capture
-from repro.capture.base import RecordingCost
 from repro.capture.spade import SpadeCapture
 from repro.cli import main
 from repro.kernel import Kernel, KernelError
-from repro.kernel.trace import Trace
 from repro.suite.executor import run_trial
 from repro.suite.registry import get_benchmark
 

@@ -7,8 +7,6 @@ from repro.capture.spade import SpadeCapture
 from repro.core.pipeline import PipelineConfig
 from repro.core.result import StageTimings
 from repro.core.stages import (
-    ComparisonStage,
-    GeneralizationStage,
     Pipeline,
     PipelineDefinitionError,
     RecordingStage,

@@ -6,18 +6,15 @@ pipeline's determinism guarantees.
 """
 
 import networkx as nx
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.graph.datalog import datalog_to_graph, graph_to_datalog
 from repro.graph.model import PropertyGraph
 from repro.kernel import Kernel
-from repro.kernel.errors import KernelError
 from repro.solver.native import (
     are_similar,
     embed_subgraph,
-    find_isomorphism,
     generalize_pair,
     subtract_background,
 )

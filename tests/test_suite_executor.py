@@ -2,12 +2,7 @@
 
 import pytest
 
-from repro.suite.executor import (
-    STAGING_DIR,
-    ExecutionError,
-    ProgramExecutor,
-    run_trial,
-)
+from repro.suite.executor import STAGING_DIR, ExecutionError, run_trial
 from repro.suite.program import Op, Program, create_file
 from repro.suite.registry import get_benchmark
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.suite.program import Op, Program, create_file
 from repro.suite.registry import (
     ALL_BENCHMARKS,
     TABLE1_GROUPS,

@@ -125,7 +125,7 @@ class TestFlows:
     def test_flow_query_on_real_benchmark(self):
         """Dora-style: the escalation benchmark's shadow read reaches
         the task in CamFlow's provenance."""
-        from repro.suite.program import Op, Program, create_file
+        from repro.suite.program import Op, Program
         program = Program(
             name="exfil",
             ops=(
