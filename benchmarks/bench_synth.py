@@ -1,0 +1,109 @@
+"""Coverage-guided synthesis throughput and curation quality (PR 5).
+
+Three measurements of the ``repro.synth`` engine:
+
+* **Generation throughput** — valid specs per second from the seeded
+  generator alone (validator + dry-run oracle included), no pipeline;
+* **Curation** — a full ``run_synthesis`` pass (generate + mutate +
+  evaluate under spade + curate): wall clock, dedup rate, and coverage
+  growth per family;
+* **Warm re-synthesis** — the same pass against a populated artifact
+  store, where candidate evaluation is served from cached stage
+  artifacts.
+
+Results print with ``-s`` and consolidate into
+``benchmarks/output/BENCH_PR5.json``.
+"""
+
+import shutil
+import tempfile
+import time
+
+from repro.suite.registry import SUITE_REGISTRY
+from repro.synth.engine import run_synthesis
+from repro.synth.generator import SpecGenerator
+
+from conftest import emit, record_bench
+
+GEN_SPECS = 60
+SYNTH_COUNT = 24
+SEED = 2019
+
+
+def test_generation_throughput():
+    generator = SpecGenerator(seed=SEED)
+    start = time.perf_counter()
+    specs = generator.generate_many(GEN_SPECS)
+    elapsed = time.perf_counter() - start
+    rate = GEN_SPECS / elapsed
+    ops = sum(len(s.program.ops) for s in specs)
+    lines = [
+        f"generated {GEN_SPECS} valid specs in {elapsed:.3f}s "
+        f"({rate:.0f} specs/s, oracle included)",
+        f"mean program size: {ops / GEN_SPECS:.1f} ops",
+    ]
+    emit("synth_generation", lines)
+    record_bench("synth_generation", {
+        "specs": GEN_SPECS,
+        "seconds": elapsed,
+        "specs_per_second": rate,
+        "mean_ops": ops / GEN_SPECS,
+    })
+    assert rate > 5  # generating must stay negligible next to evaluation
+
+
+def test_curation_quality_and_warm_resynthesis():
+    store_root = tempfile.mkdtemp(prefix="bench-synth-")
+    try:
+        start = time.perf_counter()
+        cold = run_synthesis(
+            seed=SEED, count=SYNTH_COUNT, tools=("spade",),
+            registry=SUITE_REGISTRY.builtin_copy(), store_path=store_root,
+        )
+        cold_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        warm = run_synthesis(
+            seed=SEED, count=SYNTH_COUNT, tools=("spade",),
+            registry=SUITE_REGISTRY.builtin_copy(), store_path=store_root,
+        )
+        warm_s = time.perf_counter() - start
+
+        kept = len(cold.survivors)
+        dedup_rate = cold.duplicates / SYNTH_COUNT
+        growth = {
+            "syscalls": (cold.baseline.syscalls, cold.final.syscalls),
+            "arg_shapes": (cold.baseline.arg_shapes, cold.final.arg_shapes),
+            "motifs": (cold.baseline.motifs, cold.final.motifs),
+        }
+        lines = [
+            f"curated {SYNTH_COUNT} candidates in {cold_s:.2f}s cold, "
+            f"{warm_s:.2f}s store-warm ({cold_s / max(warm_s, 1e-9):.1f}x)",
+            f"kept {kept}, duplicates {cold.duplicates} "
+            f"(dedup rate {dedup_rate:.0%}), no-gain {cold.no_gain}, "
+            f"failed {cold.failed}",
+        ] + [
+            f"coverage {family}: {before} -> {after}"
+            for family, (before, after) in growth.items()
+        ]
+        emit("synth_curation", lines)
+        record_bench("synth_curation", {
+            "candidates": SYNTH_COUNT,
+            "cold_seconds": cold_s,
+            "warm_seconds": warm_s,
+            "kept": kept,
+            "duplicates": cold.duplicates,
+            "dedup_rate": dedup_rate,
+            "no_gain": cold.no_gain,
+            "failed": cold.failed,
+            "coverage": {
+                family: {"before": before, "after": after}
+                for family, (before, after) in growth.items()
+            },
+            "new_syscalls": cold.new_syscalls,
+        })
+        assert [s.name for s in warm.survivors] == \
+            [s.name for s in cold.survivors]
+        assert kept > 0
+    finally:
+        shutil.rmtree(store_root, ignore_errors=True)

@@ -7,9 +7,9 @@ into ``benchmarks/output/`` so EXPERIMENTS.md can reference them.
 Benchmarks can additionally call :func:`record_bench` with structured
 payloads (per-stage timings, solver step counts, cache/store hits);
 everything recorded during a session is consolidated into a per-PR file
-(``benchmarks/output/BENCH_PR4.json`` currently; earlier snapshots stay
-in ``BENCH_PR1.json``/``BENCH_PR2.json``/``BENCH_PR3.json``) at session
-end, so successive PRs leave a performance trajectory.
+(``benchmarks/output/BENCH_PR5.json`` currently; earlier snapshots stay
+in ``BENCH_PR1.json`` through ``BENCH_PR4.json``) at session end, so
+successive PRs leave a performance trajectory.
 """
 
 from __future__ import annotations
@@ -19,7 +19,7 @@ from pathlib import Path
 from typing import Dict, Iterable
 
 OUTPUT_DIR = Path(__file__).resolve().parent / "output"
-CONSOLIDATED_NAME = "BENCH_PR4.json"
+CONSOLIDATED_NAME = "BENCH_PR5.json"
 
 _recorded: Dict[str, object] = {}
 

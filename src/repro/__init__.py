@@ -19,7 +19,7 @@ The legacy ``ProvMark`` driver remains importable as a deprecated
 compatibility shim over the service (identical results).
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from repro.core.pipeline import PipelineConfig, ProvMark  # noqa: E402
 from repro.core.result import BenchmarkResult, Classification  # noqa: E402
@@ -30,6 +30,8 @@ from repro.api import (  # noqa: E402
     JobStatus,
     RunRequest,
     RunResponse,
+    SynthConfig,
+    SynthReport,
     ToolQuery,
 )
 
@@ -44,6 +46,8 @@ __all__ = [
     "ProvMark",
     "RunRequest",
     "RunResponse",
+    "SynthConfig",
+    "SynthReport",
     "ToolQuery",
     "__version__",
 ]

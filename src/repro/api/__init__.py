@@ -62,6 +62,9 @@ from repro.api.types import (
     JobStatus,
     RunRequest,
     RunResponse,
+    SynthConfig,
+    SynthCoverage,
+    SynthReport,
     ToolInfo,
     ToolQuery,
 )
@@ -86,6 +89,9 @@ __all__ = [
     "RunResponse",
     "SPEC_STAGE",
     "SetupSpec",
+    "SynthConfig",
+    "SynthCoverage",
+    "SynthReport",
     "ToolInfo",
     "ToolQuery",
     "ValidationError",

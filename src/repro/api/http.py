@@ -25,8 +25,13 @@ JSON, all prefixed with the API version:
   with a :class:`~repro.api.types.JobStatus` envelope to poll), while
   ``"wait": true`` in the body blocks and answers ``200`` with the
   :class:`~repro.api.types.RunResponse` directly;
+* ``POST /v1/synth`` — body is a :class:`~repro.api.types.SynthConfig`
+  payload; coverage-guided benchmark synthesis runs as an async job
+  (``202``; ``"wait": true`` blocks and answers ``200`` with the
+  :class:`~repro.api.types.SynthReport`), registering surviving specs
+  into the suite registry under the ``synth`` tag;
 * ``GET /v1/jobs/<id>`` — job status, including the result envelope
-  once the job is done;
+  (or synthesis report) once the job is done;
 * ``DELETE /v1/jobs/<id>`` — request cancellation.
 
 Errors share the CLI's rendering helper: a
@@ -60,7 +65,13 @@ from repro.api.errors import (
 )
 from repro.api.service import BenchmarkService
 from repro.api.specs import BenchmarkSpec, spec_digest
-from repro.api.types import API_VERSION, JOB_STATES, RunRequest, ToolQuery
+from repro.api.types import (
+    API_VERSION,
+    JOB_STATES,
+    RunRequest,
+    SynthConfig,
+    ToolQuery,
+)
 
 #: default TCP port of ``provmark serve``
 DEFAULT_PORT = 8321
@@ -164,6 +175,8 @@ class ApiRequestHandler(BaseHTTPRequestHandler):
             self._register_benchmark()
         elif path == "/v1/runs":
             self._submit_run()
+        elif path == "/v1/synth":
+            self._submit_synth()
         else:
             raise NotFoundError(f"no route for POST {path}")
 
@@ -195,6 +208,28 @@ class ApiRequestHandler(BaseHTTPRequestHandler):
             self._send_json(200, self.service.run(request).to_payload())
         else:
             self._send_json(202, self.service.submit(request).to_payload())
+
+    def _submit_synth(self) -> None:
+        body = self._read_json_body()
+        wait = body.pop("wait", False)
+        if not isinstance(wait, bool):
+            raise ValidationError("'wait' must be a boolean")
+        config = SynthConfig.from_payload(body)
+        # same rule as /v1/runs: server-side filesystem locations are
+        # operator-controlled, not client-steered
+        if config.store_path is not None:
+            raise ValidationError(
+                "'store_path' is not accepted over HTTP; server-side "
+                "paths are configured by the operator"
+            )
+        if wait:
+            report = self.service.synthesize(config)
+            self._send_json(200, {
+                "api_version": API_VERSION,
+                "report": report.to_payload(),
+            })
+        else:
+            self._send_json(202, self.service.submit(config).to_payload())
 
     def _route_delete(self) -> None:
         path = urlsplit(self.path).path.rstrip("/")

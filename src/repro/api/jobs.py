@@ -56,6 +56,7 @@ class _Job:
         self.error = ""
         self.result: Optional[RunResponse] = None
         self.results: Optional[Tuple[RunResponse, ...]] = None
+        self.report = None  # SynthReport for synthesis jobs
         self.cancel_requested = threading.Event()
         self.future: Optional[Future] = None
 
@@ -73,6 +74,7 @@ class _Job:
             error=self.error,
             result=self.result,
             results=self.results,
+            report=self.report,
         )
 
 
@@ -219,6 +221,15 @@ class JobManager:
                 with self._lock:
                     job.result = response
                     job.completed = 1
+                    job.state = "done"
+            elif job.kind == "synth":
+                # the engine's candidate pipelines emit the same
+                # stage-boundary events, so progress (and cancellation)
+                # work exactly like a serial batch
+                report = service.synthesize(request, progress=progress)
+                with self._lock:
+                    job.report = report
+                    job.completed = job.total
                     job.state = "done"
             elif workers is not None and workers > 1:
                 # Honor the process-pool fan-out.  Stage boundaries are

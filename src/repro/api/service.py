@@ -37,6 +37,8 @@ from repro.api.specs import (
     BenchmarkSpec,
     compile_spec,
     iter_persisted_specs,
+    persist_spec,
+    spec_digest,
 )
 from repro.api.types import (
     API_VERSION,
@@ -45,6 +47,9 @@ from repro.api.types import (
     JobStatus,
     RunRequest,
     RunResponse,
+    SynthConfig,
+    SynthCoverage,
+    SynthReport,
     ToolInfo,
     ToolQuery,
 )
@@ -66,7 +71,7 @@ from repro.suite.registry import (
     TABLE2_ORDER,
 )
 
-Request = Union[RunRequest, BatchRequest]
+Request = Union[RunRequest, BatchRequest, SynthConfig]
 
 
 class BenchmarkService:
@@ -330,6 +335,110 @@ class BenchmarkService:
                     on_response(response)
             return tuple(responses)
 
+    # -- synthesis ----------------------------------------------------------
+
+    def synthesize(
+        self,
+        config: SynthConfig,
+        progress: Optional[ProgressCallback] = None,
+    ) -> SynthReport:
+        """Run one coverage-guided synthesis pass and adopt survivors.
+
+        The engine (:func:`repro.synth.run_synthesis`) generates and
+        mutates candidate specs, evaluates every one through the staged
+        pipeline under each requested tool, deduplicates by
+        generalized-graph fingerprint, and keeps only candidates that
+        add coverage.  Survivors are then registered into this
+        service's suite registry (tagged ``synth``; ``register=False``
+        skips this) and persisted into the configured artifact store's
+        ``spec`` stage so later ``--store``/``--resume`` sweeps resolve
+        them by name.  Deterministic: the same config yields the same
+        report, digests included.
+        """
+        if not isinstance(config, SynthConfig):
+            raise ValidationError(
+                f"synthesize() takes a SynthConfig, got "
+                f"{type(config).__name__}"
+            )
+        for tool in config.tools:
+            try:
+                get_backend(tool)
+            except UnknownToolError as exc:
+                raise NotFoundError(str(exc)) from None
+        # the synth tag is the discovery contract (`provmark list
+        # --tags synth`), so it is always present, whatever tags the
+        # caller adds
+        tags = config.tags if "synth" in config.tags else (
+            ("synth",) + config.tags
+        )
+        # Late import: repro.synth builds on the api package (specs,
+        # errors), so importing it at module load would be circular.
+        from repro.synth.engine import run_synthesis
+
+        run = run_synthesis(
+            seed=config.seed,
+            count=config.count,
+            tools=config.tools,
+            max_ops=config.max_ops,
+            mutation_rate=config.mutation_rate,
+            name_prefix=config.name_prefix,
+            tags=tags,
+            trials=config.trials,
+            engine=config.engine,
+            store_path=config.store_path,
+            max_workers=config.max_workers,
+            registry=self._registry,
+            progress=progress,
+        )
+        persisted = 0
+        if config.register:
+            # all-or-nothing adoption: a mid-loop failure (e.g. the
+            # registry's custom-entry cap) must not leave half the
+            # survivors registered with no report of what was adopted
+            adopted: List[str] = []
+            try:
+                for spec in run.survivors:
+                    self._registry.register(
+                        compile_spec(spec), tags=spec.tags, spec=spec
+                    )
+                    adopted.append(spec.name)
+            except SuiteRegistryError as exc:
+                for name in adopted:
+                    try:
+                        self._registry.unregister(name)
+                    except (KeyError, SuiteRegistryError):
+                        pass
+                raise ValidationError(str(exc)) from None
+        if config.store_path is not None:
+            store = ArtifactStore(config.store_path)
+            for spec in run.survivors:
+                persist_spec(store, spec)
+                persisted += 1
+        return SynthReport(
+            seed=config.seed,
+            requested=config.count,
+            generated=run.generated,
+            mutated=run.mutated,
+            kept=tuple(spec.name for spec in run.survivors),
+            digests=tuple(spec_digest(spec) for spec in run.survivors),
+            duplicates=run.duplicates,
+            no_gain=run.no_gain,
+            failed=run.failed,
+            tools=config.tools,
+            coverage=SynthCoverage(
+                syscalls_before=run.baseline.syscalls,
+                syscalls_after=run.final.syscalls,
+                arg_shapes_before=run.baseline.arg_shapes,
+                arg_shapes_after=run.final.arg_shapes,
+                motifs_before=run.baseline.motifs,
+                motifs_after=run.final.motifs,
+                new_syscalls=tuple(run.new_syscalls),
+            ),
+            specs=tuple(run.survivors),
+            registered=config.register,
+            persisted=persisted,
+        )
+
     # -- async jobs ---------------------------------------------------------
 
     @property
@@ -357,10 +466,17 @@ class BenchmarkService:
             names = self.resolve_batch_names(request)
             self._check_names(request)
             kind, total = "batch", len(names)
+        elif isinstance(request, SynthConfig):
+            for tool in request.tools:
+                try:
+                    get_backend(tool)
+                except UnknownToolError as exc:
+                    raise NotFoundError(str(exc)) from None
+            kind, total = "synth", request.count
         else:
             raise ValidationError(
-                "submit() takes a RunRequest or BatchRequest, got "
-                f"{type(request).__name__}"
+                "submit() takes a RunRequest, BatchRequest, or "
+                f"SynthConfig, got {type(request).__name__}"
             )
         return self.jobs.submit(self, request, kind, total)
 

@@ -39,7 +39,7 @@ PAIR_POLICIES = ("smallest", "largest")
 JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
 
 #: kinds of work a job can carry
-JOB_KINDS = ("run", "batch")
+JOB_KINDS = ("run", "batch", "synth")
 
 
 # -- field validation helpers -----------------------------------------------
@@ -315,6 +315,232 @@ class BatchRequest:
 
 
 @dataclass(frozen=True)
+class SynthConfig:
+    """One coverage-guided benchmark-synthesis run, fully declared.
+
+    ``seed`` determines everything: the same configuration always
+    yields the same candidate specs, the same survivor digests, and the
+    same coverage report.  ``count`` candidates are produced (a
+    ``mutation_rate`` fraction by mutating builtin or earlier
+    candidates, the rest generated fresh), evaluated through the staged
+    pipeline under every tool in ``tools``, deduplicated by
+    generalized-graph fingerprint, and kept only when they add
+    coverage.  Survivors are registered into the suite registry (tagged
+    ``synth`` plus ``tags``) unless ``register`` is false, and
+    persisted into the ``store_path`` artifact store's ``spec`` stage
+    when one is configured.
+    """
+
+    count: int = 20
+    seed: int = 0
+    tools: Tuple[str, ...] = ("spade", "opus", "camflow")
+    tags: Tuple[str, ...] = ()
+    max_ops: int = 6
+    mutation_rate: float = 0.4
+    name_prefix: str = "synth"
+    trials: Optional[int] = None
+    engine: str = "native"
+    register: bool = True
+    store_path: Optional[str] = None
+    max_workers: Optional[int] = None
+
+    #: generation bounds protecting the service from hostile configs
+    MAX_COUNT = 256
+    MAX_PROGRAM_OPS = 64
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tools", tuple(self.tools))
+        object.__setattr__(self, "tags", tuple(self.tags))
+        _check_int("SynthConfig", "count", self.count, minimum=1)
+        if self.count > self.MAX_COUNT:
+            _fail("SynthConfig", "count",
+                  f"must be <= {self.MAX_COUNT}, got {self.count}")
+        _check_int("SynthConfig", "seed", self.seed)
+        if not self.tools:
+            _fail("SynthConfig", "tools", "must name at least one tool")
+        for i, tool in enumerate(self.tools):
+            _check_str("SynthConfig", f"tools[{i}]", tool, non_empty=True)
+        if len(set(self.tools)) != len(self.tools):
+            _fail("SynthConfig", "tools", "must not repeat a tool")
+        for i, tag in enumerate(self.tags):
+            _check_str("SynthConfig", f"tags[{i}]", tag, non_empty=True)
+        _check_int("SynthConfig", "max_ops", self.max_ops, minimum=2)
+        if self.max_ops > self.MAX_PROGRAM_OPS:
+            _fail("SynthConfig", "max_ops",
+                  f"must be <= {self.MAX_PROGRAM_OPS}, got {self.max_ops}")
+        _check_number("SynthConfig", "mutation_rate", self.mutation_rate,
+                      minimum=0.0, maximum=1.0)
+        _check_str("SynthConfig", "name_prefix", self.name_prefix,
+                   non_empty=True)
+        _check_int("SynthConfig", "trials", self.trials, optional=True,
+                   minimum=1)
+        _check_choice("SynthConfig", "engine", self.engine, ENGINES)
+        _check_bool("SynthConfig", "register", self.register)
+        _check_str("SynthConfig", "store_path", self.store_path,
+                   optional=True)
+        _check_int("SynthConfig", "max_workers", self.max_workers,
+                   optional=True, minimum=1)
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "seed": self.seed,
+            "tools": list(self.tools),
+            "tags": list(self.tags),
+            "max_ops": self.max_ops,
+            "mutation_rate": self.mutation_rate,
+            "name_prefix": self.name_prefix,
+            "trials": self.trials,
+            "engine": self.engine,
+            "register": self.register,
+            "store_path": self.store_path,
+            "max_workers": self.max_workers,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "SynthConfig":
+        return _construct(cls, _decode_kwargs(cls, payload))
+
+
+@dataclass(frozen=True)
+class SynthCoverage:
+    """Coverage-model growth over one synthesis run.
+
+    ``*_before`` counts come from the registry's existing suite
+    (motifs start at zero — they are observed by running candidates,
+    not statically); ``*_after`` counts include every accepted
+    survivor's keys.
+    """
+
+    syscalls_before: int = 0
+    syscalls_after: int = 0
+    arg_shapes_before: int = 0
+    arg_shapes_after: int = 0
+    motifs_before: int = 0
+    motifs_after: int = 0
+    new_syscalls: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "new_syscalls", tuple(self.new_syscalls))
+        for name in ("syscalls_before", "syscalls_after",
+                     "arg_shapes_before", "arg_shapes_after",
+                     "motifs_before", "motifs_after"):
+            _check_int("SynthCoverage", name, getattr(self, name), minimum=0)
+        for i, call in enumerate(self.new_syscalls):
+            _check_str("SynthCoverage", f"new_syscalls[{i}]", call,
+                       non_empty=True)
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "syscalls_before": self.syscalls_before,
+            "syscalls_after": self.syscalls_after,
+            "arg_shapes_before": self.arg_shapes_before,
+            "arg_shapes_after": self.arg_shapes_after,
+            "motifs_before": self.motifs_before,
+            "motifs_after": self.motifs_after,
+            "new_syscalls": list(self.new_syscalls),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "SynthCoverage":
+        return _construct(cls, _decode_kwargs(cls, payload))
+
+
+@dataclass(frozen=True)
+class SynthReport:
+    """Everything one synthesis run produced.
+
+    ``kept``/``digests``/``specs`` are aligned (one entry per
+    survivor, candidate order).  For a fixed :class:`SynthConfig` the
+    whole report minus nothing is deterministic — re-running the same
+    seed yields byte-identical payloads.
+    """
+
+    seed: int
+    requested: int
+    generated: int
+    mutated: int
+    kept: Tuple[str, ...]
+    digests: Tuple[str, ...]
+    duplicates: int
+    no_gain: int
+    failed: int
+    tools: Tuple[str, ...]
+    coverage: SynthCoverage
+    specs: Tuple[BenchmarkSpec, ...] = ()
+    registered: bool = False
+    persisted: int = 0
+    api_version: str = API_VERSION
+
+    def __post_init__(self) -> None:
+        for name in ("kept", "digests", "tools", "specs"):
+            object.__setattr__(self, name, tuple(getattr(self, name)))
+        _check_int("SynthReport", "seed", self.seed)
+        for name in ("requested", "generated", "mutated", "duplicates",
+                     "no_gain", "failed", "persisted"):
+            _check_int("SynthReport", name, getattr(self, name), minimum=0)
+        for i, name in enumerate(self.kept):
+            _check_str("SynthReport", f"kept[{i}]", name, non_empty=True)
+        for i, digest in enumerate(self.digests):
+            _check_str("SynthReport", f"digests[{i}]", digest,
+                       non_empty=True)
+        if len(self.kept) != len(self.digests):
+            _fail("SynthReport", "digests",
+                  "must align one-to-one with 'kept'")
+        if self.specs and len(self.specs) != len(self.kept):
+            _fail("SynthReport", "specs",
+                  "must align one-to-one with 'kept'")
+        for i, tool in enumerate(self.tools):
+            _check_str("SynthReport", f"tools[{i}]", tool, non_empty=True)
+        if not isinstance(self.coverage, SynthCoverage):
+            _fail("SynthReport", "coverage",
+                  f"must be a SynthCoverage, got "
+                  f"{type(self.coverage).__name__}")
+        for i, spec in enumerate(self.specs):
+            if not isinstance(spec, BenchmarkSpec):
+                _fail("SynthReport", f"specs[{i}]",
+                      f"must be a BenchmarkSpec, got {type(spec).__name__}")
+        _check_bool("SynthReport", "registered", self.registered)
+        if self.api_version != API_VERSION:
+            _fail("SynthReport", "api_version",
+                  f"must be {API_VERSION!r}, got {self.api_version!r}")
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "api_version": self.api_version,
+            "seed": self.seed,
+            "requested": self.requested,
+            "generated": self.generated,
+            "mutated": self.mutated,
+            "kept": list(self.kept),
+            "digests": list(self.digests),
+            "duplicates": self.duplicates,
+            "no_gain": self.no_gain,
+            "failed": self.failed,
+            "tools": list(self.tools),
+            "coverage": self.coverage.to_payload(),
+            "specs": [spec.to_payload() for spec in self.specs],
+            "registered": self.registered,
+            "persisted": self.persisted,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "SynthReport":
+        kwargs = _decode_kwargs(cls, payload)
+        if "coverage" not in kwargs:
+            raise ValidationError("SynthReport payload is missing 'coverage'")
+        kwargs["coverage"] = SynthCoverage.from_payload(kwargs["coverage"])
+        specs = kwargs.get("specs") or ()
+        if not isinstance(specs, tuple):
+            raise ValidationError("SynthReport.specs payload must be an array")
+        kwargs["specs"] = tuple(
+            BenchmarkSpec.from_payload(spec, path=f"SynthReport.specs[{i}]")
+            for i, spec in enumerate(specs)
+        )
+        return _construct(cls, kwargs)
+
+
+@dataclass(frozen=True)
 class ToolQuery:
     """Catalog query for registered capture backends.
 
@@ -472,6 +698,8 @@ class JobStatus:
     error: str = ""
     result: Optional[RunResponse] = None
     results: Optional[Tuple[RunResponse, ...]] = None
+    #: synthesis jobs report a SynthReport instead of run responses
+    report: Optional[SynthReport] = None
     api_version: str = API_VERSION
 
     def __post_init__(self) -> None:
@@ -496,6 +724,8 @@ class JobStatus:
             ):
                 _fail("JobStatus", "results",
                       "must be a tuple of RunResponse or None")
+        if self.report is not None and not isinstance(self.report, SynthReport):
+            _fail("JobStatus", "report", "must be a SynthReport or None")
         if self.api_version != API_VERSION:
             _fail("JobStatus", "api_version",
                   f"must be {API_VERSION!r}, got {self.api_version!r}")
@@ -522,6 +752,9 @@ class JobStatus:
                 [r.to_payload() for r in self.results]
                 if self.results is not None else None
             ),
+            "report": (
+                self.report.to_payload() if self.report is not None else None
+            ),
         }
 
     @classmethod
@@ -538,4 +771,6 @@ class JobStatus:
             kwargs["results"] = tuple(
                 RunResponse.from_payload(r) for r in results
             )
+        if kwargs.get("report") is not None:
+            kwargs["report"] = SynthReport.from_payload(kwargs["report"])
         return _construct(cls, kwargs)

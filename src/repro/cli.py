@@ -13,9 +13,10 @@ Examples::
     provmark batch --tool camflow --trials 5 --result-type rh --out results.html
     provmark bench validate my_benchmark.json
     provmark bench add my_benchmark.json --store .provmark-store
+    provmark synth --seed 7 --count 20 --store .provmark-store
     provmark serve --port 8321
     provmark table2
-    provmark list
+    provmark list --tags synth --store .provmark-store
 """
 
 from __future__ import annotations
@@ -43,7 +44,13 @@ from repro.api.specs import (
     remove_persisted_spec,
     spec_digest,
 )
-from repro.api.types import API_VERSION, BatchRequest, RunRequest, ToolQuery
+from repro.api.types import (
+    API_VERSION,
+    BatchRequest,
+    RunRequest,
+    SynthConfig,
+    ToolQuery,
+)
 from repro.capture.registry import registered_tools
 from repro.config import default_config_ini
 from repro.core.regression import RegressionStore
@@ -214,6 +221,11 @@ def _cmd_table4(args: argparse.Namespace) -> int:
 def _cmd_list(args: argparse.Namespace) -> int:
     service = BenchmarkService()
     if args.tools:
+        if args.tags is not None or getattr(args, "artifact_store", None):
+            raise ValidationError(
+                "--tags/--store filter benchmarks and cannot be "
+                "combined with --tools"
+            )
         for info in service.tools(ToolQuery()):
             flags = (
                 f"trials={info.trials} "
@@ -223,9 +235,20 @@ def _cmd_list(args: argparse.Namespace) -> int:
             detail = f" — {info.description}" if info.description else ""
             print(f"{info.name:<14} {flags}{detail}")
         return 0
+    if getattr(args, "artifact_store", None):
+        service.load_spec_store(args.artifact_store)
+    wanted = set(args.tags or ())
+    listed = 0
     for info in service.benchmarks():
-        print(f"{info.name:<14} group {info.group} ({info.group_name})"
+        if wanted and not wanted <= set(info.tags):
+            continue
+        listed += 1
+        tags = ",".join(info.tags) or "-"
+        print(f"{info.name:<14} group {info.group} ({info.group_name}) "
+              f"[{tags}]"
               + (f" — {info.description}" if info.description else ""))
+    if wanted and not listed:
+        raise NotFoundError(f"no benchmarks match tags {sorted(wanted)}")
     return 0
 
 
@@ -236,6 +259,58 @@ def _cmd_show(args: argparse.Namespace) -> int:
         # the registry's KeyError carries the exact uniform message
         raise NotFoundError(str(exc.args[0])) from None
     print(program.to_c_source(), end="")
+    return 0
+
+
+# -- synth: coverage-guided benchmark synthesis ------------------------------
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    config = SynthConfig(
+        count=args.count,
+        seed=args.seed,
+        tools=tuple(args.tools),
+        tags=tuple(args.tags or ()),
+        max_ops=args.max_ops,
+        mutation_rate=args.mutation_rate,
+        name_prefix=args.name_prefix,
+        trials=args.trials,
+        engine=args.engine,
+        register=not args.no_register,
+        store_path=args.artifact_store,
+        max_workers=args.max_workers,
+    )
+    with BenchmarkService() as service:
+        report = service.synthesize(config)
+    if args.json:
+        print(json.dumps(report.to_payload(), indent=2, sort_keys=True))
+        return 0
+    coverage = report.coverage
+    print(
+        f"synthesized {report.requested} candidates (seed {report.seed}, "
+        f"{report.generated} generated + {report.mutated} mutated): "
+        f"{len(report.kept)} kept, {report.duplicates} duplicate, "
+        f"{report.no_gain} no-gain, {report.failed} failed"
+    )
+    print(
+        f"coverage: syscalls {coverage.syscalls_before} -> "
+        f"{coverage.syscalls_after}, arg shapes "
+        f"{coverage.arg_shapes_before} -> {coverage.arg_shapes_after}, "
+        f"graph motifs {coverage.motifs_before} -> {coverage.motifs_after}"
+    )
+    if coverage.new_syscalls:
+        print(f"newly covered syscalls: {', '.join(coverage.new_syscalls)}")
+    for spec, digest in zip(report.specs, report.digests):
+        targets = "+".join(dict.fromkeys(
+            op.call for op in spec.program.ops if op.target
+        ))
+        print(
+            f"kept {spec.name} ({len(spec.program.ops)} ops; "
+            f"targets {targets}) digest {digest[:12]}"
+        )
+    if report.persisted:
+        print(f"persisted {report.persisted} spec(s) -> "
+              f"{args.artifact_store}")
     return 0
 
 
@@ -379,7 +454,82 @@ def build_parser() -> argparse.ArgumentParser:
         "--tools", action="store_true", default=False,
         help="list registered capture backends with their profiles instead",
     )
+    listing.add_argument(
+        "--tags", nargs="*", default=None,
+        help="only list benchmarks carrying all these registry tags "
+        "(e.g. --tags synth)",
+    )
+    listing.add_argument(
+        "--store", dest="artifact_store", default=None, metavar="DIR",
+        help="also list benchmark specs persisted in this artifact store",
+    )
     listing.set_defaults(func=_cmd_list)
+
+    synth = sub.add_parser(
+        "synth",
+        help="synthesize new benchmarks: generate/mutate candidate specs, "
+        "run them through the pipeline, keep the ones that add coverage",
+    )
+    synth.add_argument(
+        "--seed", type=int, default=0,
+        help="synthesis seed; the same seed always yields the same specs, "
+        "digests, and coverage report (default: 0)",
+    )
+    synth.add_argument(
+        "--count", type=int, default=20,
+        help="candidate specs to generate before curation (default: 20)",
+    )
+    synth.add_argument(
+        "--tags", nargs="*", default=None,
+        help="extra registry tags for surviving benchmarks "
+        "(the 'synth' tag is always added)",
+    )
+    synth.add_argument(
+        "--tools", nargs="*", default=("spade", "opus", "camflow"),
+        help="capture tools every candidate is evaluated under "
+        "(default: spade opus camflow)",
+    )
+    synth.add_argument(
+        "--max-ops", type=int, default=6,
+        help="largest generated program, in ops (default: 6)",
+    )
+    synth.add_argument(
+        "--mutation-rate", type=float, default=0.4,
+        help="fraction of candidates derived by mutating builtin or "
+        "earlier candidates instead of fresh generation (default: 0.4)",
+    )
+    synth.add_argument(
+        "--name-prefix", default="synth",
+        help="name prefix of emitted benchmarks (default: synth)",
+    )
+    synth.add_argument(
+        "--trials", type=int, default=None,
+        help="recording trials per candidate variant (default: tool "
+        "profile)",
+    )
+    synth.add_argument(
+        "--engine", choices=("native", "asp"), default="native",
+        help="graph matching engine for candidate evaluation",
+    )
+    synth.add_argument(
+        "--max-workers", type=int, default=None,
+        help="evaluate candidates across this many worker processes",
+    )
+    synth.add_argument(
+        "--store", dest="artifact_store", default=None, metavar="DIR",
+        help="persist surviving specs (and cache candidate runs) in this "
+        "artifact store, so later --store sweeps cover them",
+    )
+    synth.add_argument(
+        "--no-register", action="store_true", default=False,
+        help="report survivors without registering them in the suite "
+        "registry",
+    )
+    synth.add_argument(
+        "--json", action="store_true", default=False,
+        help="print the full SynthReport as JSON",
+    )
+    synth.set_defaults(func=_cmd_synth)
 
     show = sub.add_parser("show", help="show a benchmark's C source")
     show.add_argument("--benchmark", required=True)

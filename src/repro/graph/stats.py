@@ -6,6 +6,7 @@ the analysis package to describe results without rendering images.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
@@ -70,3 +71,39 @@ def summarize(graph: PropertyGraph) -> GraphSummary:
 
 def degree_sequence(graph: PropertyGraph) -> List[int]:
     return sorted(graph.degree(node_id) for node_id in graph.node_ids())
+
+
+def motif_signature(
+    graph: PropertyGraph,
+) -> Tuple[Tuple[str, ...], Tuple[Tuple[str, str, str], ...]]:
+    """Label-level shape of a graph: node labels and edge-label triples.
+
+    The first element is the sorted multiset of node labels, the second
+    the sorted multiset of ``(source label, edge label, target label)``
+    triples.  Two graphs share a motif signature iff they exercise the
+    same vocabulary of provenance structure — the granularity at which
+    the synthesis engine's coverage model tracks what the suite's result
+    graphs have already expressed (node ids and volatile properties are
+    deliberately ignored; generalization rewrites both).
+    """
+    labels = tuple(sorted(node.label for node in graph.nodes()))
+    triples = tuple(sorted(
+        (graph.node(edge.src).label, edge.label, graph.node(edge.tgt).label)
+        for edge in graph.edges()
+    ))
+    return labels, triples
+
+
+def graph_fingerprint(graph: PropertyGraph) -> str:
+    """Order- and id-insensitive content digest of a generalized graph.
+
+    Hashes :meth:`PropertyGraph.structural_signature` — the solver's
+    isomorphism invariant (per-node ``(label, out-degree, in-degree)``
+    plus labelled edge triples) — so isomorphic relabellings collapse
+    to one fingerprint while structurally distinct graphs (extra edges,
+    different fan-in/fan-out splits) separate.  Used by the synthesis
+    curation loop to deduplicate candidate benchmarks whose target
+    graphs are equivalent.
+    """
+    material = repr(graph.structural_signature())
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()

@@ -7,6 +7,13 @@ capture systems observe; see DESIGN.md §2 for the substitution argument.
 
 from repro.kernel.clock import IdAllocator, VirtualClock, make_rng
 from repro.kernel.errors import Errno, KernelError
+from repro.kernel.introspect import (
+    ArgKind,
+    SyscallParam,
+    SyscallSignature,
+    signature_for,
+    syscall_signatures,
+)
 from repro.kernel.fs import FileSystem, Inode, InodeType
 from repro.kernel.machine import (
     BENCH_GID,
@@ -62,5 +69,10 @@ __all__ = [
     "SyscallOutcome",
     "Trace",
     "VirtualClock",
+    "ArgKind",
+    "SyscallParam",
+    "SyscallSignature",
     "make_rng",
+    "signature_for",
+    "syscall_signatures",
 ]

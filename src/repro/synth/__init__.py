@@ -1,0 +1,42 @@
+"""``repro.synth`` — coverage-guided benchmark synthesis.
+
+The paper's suite is a fixed set of hand-written benchmarks; this
+package *grows* it.  A seeded, deterministic generator
+(:mod:`repro.synth.generator`) emits valid
+:class:`~repro.api.specs.BenchmarkSpec` documents by sampling the
+simulated kernel's introspected syscall signatures
+(:func:`repro.kernel.syscall_signatures`) under an abstract state
+machine that guarantees every emitted program actually executes;
+mutation operators (:mod:`repro.synth.mutate`) derive variants from
+builtin or synthesized seeds; a coverage model
+(:mod:`repro.synth.coverage`) tracks which syscalls, argument shapes,
+and result-graph motifs the suite has exercised; and the curation loop
+(:mod:`repro.synth.engine`) runs candidates through the staged
+pipeline, deduplicates them by generalized-graph fingerprint, and keeps
+only specs that add coverage.
+
+Everything is driven by one seeded ``random.Random`` — the same seed
+always yields the same specs, the same digests, and the same coverage
+report.
+
+The supported entry points are
+:meth:`repro.api.BenchmarkService.synthesize`, ``POST /v1/synth``, and
+``provmark synth``; this package is the machinery behind them.
+"""
+
+from repro.synth.coverage import CoverageModel
+from repro.synth.engine import CandidateOutcome, SynthRun, run_synthesis
+from repro.synth.generator import GenerationError, SpecGenerator, dry_run
+from repro.synth.mutate import MUTATION_OPERATORS, mutate_spec
+
+__all__ = [
+    "CandidateOutcome",
+    "CoverageModel",
+    "GenerationError",
+    "MUTATION_OPERATORS",
+    "SpecGenerator",
+    "SynthRun",
+    "dry_run",
+    "mutate_spec",
+    "run_synthesis",
+]

@@ -1,0 +1,110 @@
+"""The coverage model behind curation: what has the suite exercised?
+
+Coverage is a set of hashable keys in three families:
+
+* ``("syscall", call)`` — the benchmark invokes this syscall at all;
+* ``("shape", call, token, ...)`` — the benchmark invokes it with this
+  argument shape (one token per argument: ``int``/``str``/``bytes``/
+  ``var``, plus a ``!`` marker for expected-failure invocations);
+* ``("node", tool, label)`` / ``("edge", tool, src, label, tgt)`` —
+  the benchmark's *target graph* under ``tool`` contains this node
+  label / edge-label triple (the motif vocabulary of
+  :func:`repro.graph.stats.motif_signature`).
+
+Spec-level keys can be seeded from the registry without running
+anything; motif keys accrue as candidates are evaluated through the
+pipeline.  A candidate *adds coverage* iff it contributes at least one
+key the model has not seen — the curation loop's keep/drop criterion.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set, Tuple
+
+from repro.api.specs import BenchmarkSpec
+from repro.graph.model import PropertyGraph
+from repro.graph.stats import motif_signature
+
+Key = Tuple[str, ...]
+
+
+def _arg_token(arg: object) -> str:
+    if isinstance(arg, bool):
+        return "bool"
+    if isinstance(arg, int):
+        return "int"
+    if isinstance(arg, bytes):
+        return "bytes"
+    if isinstance(arg, str) and arg.startswith("$"):
+        return "var"
+    return "str"
+
+
+def spec_keys(spec: BenchmarkSpec) -> Set[Key]:
+    """The static coverage keys one spec contributes."""
+    keys: Set[Key] = set()
+    for op in spec.program.ops:
+        keys.add(("syscall", op.call))
+        shape: Tuple[str, ...] = tuple(_arg_token(a) for a in op.args)
+        if not op.expect_success:
+            shape = shape + ("!",)
+        keys.add(("shape", op.call) + shape)
+    return keys
+
+
+def motif_keys(tool: str, graph: PropertyGraph) -> Set[Key]:
+    """The graph-motif coverage keys one target graph contributes."""
+    labels, triples = motif_signature(graph)
+    keys: Set[Key] = {("node", tool, label) for label in labels}
+    keys.update(("edge", tool) + triple for triple in triples)
+    return keys
+
+
+class CoverageModel:
+    """An accumulating set of coverage keys with per-family counts."""
+
+    def __init__(self) -> None:
+        self._keys: Set[Key] = set()
+
+    @classmethod
+    def from_specs(cls, specs: Iterable[BenchmarkSpec]) -> "CoverageModel":
+        """Seed a model with the static keys of an existing suite."""
+        model = cls()
+        for spec in specs:
+            model.observe(spec_keys(spec))
+        return model
+
+    def observe(self, keys: Iterable[Key]) -> None:
+        self._keys.update(keys)
+
+    def gain(self, keys: Iterable[Key]) -> Set[Key]:
+        """The subset of ``keys`` the model has not yet seen."""
+        return set(keys) - self._keys
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._keys
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    # -- reporting ----------------------------------------------------------
+
+    def count(self, family: str) -> int:
+        return sum(1 for key in self._keys if key[0] == family)
+
+    @property
+    def syscalls(self) -> int:
+        return self.count("syscall")
+
+    @property
+    def arg_shapes(self) -> int:
+        return self.count("shape")
+
+    @property
+    def motifs(self) -> int:
+        return sum(
+            1 for key in self._keys if key[0] in ("node", "edge")
+        )
+
+    def covered_syscalls(self) -> List[str]:
+        return sorted(key[1] for key in self._keys if key[0] == "syscall")

@@ -78,6 +78,105 @@ class TestCommands:
         assert "open" in out
         assert "group 4" in out
 
+    def test_list_shows_registry_tags(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        open_line = next(
+            line for line in out.splitlines() if line.startswith("open ")
+        )
+        assert "[builtin,table2,files]" in open_line
+
+    def test_list_tags_filter(self, capsys):
+        assert main(["list", "--tags", "failure"]) == 0
+        out = capsys.readouterr().out
+        assert "open_fail" in out
+        assert "\nopen " not in out and not out.startswith("open ")
+
+    def test_list_unmatched_tags_is_not_found(self, capsys):
+        assert main(["list", "--tags", "nosuchtag"]) == 2
+        err = capsys.readouterr().err
+        assert "no benchmarks match tags" in err
+
+    def test_list_tools_refuses_benchmark_filters(self, capsys):
+        assert main(["list", "--tools", "--tags", "synth"]) == 2
+        err = capsys.readouterr().err
+        assert "cannot be combined with --tools" in err
+
+    def test_list_tags_covers_store_specs(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        spec = write_spec(tmp_path, name="cli_tagged",
+                          tags=["custom", "shiny"])
+        assert main(["bench", "add", str(spec), "--store", str(store)]) == 0
+        capsys.readouterr()
+        assert main(["list", "--tags", "shiny", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "cli_tagged" in out and "shiny" in out
+
+    def test_synth_registers_and_lists_survivors(self, capsys):
+        code = main([
+            "synth", "--seed", "5", "--count", "4", "--tools", "spade",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "synthesized 4 candidates (seed 5" in out
+        assert "coverage: syscalls" in out
+        kept = [
+            line.split()[1] for line in out.splitlines()
+            if line.startswith("kept ")
+        ]
+        try:
+            assert kept, out
+            # survivors landed in the shared registry with the synth tag
+            for name in kept:
+                assert "synth" in SUITE_REGISTRY.tags(name)
+            assert main(["list", "--tags", "synth"]) == 0
+            listed = capsys.readouterr().out
+            for name in kept:
+                assert name in listed
+        finally:
+            for name in kept:
+                SUITE_REGISTRY.unregister(name)
+
+    def test_synth_store_round_trip(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        code = main([
+            "synth", "--seed", "5", "--count", "4", "--tools", "spade",
+            "--store", store, "--no-register",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "persisted" in out
+        kept = [
+            line.split()[1] for line in out.splitlines()
+            if line.startswith("kept ")
+        ]
+        assert kept
+        # a later process resolves the persisted specs by name
+        assert main([
+            "run", "--benchmark", kept[0], "--tool", "spade",
+            "--seed", "5", "--store", store,
+        ]) in (0, 1)
+
+    def test_synth_json_report(self, capsys):
+        code = main([
+            "synth", "--seed", "5", "--count", "3", "--tools", "spade",
+            "--no-register", "--json",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["requested"] == 3
+        assert payload["seed"] == 5
+        assert "coverage" in payload
+
+    def test_synth_unknown_tool_exits_2(self, capsys):
+        code = main([
+            "synth", "--seed", "1", "--count", "2", "--tools", "nosuch",
+        ])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("provmark: unknown tool")
+
     def test_show_c_source(self, capsys):
         assert main(["show", "--benchmark", "close"]) == 0
         out = capsys.readouterr().out

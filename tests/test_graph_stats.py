@@ -1,7 +1,13 @@
 """Graph statistics tests."""
 
 from repro.graph.model import PropertyGraph
-from repro.graph.stats import connected_components, degree_sequence, summarize
+from repro.graph.stats import (
+    connected_components,
+    degree_sequence,
+    graph_fingerprint,
+    motif_signature,
+    summarize,
+)
 
 
 class TestComponents:
@@ -48,3 +54,32 @@ class TestSummary:
 
     def test_degree_sequence(self, diamond_graph):
         assert degree_sequence(diamond_graph) == [2, 2, 2, 2]
+
+
+class TestMotifsAndFingerprint:
+    def test_motif_signature_ignores_ids_and_order(self, diamond_graph):
+        relabelled = diamond_graph.relabel("other")
+        assert motif_signature(relabelled) == motif_signature(diamond_graph)
+        labels, triples = motif_signature(diamond_graph)
+        assert labels == ("A", "B", "B", "C")
+        assert ("A", "x", "B") in triples
+
+    def test_fingerprint_stable_under_relabelling(self, diamond_graph):
+        relabelled = diamond_graph.relabel("other")
+        assert graph_fingerprint(relabelled) == \
+            graph_fingerprint(diamond_graph)
+
+    def test_fingerprint_separates_fan_out_from_chain(self):
+        """Same label/triple multisets, different in/out degree split:
+        the fingerprint must not collapse them (it hashes the solver's
+        structural_signature, not just the motif signature)."""
+        fan, chain = PropertyGraph("fan"), PropertyGraph("chain")
+        for graph in (fan, chain):
+            for node_id in ("x", "y", "z"):
+                graph.add_node(node_id, "N")
+        fan.add_edge("e1", "x", "y", "l")
+        fan.add_edge("e2", "x", "z", "l")
+        chain.add_edge("e1", "y", "x", "l")
+        chain.add_edge("e2", "x", "z", "l")
+        assert motif_signature(fan) == motif_signature(chain)
+        assert graph_fingerprint(fan) != graph_fingerprint(chain)

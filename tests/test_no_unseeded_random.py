@@ -1,0 +1,65 @@
+"""Guard: no module-level ``random`` state anywhere in ``src/``.
+
+Artifact-store keys (and the synthesis engine's determinism guarantee)
+rely on *seeded* randomness: every random draw must flow through a
+``random.Random`` instance constructed from an explicit seed that is
+part of the run's configuration.  A stray ``random.choice(...)`` —
+module-level, process-global, unseeded — would silently break
+byte-identical replays and poison content-addressed cache keys.
+
+This test greps the source tree for calls on the ``random`` *module*
+(as opposed to methods on a ``random.Random`` value) and fails naming
+the offending lines.  ``random.Random(...)`` / ``random.SystemRandom``
+constructions are the sanctioned pattern and are exempt.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+#: module-level functions that consume the shared global generator
+_FORBIDDEN = re.compile(
+    r"\brandom\.(?:"
+    r"random|randint|randrange|choice|choices|shuffle|sample|uniform|"
+    r"betavariate|expovariate|gammavariate|gauss|getrandbits|lognormvariate|"
+    r"normalvariate|paretovariate|seed|setstate|getstate|triangular|"
+    r"vonmisesvariate|weibullvariate|randbytes|binomialvariate"
+    r")\s*\("
+)
+
+
+def test_src_never_touches_module_level_random():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        for lineno, line in enumerate(
+            path.read_text().splitlines(), start=1
+        ):
+            stripped = line.split("#", 1)[0]
+            if _FORBIDDEN.search(stripped):
+                offenders.append(f"{path.relative_to(SRC)}:{lineno}: "
+                                 f"{line.strip()}")
+    assert not offenders, (
+        "module-level random usage found (use a seeded random.Random "
+        "instance instead):\n" + "\n".join(offenders)
+    )
+
+
+def test_every_random_import_is_instance_based():
+    """Files importing random must construct Random instances (or only
+    use it for type annotations) — never alias the module's functions."""
+    aliasing = re.compile(r"\bfrom\s+random\s+import\s+(?!Random\b|SystemRandom\b)")
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        for lineno, line in enumerate(
+            path.read_text().splitlines(), start=1
+        ):
+            if aliasing.search(line.split("#", 1)[0]):
+                offenders.append(f"{path.relative_to(SRC)}:{lineno}: "
+                                 f"{line.strip()}")
+    assert not offenders, (
+        "direct from-imports of random functions found:\n"
+        + "\n".join(offenders)
+    )
