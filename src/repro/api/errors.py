@@ -34,6 +34,34 @@ class NotFoundError(ApiError, LookupError):
     exit_code = 2
 
 
+class BackpressureError(ApiError):
+    """The job queue is at capacity; retry after ``retry_after`` seconds.
+
+    Rendered over HTTP as ``429`` with a ``Retry-After`` header — the
+    bounded-queue backpressure contract of the execution plane.
+    """
+
+    http_status = 429
+    exit_code = 3
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        #: suggested client wait, seconds (the ``Retry-After`` header,
+        #: rounded up to a whole second on the wire)
+        self.retry_after = max(0.0, float(retry_after))
+
+
+class DeadlineError(ApiError):
+    """A run overran its requested deadline (HTTP 504).
+
+    Deadline misses are permanent: the budget was for the whole job, so
+    the execution plane does not retry them.
+    """
+
+    http_status = 504
+    exit_code = 3
+
+
 def render_error(error: BaseException) -> str:
     """One-line, traceback-free rendering shared by CLI and HTTP."""
     message = str(error).strip() or type(error).__name__

@@ -4,8 +4,9 @@ Pure stdlib (``http.server``) — no new dependencies.  Endpoints, all
 JSON, all prefixed with the API version:
 
 * ``GET /v1/health`` — liveness: ``{"status": "ok", "api_version",
-  "jobs": {...}}`` with job counts by state (what CI polls instead of
-  sleep-retrying);
+  "jobs": {...}, "queue": {...}}`` with job counts by state plus queue
+  depth, capacity, and the finished-record ``evicted`` counter (what CI
+  polls instead of sleep-retrying);
 * ``GET /v1/tools`` (optionally ``?name=<tool>``) — registered capture
   backends with their resolved profiles;
 * ``GET /v1/benchmarks`` — the suite catalog (builtin and custom, with
@@ -113,7 +114,12 @@ class ApiRequestHandler(BaseHTTPRequestHandler):
         try:
             route()
         except ApiError as exc:
-            self._send_json(exc.http_status, error_body(exc))
+            headers = None
+            retry_after = getattr(exc, "retry_after", None)
+            if retry_after is not None:
+                # whole seconds, rounded up: the header is delta-seconds
+                headers = {"Retry-After": str(max(1, int(retry_after + 0.999)))}
+            self._send_json(exc.http_status, error_body(exc), headers)
         except BrokenPipeError:
             pass  # client went away mid-response
         except Exception as exc:  # noqa: BLE001 — never kill the server
@@ -167,6 +173,10 @@ class ApiRequestHandler(BaseHTTPRequestHandler):
             "status": "ok",
             "api_version": API_VERSION,
             "jobs": {"total": len(jobs), **states},
+            # queue depth, capacity, and the evicted counter that
+            # explains why an old job id 404s (finished records are
+            # retained only up to a cap)
+            "queue": self.service.jobs.queue_stats(),
         }
 
     def _route_post(self) -> None:
@@ -267,11 +277,18 @@ class ApiRequestHandler(BaseHTTPRequestHandler):
             raise ValidationError("request body must be a JSON object")
         return body
 
-    def _send_json(self, status: int, payload: Dict[str, object]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict[str, object],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         blob = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(blob)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(blob)
 

@@ -23,11 +23,13 @@ import itertools
 import threading
 import time
 import uuid
+from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.api.errors import (
     ApiError,
+    BackpressureError,
     NotFoundError,
     ValidationError,
     render_error,
@@ -54,6 +56,7 @@ class _Job:
         self.completed = 0
         self.stage = ""
         self.error = ""
+        self.attempts = 0
         self.result: Optional[RunResponse] = None
         self.results: Optional[Tuple[RunResponse, ...]] = None
         self.report = None  # SynthReport for synthesis jobs
@@ -72,6 +75,7 @@ class _Job:
             completed=self.completed,
             stage=self.stage,
             error=self.error,
+            attempts=self.attempts,
             result=self.result,
             results=self.results,
             report=self.report,
@@ -86,13 +90,21 @@ class JobManager:
     #: holds full result graphs)
     MAX_FINISHED_JOBS = 256
 
-    def __init__(self, max_workers: int = 4) -> None:
+    def __init__(
+        self, max_workers: int = 4, capacity: Optional[int] = None
+    ) -> None:
         self._max_workers = max(1, max_workers)
+        #: queued+running jobs admitted before submit() answers 429
+        #: (None = unbounded, the historical behavior)
+        self._capacity = capacity
         self._pool: Optional[ThreadPoolExecutor] = None
         self._jobs: Dict[str, _Job] = {}
         self._lock = threading.RLock()
         self._seq = itertools.count(1)
         self._closed = False
+        self._evicted = 0
+        #: recent job wall-clock durations, for the Retry-After estimate
+        self._durations: Deque[float] = deque(maxlen=32)
 
     # -- public API ---------------------------------------------------------
 
@@ -104,6 +116,18 @@ class JobManager:
                 raise ValidationError(
                     "job manager is shut down; no new jobs accepted"
                 )
+            if self._capacity is not None:
+                active = sum(
+                    1 for job in self._jobs.values()
+                    if job.state in ("queued", "running")
+                )
+                if active >= self._capacity:
+                    raise BackpressureError(
+                        f"job queue is at capacity "
+                        f"({active}/{self._capacity} active jobs); "
+                        f"retry later",
+                        retry_after=self._retry_after_estimate(),
+                    )
             # The unguessable suffix is the only access control on job
             # ids (they are capability tokens over /v1/jobs), so use the
             # full 128 bits of uuid4, not a truncation.
@@ -139,6 +163,52 @@ class JobManager:
         """Snapshots of every job this manager has seen, oldest first."""
         with self._lock:
             return [job.snapshot() for job in self._jobs.values()]
+
+    def queue_stats(self) -> Dict[str, object]:
+        """Queue depth and churn counters for ``GET /v1/health``.
+
+        ``evicted`` is the total finished-job records dropped by the
+        retention cap — the counter that explains why an old job id now
+        404s instead of leaving the eviction silent.
+        """
+        with self._lock:
+            pending = sum(
+                1 for job in self._jobs.values() if job.state == "queued"
+            )
+            leased = sum(
+                1 for job in self._jobs.values() if job.state == "running"
+            )
+            return {
+                "pending": pending,
+                "leased": leased,
+                "active": pending + leased,
+                "capacity": self._capacity,
+                "evicted": self._evicted,
+                "workers": self._max_workers,
+            }
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Graceful drain: refuse new jobs, wait out in-flight ones.
+
+        Returns True when every queued/running job reached a terminal
+        state within ``timeout`` seconds; False means jobs were still in
+        flight when the budget ran out (the caller decides whether to
+        escalate to ``shutdown(cancel=True)``).
+        """
+        with self._lock:
+            self._closed = True
+        deadline = time.monotonic() + max(0.0, timeout)
+        while True:
+            with self._lock:
+                active = any(
+                    job.state in ("queued", "running")
+                    for job in self._jobs.values()
+                )
+            if not active:
+                return True
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(0.05)
 
     def shutdown(self, wait: bool = True, cancel: bool = False) -> None:
         """Stop accepting jobs and release the worker pool.
@@ -185,6 +255,15 @@ class JobManager:
         ]
         for job_id in finished[:max(0, len(finished) - self.MAX_FINISHED_JOBS)]:
             del self._jobs[job_id]
+            self._evicted += 1
+
+    def _retry_after_estimate(self) -> float:
+        """Suggested client wait when the queue is full (under the lock):
+        roughly one recently observed job duration, bounded to [1, 60]."""
+        if not self._durations:
+            return 1.0
+        typical = sorted(self._durations)[len(self._durations) // 2]
+        return min(60.0, max(1.0, typical))
 
     def _get(self, job_id: str) -> _Job:
         try:
@@ -203,6 +282,7 @@ class JobManager:
                 return
             job.state = "running"
             job.started_at = time.time()
+            job.attempts = 1  # the thread pool never retries
 
         def progress(event: ProgressEvent) -> None:
             if job.cancel_requested.is_set():
@@ -265,3 +345,5 @@ class JobManager:
         finally:
             with self._lock:
                 job.finished_at = time.time()
+                if job.started_at is not None:
+                    self._durations.append(job.finished_at - job.started_at)

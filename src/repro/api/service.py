@@ -31,7 +31,7 @@ import threading
 import warnings
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
-from repro.api.errors import NotFoundError, ValidationError
+from repro.api.errors import DeadlineError, NotFoundError, ValidationError
 from repro.api.jobs import JobManager
 from repro.api.specs import (
     BenchmarkSpec,
@@ -60,7 +60,7 @@ from repro.capture.registry import (
 )
 from repro.config import ProfileError, get_profile
 from repro.core.pipeline import PipelineConfig, ProvMark
-from repro.core.stages import ProgressCallback
+from repro.core.stages import DeadlineExceeded, ProgressCallback
 from repro.storage.artifacts import ArtifactError, ArtifactStore
 from repro.suite.executor import ExecutionError
 from repro.suite.program import Program
@@ -326,6 +326,8 @@ class BenchmarkService:
                     results = driver.run_many(programs, max_workers=workers)
                 except ExecutionError as exc:
                     raise ValidationError(self._execution_message(exc)) from exc
+                except DeadlineExceeded as exc:
+                    raise DeadlineError(str(exc)) from exc
                 return tuple(RunResponse(result=r) for r in results)
             responses = []
             for program in programs:
@@ -527,7 +529,7 @@ class BenchmarkService:
             request.trials, request.filtergraphs, request.engine,
             request.seed, request.truncation_rate, request.fg_pair_policy,
             request.bg_pair_policy, request.store_path, request.resume,
-            request.cache,
+            request.cache, getattr(request, "deadline", None),
         )
         with self._pool_lock:
             idle = self._driver_pool.get(key)
@@ -612,6 +614,8 @@ class BenchmarkService:
             raise ValidationError(
                 BenchmarkService._execution_message(exc)
             ) from exc
+        except DeadlineExceeded as exc:
+            raise DeadlineError(str(exc)) from exc
 
     @staticmethod
     def _execution_message(exc: ExecutionError) -> str:
@@ -695,6 +699,7 @@ class BenchmarkService:
             provmark.config.store_path = request.store_path
             provmark.config.resume = request.resume
             provmark.config.cache = request.cache
+            provmark.config.deadline = getattr(request, "deadline", None)
             return provmark
         try:
             get_backend(request.tool)
@@ -712,5 +717,6 @@ class BenchmarkService:
             store_path=request.store_path,
             resume=request.resume,
             cache=request.cache,
+            deadline=getattr(request, "deadline", None),
         )
         return ProvMark._internal(config=config)

@@ -163,6 +163,10 @@ def _validate_pipeline_fields(request: object, type_name: str) -> None:
     _check_str(type_name, "store_path", request.store_path, optional=True)
     _check_bool(type_name, "resume", request.resume)
     _check_bool(type_name, "cache", request.cache)
+    _check_number(type_name, "deadline", request.deadline, optional=True)
+    if request.deadline is not None and request.deadline <= 0:
+        _fail(type_name, "deadline",
+              f"must be > 0 seconds, got {request.deadline}")
 
 
 def _pipeline_payload(request: object) -> Dict[str, object]:
@@ -180,6 +184,7 @@ def _pipeline_payload(request: object) -> Dict[str, object]:
         "store_path": request.store_path,
         "resume": request.resume,
         "cache": request.cache,
+        "deadline": request.deadline,
     }
 
 
@@ -215,6 +220,9 @@ class RunRequest:
     store_path: Optional[str] = None
     resume: bool = False
     cache: bool = True
+    #: per-benchmark wall-clock budget, seconds (enforced at stage
+    #: boundaries; an overrun is a permanent DeadlineError, never retried)
+    deadline: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.spec is not None and not isinstance(self.spec, BenchmarkSpec):
@@ -273,6 +281,9 @@ class BatchRequest:
     store_path: Optional[str] = None
     resume: bool = False
     cache: bool = True
+    #: per-benchmark wall-clock budget, seconds (each run in the batch
+    #: gets its own budget; enforced at stage boundaries)
+    deadline: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.benchmarks is not None:
@@ -696,6 +707,9 @@ class JobStatus:
     completed: int = 0
     stage: str = ""
     error: str = ""
+    #: delivery attempts so far (0 while queued; the execution plane
+    #: increments it on every claim, including lease-recovery retries)
+    attempts: int = 0
     result: Optional[RunResponse] = None
     results: Optional[Tuple[RunResponse, ...]] = None
     #: synthesis jobs report a SynthReport instead of run responses
@@ -716,6 +730,7 @@ class JobStatus:
         _check_int("JobStatus", "completed", self.completed, minimum=0)
         _check_str("JobStatus", "stage", self.stage)
         _check_str("JobStatus", "error", self.error)
+        _check_int("JobStatus", "attempts", self.attempts, minimum=0)
         if self.result is not None and not isinstance(self.result, RunResponse):
             _fail("JobStatus", "result", "must be a RunResponse or None")
         if self.results is not None:
@@ -747,6 +762,7 @@ class JobStatus:
             "completed": self.completed,
             "stage": self.stage,
             "error": self.error,
+            "attempts": self.attempts,
             "result": self.result.to_payload() if self.result else None,
             "results": (
                 [r.to_payload() for r in self.results]

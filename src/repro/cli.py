@@ -87,6 +87,11 @@ def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
         "--filtergraphs", action="store_true", default=None,
         help="drop obviously incomplete graphs before generalization",
     )
+    parser.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-benchmark wall-clock budget, enforced at stage "
+        "boundaries (overruns fail permanently; default: unbounded)",
+    )
 
 
 def _add_store_options(parser: argparse.ArgumentParser) -> None:
@@ -120,6 +125,7 @@ def _request_kwargs(args: argparse.Namespace) -> dict:
         store_path=getattr(args, "artifact_store", None),
         resume=getattr(args, "resume", False),
         cache=not getattr(args, "no_cache", False),
+        deadline=getattr(args, "deadline", None),
     )
 
 
@@ -176,25 +182,80 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _make_serve_jobs(args: argparse.Namespace):
+    """The job manager behind ``provmark serve``: a process fleet over a
+    durable queue with ``--workers``, else the in-process thread pool."""
+    if args.workers > 0:
+        if not args.queue:
+            raise ValidationError(
+                "--workers requires --queue DIR (the execution-plane "
+                "root holding the shared store and the durable spool)"
+            )
+        from repro.exec import FleetJobManager
+
+        return FleetJobManager(
+            args.queue, workers=args.workers, capacity=args.capacity
+        )
+    from repro.api.jobs import JobManager
+
+    return JobManager(capacity=args.capacity)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
-    service = BenchmarkService()
+    import signal
+    import threading
+
+    manager = _make_serve_jobs(args)
+    service = BenchmarkService(jobs=manager)
     server = make_server(service, host=args.host, port=args.port)
     host, port = server.server_address[:2]
+
+    # First SIGINT/SIGTERM starts a graceful drain (finish in-flight
+    # jobs, refuse new ones); a second escalates to cancellation.
+    stop = threading.Event()
+    signals_seen = []
+
+    def _on_signal(signum: int, frame: object) -> None:
+        signals_seen.append(signum)
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+
     print(
         f"provmark api v{API_VERSION} serving on http://{host}:{port}/v1 "
         "(Ctrl-C to stop)",
         flush=True,
     )
+    serving = threading.Thread(
+        target=server.serve_forever, name="provmark-serve", daemon=True
+    )
+    serving.start()
     try:
-        server.serve_forever()
+        while not stop.wait(0.5):
+            pass
     except KeyboardInterrupt:
         pass
-    finally:
-        server.server_close()
-        # cancel in-flight jobs: Ctrl-C must stop promptly, not sit out
-        # a running benchmark sweep
-        service.close(cancel=True)
-    return 0
+    server.shutdown()
+    server.server_close()
+    serving.join(timeout=5.0)
+
+    drained = True
+    if getattr(manager, "drain", None) is not None:
+        print(
+            f"draining: letting in-flight jobs finish "
+            f"(up to {args.drain_timeout:g}s)...",
+            flush=True,
+        )
+        drained = manager.drain(args.drain_timeout)
+    if drained and len(signals_seen) <= 1:
+        manager.shutdown(wait=False)
+        print("drained cleanly; all in-flight jobs finished", flush=True)
+    else:
+        manager.shutdown(wait=False, cancel=True)
+        print("drain cut short; cancelled remaining jobs", flush=True)
+    service.close()
+    return 0 if drained else 1
 
 
 def _cmd_table2(args: argparse.Namespace) -> int:
@@ -436,6 +497,26 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--port", type=int, default=DEFAULT_PORT,
         help=f"TCP port; 0 picks a free one (default: {DEFAULT_PORT})",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="run jobs on N supervised worker processes over a durable "
+        "queue (0: in-process thread pool; default: 0)",
+    )
+    serve.add_argument(
+        "--queue", default=None, metavar="DIR",
+        help="execution-plane root for --workers: holds the shared "
+        "artifact store and the durable job spool",
+    )
+    serve.add_argument(
+        "--capacity", type=int, default=None, metavar="N",
+        help="cap on active (queued+running) jobs; a saturated queue "
+        "answers 429 with Retry-After (default: unbounded)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="on SIGINT/SIGTERM, let in-flight jobs finish for this "
+        "long before cancelling them (default: 30)",
     )
     serve.set_defaults(func=_cmd_serve)
 

@@ -19,6 +19,7 @@ The public entry point is :class:`ProvMark`.
 
 from __future__ import annotations
 
+import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -118,6 +119,10 @@ class PipelineConfig:
     #: with a store: read stage artifacts back (False forces recomputation
     #: of every stage while still refreshing the stored artifacts)
     cache: bool = True
+    #: per-benchmark wall-clock budget in seconds, enforced at stage
+    #: boundaries (None = unbounded); an overrun raises
+    #: :class:`~repro.core.stages.DeadlineExceeded`
+    deadline: Optional[float] = None
 
     def resolved_trials(self) -> int:
         if self.trials is not None:
@@ -318,6 +323,10 @@ class ProvMark:
         self, program: Program, store: Optional[ArtifactStore]
     ) -> RunContext:
         config = self.config
+        deadline_at = (
+            time.perf_counter() + config.deadline
+            if config.deadline is not None else None
+        )
         return RunContext(
             program=program,
             capture=self.capture,
@@ -333,6 +342,7 @@ class ProvMark:
             store=store,
             use_cache=config.cache,
             progress=self.progress,
+            deadline_at=deadline_at,
         )
 
     def _result_material(self, ctx: RunContext) -> Dict[str, object]:

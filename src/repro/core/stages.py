@@ -93,6 +93,15 @@ class StageFailure(Exception):
         self.payload = payload
 
 
+class DeadlineExceeded(Exception):
+    """A run overran its deadline (checked at stage boundaries).
+
+    Deliberately *not* a :class:`StageFailure`: a deadline miss is a
+    property of this run's wall clock, not of the benchmark, so it is
+    never cached in the artifact store and never classified as a result.
+    """
+
+
 @dataclass
 class RunContext:
     """Everything one benchmark run reads and produces.
@@ -119,6 +128,11 @@ class RunContext:
     #: stage-boundary observer (job progress, cancellation); exceptions
     #: it raises propagate out of :meth:`Pipeline.run` unchanged
     progress: Optional[ProgressCallback] = None
+    #: absolute ``time.perf_counter()`` instant after which the run must
+    #: stop; checked before each stage starts (never mid-stage), raising
+    #: :class:`DeadlineExceeded`.  Excluded from :meth:`key_material` —
+    #: a deadline bounds wall clock, it cannot change results.
+    deadline_at: Optional[float] = None
     # -- stage products ----------------------------------------------------
     session: Optional[RecordingSession] = None
     fg_graphs: Optional[List[PropertyGraph]] = None
@@ -391,6 +405,14 @@ class Pipeline:
         which is how job cancellation aborts a run between stages.
         """
         for stage in self.stages:
+            if (
+                ctx.deadline_at is not None
+                and time.perf_counter() > ctx.deadline_at
+            ):
+                raise DeadlineExceeded(
+                    f"benchmark {ctx.program.name!r} overran its deadline "
+                    f"before stage {stage.name!r}"
+                )
             self._emit(ctx, stage, "started", 0.0)
             started = time.perf_counter()
             try:

@@ -1,0 +1,40 @@
+"""Fault-tolerant execution plane: supervised workers over a durable queue.
+
+The package splits the HTTP front end from a fleet of worker
+*processes*:
+
+* :class:`~repro.exec.policy.RetryPolicy` — retry/backoff/lease knobs,
+  deterministic jitter;
+* :class:`~repro.exec.queue.JobQueue` — a durable, lease-based job
+  queue spooled on disk next to the shared artifact store, safe for
+  concurrent workers (atomic-rename claims, heartbeat leases,
+  crash-recovery requeue);
+* :mod:`~repro.exec.worker` — the worker process entry point: claim,
+  heartbeat, run through :class:`~repro.api.service.BenchmarkService`,
+  persist results;
+* :class:`~repro.exec.supervisor.Supervisor` — spawns and restarts
+  workers, recovers expired/orphaned leases, drains gracefully;
+* :class:`~repro.exec.manager.FleetJobManager` — the
+  :class:`~repro.api.jobs.JobManager`-shaped façade
+  ``provmark serve --workers N`` plugs into
+  :class:`~repro.api.service.BenchmarkService`.
+
+Delivery semantics are **at-least-once**: a lost worker's leased job is
+requeued and re-run, so only seeded (deterministic) requests should be
+submitted when byte-identical results matter — which the artifact store
+then guarantees, since every retry replays completed stages from the
+shared cache.
+"""
+
+from repro.exec.manager import FleetJobManager
+from repro.exec.policy import RetryPolicy
+from repro.exec.queue import JobQueue, QueueError
+from repro.exec.supervisor import Supervisor
+
+__all__ = [
+    "FleetJobManager",
+    "JobQueue",
+    "QueueError",
+    "RetryPolicy",
+    "Supervisor",
+]

@@ -1,0 +1,504 @@
+"""Durable, lease-based job queue spooled on disk.
+
+The queue is a directory any number of worker processes (and one
+supervisor) share, sitting next to the content-addressed artifact store
+that makes any worker able to serve any job.  Everything is plain files
+with atomic-rename coordination — no daemons, no sockets, no locks held
+across processes:
+
+* ``jobs/<job_id>.json`` — the job record: request payload, state,
+  attempts, timestamps, error history, and (when done) the result
+  payloads.  Records are written atomically (temp file + ``os.replace``)
+  so readers never see a half-written record.
+* ``pending/<prio>-<job_id>`` — FIFO claim tokens.  Claiming is one
+  atomic ``os.rename`` of the token into ``leases/<job_id>``: exactly
+  one worker wins, losers get ``FileNotFoundError`` and move on.  Every
+  active job owns exactly one of {pending token, lease}, which is the
+  queue-depth invariant backpressure counts.
+* ``leases/<job_id>`` — the winner's lease, doubling as its heartbeat:
+  the worker rewrites it every ``heartbeat_interval``; a lease whose
+  embedded timestamp goes stale past ``lease_ttl`` marks a lost worker,
+  and :meth:`JobQueue.recover` requeues the job with ``attempts``
+  incremented (or fails it permanently past ``max_attempts``).
+* ``cancel/<job_id>`` — cancellation markers, checked by workers at
+  stage boundaries (one ``stat`` per boundary).
+
+Delivery is **at-least-once**: a worker that loses its lease to a stale
+heartbeat may still be running (the zombie case fault injection
+exercises via ``heartbeat_loss``), so two workers can run the same job.
+Both coordinate results through the artifact store's atomic
+content-addressed writes; job-record updates are last-writer-wins with
+one guard — a terminal record is never downgraded back to a live state,
+so a completed job stays completed whatever a lagging writer thinks.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+import uuid
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.exec.policy import RetryPolicy
+
+#: bump when the record schema changes incompatibly
+QUEUE_VERSION = 1
+
+#: record states, mirroring the API's JOB_STATES
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+class QueueError(Exception):
+    """Raised for unusable spool directories or malformed records."""
+
+
+def _now() -> float:
+    return time.time()
+
+
+def _write_json_atomic(path: Path, payload: Dict[str, object]) -> None:
+    blob = json.dumps(payload, sort_keys=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.stem}.", suffix=".tmp", dir=str(path.parent)
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(blob)
+        os.replace(tmp_name, path)
+    except OSError:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def _read_json(path: Path) -> Optional[Dict[str, object]]:
+    """Best-effort read: None for missing, torn, or non-object payloads."""
+    try:
+        text = path.read_text()
+    except OSError:
+        return None
+    try:
+        payload = json.loads(text)
+    except ValueError:
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+class JobQueue:
+    """One spool directory's worth of durable jobs."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        try:
+            for sub in ("jobs", "pending", "leases", "cancel"):
+                (self.root / sub).mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise QueueError(f"cannot create spool at {root}: {exc}") from exc
+        self._jobs = self.root / "jobs"
+        self._pending = self.root / "pending"
+        self._leases = self.root / "leases"
+        self._cancel = self.root / "cancel"
+        self._evicted_file = self.root / "evicted.count"
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(
+        self,
+        kind: str,
+        request_payload: Dict[str, object],
+        total: int,
+        max_attempts: int,
+    ) -> Dict[str, object]:
+        """Persist a new job record and its pending token; returns the record.
+
+        Job ids reuse the API scheme — an unguessable uuid4 suffix is
+        the only access control on job records, exactly like the
+        in-process manager's ids over ``/v1/jobs``.
+        """
+        now = _now()
+        job_id = f"job-{int(now * 1e3) % 10000:04d}-{uuid.uuid4().hex}"
+        record: Dict[str, object] = {
+            "version": QUEUE_VERSION,
+            "job_id": job_id,
+            "kind": kind,
+            "request": request_payload,
+            "state": "queued",
+            "total": total,
+            "completed": 0,
+            "stage": "",
+            "attempts": 0,
+            "max_attempts": max_attempts,
+            "not_before": 0.0,
+            "submitted_at": now,
+            "started_at": None,
+            "finished_at": None,
+            "owner": None,
+            "error": "",
+            "error_history": [],
+            "result": None,
+            "results": None,
+            "report": None,
+            "cancel_requested": False,
+        }
+        _write_json_atomic(self._record_path(job_id), record)
+        self._make_token(job_id, now)
+        return record
+
+    # -- worker side ---------------------------------------------------------
+
+    def claim(self, owner: str) -> Optional[Dict[str, object]]:
+        """Atomically claim the oldest runnable pending job, if any.
+
+        Tokens are scanned FIFO; jobs still inside their retry backoff
+        (``not_before`` in the future) are skipped, cancellation
+        requests observed while queued finalize immediately, and losing
+        a rename race just moves on to the next token.  On a win the
+        record flips to ``running`` with ``attempts`` incremented — the
+        attempt counter counts claims, so a worker that dies before its
+        first record write still gets charged by recovery.
+        """
+        now = _now()
+        for token in sorted(self._pending.iterdir()):
+            job_id = self._job_id_of(token.name)
+            if job_id is None:
+                continue
+            record = self.record(job_id)
+            if record is None:
+                # orphan token (record unreadable/missing): drop it
+                try:
+                    token.unlink()
+                except OSError:
+                    pass
+                continue
+            if record.get("state") in TERMINAL_STATES:
+                try:
+                    token.unlink()
+                except OSError:
+                    pass
+                continue
+            if record.get("cancel_requested"):
+                try:
+                    token.unlink()
+                except OSError:
+                    continue  # another worker got here first
+                self._finalize(record, "cancelled")
+                continue
+            if float(record.get("not_before") or 0.0) > now:
+                continue
+            lease = self._leases / job_id
+            try:
+                os.rename(token, lease)
+            except OSError:
+                continue  # lost the race
+            self.heartbeat(job_id, owner, "claimed")
+            def _claimed(rec: Dict[str, object]) -> None:
+                rec["state"] = "running"
+                rec["attempts"] = int(rec.get("attempts") or 0) + 1
+                rec["owner"] = owner
+                rec["started_at"] = rec.get("started_at") or _now()
+                rec["stage"] = ""
+            return self._update(job_id, _claimed)
+        return None
+
+    def heartbeat(self, job_id: str, owner: str, stage: str = "") -> None:
+        """Refresh the lease (atomic rewrite; stale mtime = lost worker)."""
+        lease = self._leases / job_id
+        if not lease.exists():
+            return  # lease was recovered away; the zombie keeps running
+        _write_json_atomic(
+            lease, {"owner": owner, "stage": stage, "ts": _now()}
+        )
+
+    def update_progress(
+        self, job_id: str, completed: int, stage: str = ""
+    ) -> None:
+        def _progress(rec: Dict[str, object]) -> None:
+            if rec.get("state") in TERMINAL_STATES:
+                return
+            rec["completed"] = completed
+            if stage:
+                rec["stage"] = stage
+        self._update(job_id, _progress)
+
+    def complete(
+        self,
+        job_id: str,
+        result: Optional[Dict[str, object]] = None,
+        results: Optional[Sequence[Dict[str, object]]] = None,
+        report: Optional[Dict[str, object]] = None,
+    ) -> Dict[str, object]:
+        """Record success.  A real result always wins: ``done`` may
+        overwrite a recovery-written ``failed``/retrying state (the
+        zombie-worker convergence case), never the other way around."""
+        def _done(rec: Dict[str, object]) -> None:
+            rec["state"] = "done"
+            rec["result"] = result
+            if results is not None:
+                rec["results"] = list(results)
+                rec["completed"] = len(results)
+            elif result is not None:
+                rec["completed"] = 1
+            else:
+                rec["completed"] = rec.get("total", 0)
+            rec["report"] = report
+            rec["error"] = ""
+            rec["finished_at"] = _now()
+        record = self._update(job_id, _done, allow_terminal=True)
+        self._release(job_id)
+        return record
+
+    def fail(self, job_id: str, error: str) -> Dict[str, object]:
+        """Record a permanent failure (root cause preserved)."""
+        def _failed(rec: Dict[str, object]) -> None:
+            if rec.get("state") == "done":
+                return  # a completed result is never demoted
+            rec["state"] = "failed"
+            rec["error"] = error
+            history = list(rec.get("error_history") or [])
+            history.append(f"attempt {rec.get('attempts')}: {error}")
+            rec["error_history"] = history
+            rec["finished_at"] = _now()
+        record = self._update(job_id, _failed, allow_terminal=True)
+        self._release(job_id)
+        return record
+
+    def mark_cancelled(self, job_id: str) -> Dict[str, object]:
+        record = self._update(
+            job_id, lambda rec: self._finalize_fields(rec, "cancelled")
+        )
+        self._release(job_id)
+        return record
+
+    def retry_or_fail(
+        self, job_id: str, error: str, policy: RetryPolicy
+    ) -> Dict[str, object]:
+        """A failed attempt: requeue under backoff, or fail permanently.
+
+        The attempt that just failed is ``record["attempts"]`` (claims
+        are counted up front).  Under ``max_attempts`` the job re-enters
+        the pending queue with ``not_before`` pushed out by the policy's
+        capped, jittered exponential backoff; at the cap it fails with
+        the full error history and the *last* root cause in ``error``.
+        """
+        record = self.record(job_id)
+        if record is None:
+            raise QueueError(f"unknown job {job_id!r}")
+        attempts = int(record.get("attempts") or 0)
+        max_attempts = int(record.get("max_attempts") or 1)
+        if attempts >= max_attempts:
+            return self.fail(
+                job_id, f"{error} (failed permanently after {attempts} "
+                f"attempt(s))"
+            )
+        delay = policy.backoff(job_id, attempts)
+        def _requeue(rec: Dict[str, object]) -> None:
+            if rec.get("state") in TERMINAL_STATES:
+                return
+            rec["state"] = "queued"
+            rec["owner"] = None
+            rec["not_before"] = _now() + delay
+            rec["error"] = error
+            history = list(rec.get("error_history") or [])
+            history.append(f"attempt {attempts}: {error}")
+            rec["error_history"] = history
+        record = self._update(job_id, _requeue)
+        self._release(job_id, keep_cancel=True)
+        if record.get("state") == "queued":
+            self._make_token(job_id, _now())
+        return record
+
+    # -- control side --------------------------------------------------------
+
+    def cancel(self, job_id: str) -> Dict[str, object]:
+        """Request cancellation: queued jobs stop now, running ones at
+        their next stage boundary (workers poll the marker file)."""
+        record = self.record(job_id)
+        if record is None:
+            raise QueueError(f"unknown job {job_id!r}")
+        if record.get("state") in TERMINAL_STATES:
+            return record
+        marker = self._cancel / job_id
+        try:
+            marker.touch()
+        except OSError:
+            pass
+        token = self._token_for(job_id)
+        if token is not None:
+            try:
+                token.unlink()
+            except OSError:
+                token = None  # claimed in the meantime
+        if token is not None:
+            return self.mark_cancelled(job_id)
+        return self._update(
+            job_id, lambda rec: rec.__setitem__("cancel_requested", True)
+        )
+
+    def cancel_requested(self, job_id: str) -> bool:
+        return (self._cancel / job_id).exists()
+
+    def recover(
+        self,
+        policy: RetryPolicy,
+        dead_owners: Sequence[str] = (),
+        now: Optional[float] = None,
+    ) -> List[str]:
+        """Requeue (or permanently fail) jobs whose lease is lost.
+
+        A lease is lost when its heartbeat timestamp is older than
+        ``lease_ttl``, or when its owner is known-dead (the supervisor
+        passes the worker ids of processes it just reaped, which makes
+        crash recovery immediate instead of waiting out the TTL).
+        """
+        now = _now() if now is None else now
+        recovered: List[str] = []
+        dead = set(dead_owners)
+        for lease in sorted(self._leases.iterdir()):
+            job_id = lease.name
+            beat = _read_json(lease) or {}
+            owner = str(beat.get("owner") or "")
+            ts = beat.get("ts")
+            try:
+                stamp = float(ts) if ts is not None else lease.stat().st_mtime
+            except (OSError, TypeError, ValueError):
+                stamp = 0.0
+            lost = owner in dead or (now - stamp) > policy.lease_ttl
+            if not lost:
+                continue
+            try:
+                lease.unlink()
+            except OSError:
+                continue  # the worker finished in the window; nothing to do
+            record = self.record(job_id)
+            if record is None or record.get("state") in TERMINAL_STATES:
+                continue
+            self.retry_or_fail(
+                job_id,
+                f"worker {owner or 'unknown'} lost its lease "
+                f"(crash or missed heartbeats)",
+                policy,
+            )
+            recovered.append(job_id)
+        return recovered
+
+    def evict_finished(self, cap: int) -> int:
+        """Drop the oldest terminal records past ``cap``; returns total
+        evictions ever (the counter survives restarts)."""
+        terminal = []
+        for record in self.records():
+            if record.get("state") in TERMINAL_STATES:
+                terminal.append(record)
+        terminal.sort(key=lambda rec: float(rec.get("submitted_at") or 0.0))
+        evicted = self.evicted()
+        for record in terminal[: max(0, len(terminal) - cap)]:
+            job_id = str(record["job_id"])
+            try:
+                self._record_path(job_id).unlink()
+            except OSError:
+                continue
+            try:
+                (self._cancel / job_id).unlink()
+            except OSError:
+                pass
+            evicted += 1
+        _write_json_atomic(self._evicted_file, {"evicted": evicted})
+        return evicted
+
+    def evicted(self) -> int:
+        payload = _read_json(self._evicted_file) or {}
+        try:
+            return int(payload.get("evicted") or 0)
+        except (TypeError, ValueError):
+            return 0
+
+    # -- introspection -------------------------------------------------------
+
+    def record(self, job_id: str) -> Optional[Dict[str, object]]:
+        record = _read_json(self._record_path(job_id))
+        if record is None or record.get("version") != QUEUE_VERSION:
+            return None
+        return record
+
+    def records(self) -> List[Dict[str, object]]:
+        """Every readable record, oldest submission first."""
+        out = []
+        for path in self._jobs.glob("*.json"):
+            record = _read_json(path)
+            if record is not None and record.get("version") == QUEUE_VERSION:
+                out.append(record)
+        out.sort(key=lambda rec: float(rec.get("submitted_at") or 0.0))
+        return out
+
+    def depth(self) -> Dict[str, int]:
+        """Active-job counts from the token/lease invariant (no record
+        parsing — this is the hot path behind every health poll)."""
+        pending = sum(1 for _ in self._pending.iterdir())
+        leased = sum(1 for _ in self._leases.iterdir())
+        return {"pending": pending, "leased": leased, "active": pending + leased}
+
+    # -- internals -----------------------------------------------------------
+
+    def _record_path(self, job_id: str) -> Path:
+        return self._jobs / f"{job_id}.json"
+
+    def _make_token(self, job_id: str, stamp: float) -> None:
+        token = self._pending / f"{int(stamp * 1e6):020d}-{job_id}"
+        token.touch()
+
+    @staticmethod
+    def _job_id_of(token_name: str) -> Optional[str]:
+        parts = token_name.split("-", 1)
+        return parts[1] if len(parts) == 2 and parts[1] else None
+
+    def _token_for(self, job_id: str) -> Optional[Path]:
+        for token in self._pending.glob(f"*-{job_id}"):
+            return token
+        return None
+
+    def _update(
+        self,
+        job_id: str,
+        mutate: Callable[[Dict[str, object]], None],
+        allow_terminal: bool = False,
+    ) -> Dict[str, object]:
+        """Read-modify-write one record (atomic publish, terminal guard).
+
+        Concurrent updates are last-writer-wins, but a record already in
+        a terminal state is returned unchanged unless ``allow_terminal``
+        (complete/fail pass it; their mutators enforce the finer rule
+        that ``done`` is never demoted).
+        """
+        record = self.record(job_id)
+        if record is None:
+            raise QueueError(f"unknown job {job_id!r}")
+        if record.get("state") in TERMINAL_STATES and not allow_terminal:
+            return record
+        mutate(record)
+        _write_json_atomic(self._record_path(job_id), record)
+        return record
+
+    def _finalize(self, record: Dict[str, object], state: str) -> None:
+        job_id = str(record["job_id"])
+        self._update(
+            job_id, lambda rec: self._finalize_fields(rec, state)
+        )
+        self._release(job_id)
+
+    @staticmethod
+    def _finalize_fields(rec: Dict[str, object], state: str) -> None:
+        rec["state"] = state
+        rec["finished_at"] = _now()
+
+    def _release(self, job_id: str, keep_cancel: bool = False) -> None:
+        """Drop the lease (and, for terminal jobs, the cancel marker)."""
+        for path in ([self._leases / job_id] if keep_cancel else
+                     [self._leases / job_id, self._cancel / job_id]):
+            try:
+                path.unlink()
+            except OSError:
+                pass

@@ -1,0 +1,210 @@
+"""Supervisor: spawn worker processes, restart the dead, recover leases.
+
+The supervisor owns N worker *slots*.  Each slot runs one
+:func:`~repro.exec.worker.worker_main` process; when a process dies —
+injected kill, OOM, segfault, anything — the slot respawns with a fresh
+*generation* (owner id ``w<slot>.g<gen>``), and the dead incarnation's
+leases are recovered immediately by owner, without waiting out the lease
+TTL.  A monitor thread ticks continuously, also sweeping leases whose
+heartbeat went stale (the worker is alive but wedged or silenced — the
+``heartbeat_loss`` chaos case) and evicting finished records past the
+retention cap.
+
+Shutdown comes in two shapes:
+
+* :meth:`drain` — graceful: stop respawning, SIGTERM every worker
+  (workers finish their in-flight job, then exit), wait up to the
+  timeout, SIGKILL stragglers and recover their leases.  Pending jobs
+  stay durable in the spool for the next fleet.
+* :meth:`stop` — immediate: SIGTERM, a short grace, SIGKILL, recover.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from typing import List, Optional
+
+from repro.exec.policy import RetryPolicy
+from repro.exec.queue import JobQueue
+from repro.exec.worker import worker_main
+from repro.faults import FaultPlan
+
+
+def _fork_context():
+    """Prefer fork (shares the parent's registry state, no re-import
+    cost); fall back to the platform default where fork is unavailable
+    (worker_main and its arguments are picklable either way)."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return multiprocessing.get_context()
+
+
+class Supervisor:
+    """N supervised worker processes over one spool directory."""
+
+    #: seconds between monitor ticks (restart + lease recovery latency)
+    TICK_INTERVAL = 0.1
+
+    #: monitor ticks between finished-record eviction sweeps (eviction
+    #: parses every record, so it runs at ~1/50th the tick rate)
+    EVICT_EVERY = 50
+
+    def __init__(
+        self,
+        spool_root: str,
+        store_path: str,
+        workers: int = 2,
+        policy: Optional[RetryPolicy] = None,
+        faults: Optional[FaultPlan] = None,
+        poll_interval: float = 0.05,
+        finished_cap: int = 256,
+    ) -> None:
+        self.spool_root = str(spool_root)
+        self.store_path = str(store_path)
+        self.workers = max(1, int(workers))
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.queue = JobQueue(spool_root)
+        self.poll_interval = poll_interval
+        self.finished_cap = finished_cap
+        self._fault_payload = (
+            faults.to_payload() if faults is not None else None
+        )
+        self._ctx = _fork_context()
+        self._procs: List[Optional[multiprocessing.Process]] = (
+            [None] * self.workers
+        )
+        self._uids: List[str] = [""] * self.workers
+        self._generations: List[int] = [0] * self.workers
+        #: total worker restarts (crash respawns), for health/stats
+        self.restarts = 0
+        self._draining = False
+        self._stop = threading.Event()
+        self._monitor: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+        self._ticks = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn every worker slot and the monitor thread."""
+        with self._lock:
+            for slot in range(self.workers):
+                self._spawn(slot)
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="exec-supervisor", daemon=True
+        )
+        self._monitor.start()
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Graceful drain; True when every worker exited in time.
+
+        Workers stop claiming on SIGTERM and finish their in-flight job
+        first.  Stragglers past the timeout are SIGKILLed and their
+        leases recovered (those jobs retry under the next fleet).
+        Pending jobs are left durable in the spool either way.
+        """
+        with self._lock:
+            self._draining = True
+            procs = [p for p in self._procs if p is not None]
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()  # SIGTERM: drain, don't kill
+        deadline = time.monotonic() + max(0.0, timeout)
+        clean = True
+        for proc in procs:
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():
+                clean = False
+                proc.kill()
+                proc.join()
+        self._shutdown_monitor()
+        self._recover_dead()
+        return clean
+
+    def stop(self, grace: float = 1.0) -> None:
+        """Immediate shutdown: SIGTERM, a short grace, SIGKILL, recover."""
+        with self._lock:
+            self._draining = True
+            procs = [p for p in self._procs if p is not None]
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+        deadline = time.monotonic() + max(0.0, grace)
+        for proc in procs:
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():
+                proc.kill()
+                proc.join()
+        self._shutdown_monitor()
+        self._recover_dead()
+
+    def alive_workers(self) -> int:
+        with self._lock:
+            return sum(
+                1 for p in self._procs if p is not None and p.is_alive()
+            )
+
+    # -- supervision ---------------------------------------------------------
+
+    def tick(self) -> None:
+        """One supervision pass: reap + respawn, recover, evict."""
+        dead_uids: List[str] = []
+        with self._lock:
+            for slot, proc in enumerate(self._procs):
+                if proc is None or proc.is_alive():
+                    continue
+                proc.join()
+                dead_uids.append(self._uids[slot])
+                self._procs[slot] = None
+                if not self._draining:
+                    self.restarts += 1
+                    self._spawn(slot)
+        # Dead incarnations' leases recover immediately (by owner); the
+        # same sweep requeues any lease whose heartbeat went stale.
+        self.queue.recover(self.policy, dead_owners=dead_uids)
+        self._ticks += 1
+        if self._ticks % self.EVICT_EVERY == 0:
+            self.queue.evict_finished(self.finished_cap)
+
+    def _monitor_loop(self) -> None:
+        while not self._stop.wait(self.TICK_INTERVAL):
+            self.tick()
+
+    def _spawn(self, slot: int) -> None:
+        """Start a fresh incarnation in ``slot`` (called under _lock)."""
+        self._generations[slot] += 1
+        uid = f"w{slot}.g{self._generations[slot]}"
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(
+                slot,
+                uid,
+                self.spool_root,
+                self.store_path,
+                self.policy.to_payload(),
+                self._fault_payload,
+                self.poll_interval,
+            ),
+            name=f"provmark-{uid}",
+        )
+        proc.start()
+        self._procs[slot] = proc
+        self._uids[slot] = uid
+
+    def _shutdown_monitor(self) -> None:
+        self._stop.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=5.0)
+            self._monitor = None
+
+    def _recover_dead(self) -> None:
+        """Recover every lease still held by any incarnation ever spawned
+        (post-shutdown: all of them are dead by construction)."""
+        owners = [uid for uid in self._uids if uid]
+        # past generations too: w<slot>.g1 .. g<current>
+        for slot, gen in enumerate(self._generations):
+            owners.extend(f"w{slot}.g{g}" for g in range(1, gen + 1))
+        self.queue.recover(self.policy, dead_owners=owners)

@@ -43,6 +43,13 @@ from repro.storage.neo4jsim import Neo4jSim
 #: read as misses instead of deserializing garbage
 STORE_VERSION = 1
 
+#: Process-wide fault-injection gate adopted by new stores (see
+#: ``ArtifactStore.__init__``).  Worker processes under chaos testing
+#: install their bound :class:`repro.faults.FaultPlan` here via
+#: :func:`repro.faults.install_store_gate`; in production it stays None
+#: and the write path is untouched.
+DEFAULT_FAULT_GATE = None
+
 
 class ArtifactError(Exception):
     """Raised for unusable store roots or malformed payload values."""
@@ -94,13 +101,21 @@ class ArtifactStore:
     #: runs (an in-flight write lives milliseconds) and are swept
     STALE_TMP_SECONDS = 3600.0
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(
+        self, root: Union[str, Path], fault_gate: Optional[object] = None
+    ) -> None:
         self.root = Path(root)
         try:
             self.root.mkdir(parents=True, exist_ok=True)
         except OSError as exc:
             raise ArtifactError(f"cannot create store root {root}: {exc}") from exc
         self.stats = StoreStats()
+        #: fault-injection hook consulted by save() (chaos tests only);
+        #: falls back to the module seam so stores built deep inside the
+        #: driver stack are covered without plumbing
+        self.fault_gate = (
+            fault_gate if fault_gate is not None else DEFAULT_FAULT_GATE
+        )
         self._sweep_stale_tmp()
 
     def _sweep_stale_tmp(self) -> None:
@@ -170,6 +185,10 @@ class ArtifactStore:
             raise ArtifactError(
                 f"unserializable payload for stage {stage!r}: {exc}"
             ) from exc
+        if self.fault_gate is not None:
+            # may publish a torn artifact under the final name and raise
+            # (the injected mid-write crash the load() path must survive)
+            self.fault_gate.on_store_write(stage, path, blob)
         fd, tmp_name = tempfile.mkstemp(
             prefix=f".{path.stem}.", suffix=".tmp", dir=str(path.parent)
         )
