@@ -14,8 +14,9 @@ from repro import ProvMark
 from conftest import emit, record_bench, timings_payload
 
 SCALES = ("scale1", "scale2", "scale4", "scale8")
-#: beyond the paper: the fast-path engine keeps these within budget
-EXTENDED_SCALES = SCALES + ("scale16", "scale32")
+#: beyond the paper: the fast-path engine keeps these within budget;
+#: the registry's slow-tagged scale128/scale512 rows prove the next tier.
+EXTENDED_SCALES = SCALES + ("scale16", "scale32", "scale128", "scale512")
 FIGURES = {"spade": "fig8", "opus": "fig9", "camflow": "fig10"}
 
 
@@ -34,12 +35,13 @@ def test_scalability(benchmark, tool):
     timings = benchmark.pedantic(
         run_column, args=(tool, EXTENDED_SCALES), rounds=1, iterations=1
     )
-    rows = [f"{'case':<8} {'transform':>10} {'generalize':>11} {'compare':>9} {'total':>9} {'steps':>7}"]
+    rows = [f"{'case':<8} {'transform':>10} {'generalize':>11} {'compare':>9} {'total':>9} {'steps':>7} {'comps':>6}"]
     for name, timing in timings.items():
         rows.append(
             f"{name:<8} {timing.transformation:>9.4f}s "
             f"{timing.generalization:>10.4f}s {timing.comparison:>8.4f}s "
-            f"{timing.processing:>8.4f}s {timing.solver_steps:>7}"
+            f"{timing.processing:>8.4f}s {timing.solver_steps:>7} "
+            f"{timing.decomposed_components:>6}"
         )
         record_bench(
             f"fig8to10/{tool}/{name}", timings_payload(timing)
@@ -48,6 +50,16 @@ def test_scalability(benchmark, tool):
     # Processing grows with the scale factor for every tool.
     totals = [timings[name].processing for name in SCALES]
     assert totals[-1] > totals[0]
+    # CamFlow's minimizing search decomposes all the way up: solver steps
+    # stay ~linear from scale128 to scale512 (4x scale, well under the
+    # ~16x a quadratic search would show).
+    if tool == "camflow":
+        ratio = (
+            timings["scale512"].solver_steps
+            / timings["scale128"].solver_steps
+        )
+        assert ratio < 8, f"superlinear solver growth: {ratio:.1f}x"
+        assert timings["scale512"].decomposed_components > 0
 
 
 def test_scalability_shapes(benchmark):

@@ -2,8 +2,9 @@
 
 The paper evaluates 10-20 target syscalls and notes that realistic
 suspicious-behaviour analysis needs much larger targets.  This bench
-pushes the reproduction to scale16/scale32 plus a mixed "application"
-workload (~30 heterogeneous syscalls) and records how the matching
+pushes the reproduction through the registry's scalability rows up to
+the slow-tagged scale128/scale512 tiers, plus a mixed "application"
+workload (~30 heterogeneous syscalls), and records how the matching
 stages behave.
 """
 
@@ -11,17 +12,12 @@ import pytest
 
 from repro import ProvMark
 from repro.suite.program import Op, Program
+from repro.suite.registry import SUITE_REGISTRY
 
-from conftest import emit
+from conftest import emit, record_bench, timings_payload
 
-
-def scale_program(factor: int) -> Program:
-    ops = []
-    for index in range(factor):
-        ops.append(Op("creat", ("scale.txt", 0o644), result=f"fd{index}",
-                      target=True))
-        ops.append(Op("unlink", ("scale.txt",), target=True))
-    return Program(name=f"headroom_scale{factor}", ops=tuple(ops))
+#: registry rows tagged ``scalability`` beyond the paper's scale8
+HEADROOM_SCALES = ("scale16", "scale32", "scale128", "scale512")
 
 
 def mixed_workload() -> Program:
@@ -49,21 +45,30 @@ def mixed_workload() -> Program:
     return Program(name="headroom_mixed", ops=tuple(ops))
 
 
-@pytest.mark.parametrize("factor", [16, 32])
-def test_scale_headroom_spade(benchmark, factor):
-    provmark = ProvMark._internal(tool="spade", seed=5)
-    program = scale_program(factor)
+@pytest.mark.parametrize("name", HEADROOM_SCALES)
+@pytest.mark.parametrize("tool", ["spade", "camflow"])
+def test_scale_headroom(benchmark, tool, name):
+    assert "scalability" in SUITE_REGISTRY.tags(name)
+    provmark = ProvMark._internal(tool=tool, seed=5)
     result = benchmark.pedantic(
-        provmark.run_benchmark, args=(program,), rounds=1, iterations=1
+        provmark.run_benchmark, args=(name,), rounds=1, iterations=1
     )
     assert result.classification.value == "ok"
-    emit(f"headroom_scale{factor}", [
-        f"target syscalls: {2 * factor}",
+    timings = result.timings
+    emit(f"headroom_{tool}_{name}", [
         f"target graph: {result.target_graph.node_count} nodes, "
         f"{result.target_graph.edge_count} edges",
-        f"generalization: {result.timings.generalization:.3f}s, "
-        f"comparison: {result.timings.comparison:.3f}s",
+        f"generalization: {timings.generalization:.3f}s, "
+        f"comparison: {timings.comparison:.3f}s",
+        f"solver steps: {timings.solver_steps}, decomposed components: "
+        f"{timings.decomposed_components} "
+        f"(largest: {timings.component_steps_max} steps)",
     ])
+    record_bench(f"headroom/{tool}/{name}", timings_payload(timings))
+    # CamFlow decomposes at every tier; the largest single component
+    # searched stays tiny even at scale512.
+    if tool == "camflow":
+        assert timings.decomposed_components > 0
 
 
 @pytest.mark.parametrize("tool", ["spade", "camflow"])

@@ -64,6 +64,45 @@ def test_optimization_speedup(benchmark, tool, name):
     assert ratio > 0.8  # never a regression beyond noise
 
 
+#: per-tool solver_steps ceilings at scale16 — observed values are
+#: roughly (spade 190, camflow 260, opus 630); ~2.5x headroom for noise.
+SMOKE_STEP_CEILINGS = {"spade": 500, "camflow": 700, "opus": 1600}
+
+
+@pytest.mark.parametrize("tool", sorted(SMOKE_STEP_CEILINGS))
+def test_perf_smoke_counter_ceilings(benchmark, tool):
+    """CI perf smoke: solver counters at a fixed small scale.
+
+    Guards the decomposed minimizing search against regressions without
+    timing anything: solver_steps at scale16 must stay under a fixed
+    ceiling and must not grow superlinearly from scale8 (2x scale, so
+    ~2x steps when the decomposition holds; 3x is the alarm line).
+    """
+    def run():
+        provmark = ProvMark._internal(tool=tool, seed=5)
+        return {
+            name: provmark.run_benchmark(name) for name in ("scale8", "scale16")
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    for result in results.values():
+        assert result.classification.value == "ok"
+        assert result.timings.decomposed_components > 0
+    small = results["scale8"].timings.solver_steps
+    large = results["scale16"].timings.solver_steps
+    emit(f"perf_smoke_{tool}", [
+        f"scale8 steps={small}  scale16 steps={large} "
+        f"(ceiling {SMOKE_STEP_CEILINGS[tool]})",
+    ])
+    record_bench(f"perf_smoke/{tool}", {
+        "scale8_steps": small,
+        "scale16_steps": large,
+        "ceiling": SMOKE_STEP_CEILINGS[tool],
+    })
+    assert large <= SMOKE_STEP_CEILINGS[tool]
+    assert large < 3 * small, f"superlinear step growth: {large}/{small}"
+
+
 def test_scale_headroom_within_step_budget(benchmark):
     """scale16/scale32 stay far below the 2M-step solver budget."""
     def run():

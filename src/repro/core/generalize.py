@@ -85,6 +85,17 @@ def generalize_trials(
     re-solving the identical problem from scratch; the generalized graph
     is identical either way (the warm bound only prunes, never redirects,
     the branch-and-bound).
+
+    On large trial graphs the minimizing search itself is decomposed: the
+    solver partitions the pair along WL-color-stable anchors into
+    independent connected components, solves each piece, and stitches the
+    results (``repro.solver.native._decomposed_isomorphism``).  The split
+    is only taken when a uniformity certificate proves the stitched answer
+    byte-identical to the monolithic search, and it falls back to the
+    monolithic path — warm bound and all — on any ambiguity, so this stage
+    never observes a different generalized graph.  When the split fires,
+    the stage's :class:`~repro.core.result.StageTimings` report it via the
+    ``decomposed_components`` and ``component_steps_max`` counters.
     """
     if pair_policy not in ("smallest", "largest"):
         raise ValueError(f"unknown pair policy {pair_policy!r}")

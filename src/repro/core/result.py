@@ -48,6 +48,10 @@ class StageTimings:
     matching_cache_hits: int = 0
     #: property-mismatch costs served from the per-search pair cache
     cost_cache_hits: int = 0
+    #: independent sub-problems solved by the decomposed exact matcher
+    decomposed_components: int = 0
+    #: largest single decomposed component searched (high-water mark)
+    component_steps_max: int = 0
     #: pipeline stage outputs served from the artifact store this run
     store_hits: int = 0
     #: pipeline stage outputs recomputed (and persisted) this run
@@ -70,6 +74,8 @@ class StageTimings:
             "solver_searches": self.solver_searches,
             "matching_cache_hits": self.matching_cache_hits,
             "cost_cache_hits": self.cost_cache_hits,
+            "decomposed_components": self.decomposed_components,
+            "component_steps_max": self.component_steps_max,
         }
 
     def store_row(self) -> Dict[str, int]:
@@ -89,6 +95,8 @@ class StageTimings:
             "solver_searches": self.solver_searches,
             "matching_cache_hits": self.matching_cache_hits,
             "cost_cache_hits": self.cost_cache_hits,
+            "decomposed_components": self.decomposed_components,
+            "component_steps_max": self.component_steps_max,
             "store_hits": self.store_hits,
             "store_misses": self.store_misses,
         }

@@ -191,6 +191,8 @@ def _solver_delta_payload(before: SolverStats) -> Dict[str, int]:
         "solver_searches": delta.searches,
         "matching_cache_hits": delta.matching_cache_hits,
         "cost_cache_hits": delta.cost_cache_hits,
+        "decomposed_components": delta.decomposed_components,
+        "component_steps_max": delta.component_steps_max,
     }
 
 
@@ -201,6 +203,13 @@ def _apply_solver_counters(
     timings.solver_searches += int(counters.get("solver_searches", 0))
     timings.matching_cache_hits += int(counters.get("matching_cache_hits", 0))
     timings.cost_cache_hits += int(counters.get("cost_cache_hits", 0))
+    timings.decomposed_components += int(
+        counters.get("decomposed_components", 0)
+    )
+    # High-water mark, not an accumulator (see SolverStats.delta).
+    timings.component_steps_max = max(
+        timings.component_steps_max, int(counters.get("component_steps_max", 0))
+    )
 
 
 class Stage(abc.ABC):

@@ -40,10 +40,16 @@ def transform_neo4j(raw: RawOutput, gid: str) -> PropertyGraph:
     raw.start()  # database/JVM warm-up — the dominant OPUS cost
     graph = PropertyGraph(gid)
     try:
-        for node_id, label, props in raw.match_nodes():
-            graph.add_node(f"n{node_id}", label, props)
-        for rel_id, start, end, rel_type, props in raw.match_relationships():
-            graph.add_edge(f"e{rel_id}", f"n{start}", f"n{end}", rel_type, props)
+        # Batched session: the compiled rows come back in replay order as
+        # one batch, so the graph is built without per-row deserialization
+        # or copies (add_node/add_edge copy props on insert).
+        session = raw.session()
+        for row in session.nodes():
+            graph.add_node(f"n{row.node_id}", row.label, row.props)
+        for rel in session.relationships():
+            graph.add_edge(
+                f"e{rel.rel_id}", f"n{rel.start}", f"n{rel.end}", rel.rel_type, rel.props
+            )
     finally:
         raw.shutdown()
     return graph

@@ -26,6 +26,7 @@ from repro.solver.native import (
     partition_similarity_classes,
     property_mismatch_cost,
     reset_solver_stats,
+    solver_decomposition,
     solver_optimizations,
     solver_stats,
     subtract_background,
@@ -81,6 +82,7 @@ __all__ = [
     "property_mismatch_cost",
     "reset_solver_stats",
     "similarity",
+    "solver_decomposition",
     "solver_optimizations",
     "solver_stats",
     "subgraph_embedding",

@@ -29,16 +29,24 @@ Performance architecture (see ROADMAP.md):
 * wide parallel-edge groups are assigned optimally with the Hungarian
   algorithm instead of a greedy heuristic;
 * generalization reuses the isomorphism found during similarity classing
-  as a warm upper bound for the minimizing search.
+  as a warm upper bound for the minimizing search;
+* exact matchings are *decomposed* whenever equivalence is provable:
+  WL-singleton anchors pin the cross-component constraints, the residual
+  connected components are solved independently by first-fit over their
+  WL classes, and the pieces are stitched into one matching — skipping
+  the monolithic search's O(V1·V2 + E1·E2) preprocessing entirely (see
+  the "decomposed exact matching" section below).
 
-All of the above can be disabled with :func:`solver_optimizations` to
-measure the speedup (``bench_solver_optimizations.py``); per-thread
-counters are exposed through :func:`solver_stats`.
+All of the above can be disabled with :func:`solver_optimizations` (and
+the decomposition alone with :func:`solver_decomposition`) to measure
+the speedup (``bench_solver_optimizations.py``); per-thread counters are
+exposed through :func:`solver_stats`.
 """
 
 from __future__ import annotations
 
 import itertools
+import sys
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -51,6 +59,7 @@ from typing import (
     Mapping,
     Optional,
     Sequence,
+    Set,
     Tuple,
 )
 
@@ -72,20 +81,38 @@ class SolverStats:
     :class:`_MatchSearch` runs; ``cost_cache_hits`` — memoized property
     mismatch lookups served from cache; ``matching_cache_hits`` — warm
     starts of the generalization search from a cached similarity matching.
+    ``decomposed_components`` — independent sub-problems solved by the
+    decomposed matcher instead of one monolithic search;
+    ``component_steps_max`` — high-water mark of steps spent inside a
+    single decomposed component (the largest piece actually searched).
     """
 
     steps: int = 0
     searches: int = 0
     cost_cache_hits: int = 0
     matching_cache_hits: int = 0
+    decomposed_components: int = 0
+    component_steps_max: int = 0
 
     def snapshot(self) -> "SolverStats":
-        return SolverStats(
+        """Copy the counters and open a fresh high-water-mark window.
+
+        The accumulators are windowed by subtraction in :meth:`delta`;
+        ``component_steps_max`` cannot be, so taking a snapshot zeroes the
+        live mark and the next :meth:`delta` reports the largest component
+        searched *since this snapshot*.  Callers always pair the two
+        (stage timing windows never nest within a thread).
+        """
+        copied = SolverStats(
             steps=self.steps,
             searches=self.searches,
             cost_cache_hits=self.cost_cache_hits,
             matching_cache_hits=self.matching_cache_hits,
+            decomposed_components=self.decomposed_components,
+            component_steps_max=self.component_steps_max,
         )
+        self.component_steps_max = 0
+        return copied
 
     def delta(self, since: "SolverStats") -> "SolverStats":
         return SolverStats(
@@ -95,6 +122,12 @@ class SolverStats:
             matching_cache_hits=(
                 self.matching_cache_hits - since.matching_cache_hits
             ),
+            decomposed_components=(
+                self.decomposed_components - since.decomposed_components
+            ),
+            # A high-water mark, not an accumulator: ``snapshot`` zeroed
+            # the mark, so the live value is the window maximum.
+            component_steps_max=self.component_steps_max,
         )
 
 
@@ -141,6 +174,31 @@ def solver_optimizations(enabled: bool) -> Iterator[None]:
 
 def optimizations_enabled() -> bool:
     return _OPTIMIZATIONS_ENABLED
+
+
+_DECOMPOSITION_ENABLED = True
+
+
+@contextmanager
+def solver_decomposition(enabled: bool) -> Iterator[None]:
+    """Toggle the decomposed exact matcher (for benchmarking the speedup).
+
+    With ``enabled=False`` every exact matching runs the monolithic
+    branch-and-bound.  Results are identical either way — the decomposed
+    path only activates when it can prove it reproduces the monolithic
+    search's answer, and falls back otherwise.
+    """
+    global _DECOMPOSITION_ENABLED
+    previous = _DECOMPOSITION_ENABLED
+    _DECOMPOSITION_ENABLED = enabled
+    try:
+        yield
+    finally:
+        _DECOMPOSITION_ENABLED = previous
+
+
+def decomposition_enabled() -> bool:
+    return _DECOMPOSITION_ENABLED and _OPTIMIZATIONS_ENABLED
 
 
 @dataclass
@@ -348,6 +406,34 @@ def _optimal_group_assignment(
 _WL_ROUNDS = 2
 
 
+def _connected_expansion_order(graph: PropertyGraph) -> List[str]:
+    """Most-constrained-first node ordering, preferring connected expansion.
+
+    The frontier of nodes adjacent to the placed prefix is maintained
+    incrementally over a precomputed adjacency map (the naive version
+    rescans every remaining node's edge lists per pick, which shows up
+    as the dominant search-construction cost on larger targets).  Shared
+    by the monolithic search and the decomposed matcher — both must place
+    nodes in exactly this order for their results to coincide.
+    """
+    degree = {node.id: graph.degree(node.id) for node in graph.nodes()}
+    neighbors: Dict[str, set] = {node_id: set() for node_id in degree}
+    for edge in graph.edges():
+        neighbors[edge.src].add(edge.tgt)
+        neighbors[edge.tgt].add(edge.src)
+    remaining = dict.fromkeys(degree)  # insertion-ordered set
+    frontier: set = set()
+    order: List[str] = []
+    while remaining:
+        pool = [n for n in remaining if n in frontier] or list(remaining)
+        pick = max(pool, key=degree.__getitem__)
+        order.append(pick)
+        del remaining[pick]
+        frontier.discard(pick)
+        frontier.update(n for n in neighbors[pick] if n in remaining)
+    return order
+
+
 class _MatchSearch:
     """Backtracking search shared by isomorphism and subgraph embedding."""
 
@@ -405,14 +491,16 @@ class _MatchSearch:
             {} if self.optimized else None
         )
         if self.optimized:
-            self.nodes1 = _cached_structure(g1, "order", self._order_nodes)
+            self.nodes1 = _cached_structure(
+                g1, "order", lambda: _connected_expansion_order(g1)
+            )
             self.candidates = (
                 self._refined_candidates()
                 if exact
                 else self._embedding_candidates()
             )
         else:
-            self.nodes1 = self._order_nodes()
+            self.nodes1 = _connected_expansion_order(g1)
             self.candidates = {
                 node.id: self._node_candidates(node) for node in g1.nodes()
             }
@@ -572,31 +660,6 @@ class _MatchSearch:
             result[node.id] = domain
         return result
 
-    def _order_nodes(self) -> List[str]:
-        """Most-constrained-first ordering, preferring connected expansion.
-
-        The frontier of nodes adjacent to the placed prefix is maintained
-        incrementally over a precomputed adjacency map (the naive version
-        rescans every remaining node's edge lists per pick, which shows up
-        as the dominant search-construction cost on larger targets).
-        """
-        degree = {node.id: self.g1.degree(node.id) for node in self.g1.nodes()}
-        neighbors: Dict[str, set] = {node_id: set() for node_id in degree}
-        for edge in self.g1.edges():
-            neighbors[edge.src].add(edge.tgt)
-            neighbors[edge.tgt].add(edge.src)
-        remaining = dict.fromkeys(degree)  # insertion-ordered set
-        frontier: set = set()
-        order: List[str] = []
-        while remaining:
-            pool = [n for n in remaining if n in frontier] or list(remaining)
-            pick = max(pool, key=degree.__getitem__)
-            order.append(pick)
-            del remaining[pick]
-            frontier.discard(pick)
-            frontier.update(n for n in neighbors[pick] if n in remaining)
-        return order
-
     # -- feasibility and cost ---------------------------------------------
 
     def _group_feasible(
@@ -711,6 +774,13 @@ class _MatchSearch:
                     return None
             if any(not cands for cands in self.candidates.values()):
                 return None
+            # The DFS recurses one frame per g1 node; scalability graphs
+            # (scale512 ~ 1000+ nodes) overflow CPython's default 1000
+            # frame limit.  Bump-only: the limit is process-global and
+            # concurrent searches may be running on other threads.
+            needed = 1000 + 8 * len(self.nodes1)
+            if sys.getrecursionlimit() < needed:
+                sys.setrecursionlimit(needed)
             self._search(0, {}, {}, {}, 0)
             return self.best
         finally:
@@ -773,6 +843,624 @@ class _MatchSearch:
             del inv[v]
 
 
+# -- decomposed exact matching ---------------------------------------------
+#
+# The monolithic branch-and-bound treats the two trial graphs as one big
+# matching problem; its per-search preprocessing (candidate cost lists and
+# edge bounds) is O(V1·V2 + E1·E2), which is what grows superlinearly on
+# the scalability sweep.  The decomposed matcher instead partitions the
+# problem: WL-singleton nodes are *anchors* whose image is forced, and the
+# residual graph splits into connected components that are solved
+# independently — each component's nodes take the first feasible candidate
+# from their WL color class, exactly as the monolithic DFS would — and the
+# per-piece results are stitched into one matching (parallel-edge groups
+# are still assigned with the shared Hungarian machinery, property costs
+# are still memoized per pair).
+#
+# Byte-identical results are guaranteed by construction, not by hope:
+#
+# * the stitched pass places nodes in the engine's canonical
+#   ``_connected_expansion_order`` and takes, for each node, the first
+#   not-yet-used candidate of its WL class (g2 insertion order) passing
+#   the same parallel-edge-group feasibility check the DFS applies — i.e.
+#   it follows the DFS's leftmost branch; if that branch completes, it is
+#   precisely the first complete solution the DFS would report;
+# * for *first-solution* searches (similarity classing) that is already
+#   the full answer;
+# * for *cost-minimizing* searches (generalization) the pass only runs
+#   when a uniformity certificate proves every complete matching has the
+#   same total cost — each g1 element's property values must agree with
+#   either all or none of its WL-class candidates (volatile identifiers
+#   such as inode numbers, pids, and timestamps never coincide across
+#   trial boots, so the certificate holds on exactly the workloads whose
+#   interchangeable components blow the monolithic search up) — making
+#   the leftmost complete solution minimal, which is the one the
+#   monolithic branch-and-bound keeps (strict-improvement pruning);
+# * in every other situation (class mismatch, non-uniform costs, a stuck
+#   leftmost branch) the matcher falls back to the monolithic search.
+#
+# ``SolverStats.decomposed_components`` counts the independent pieces so
+# the win shows up in every report; ``component_steps_max`` records the
+# largest single piece (for camflow's scaleN this stays at the spoke size
+# while ``solver_steps`` grows linearly with N).
+
+#: sentinel: the decomposed matcher cannot prove equivalence — run the
+#: monolithic search instead.
+_FALLBACK = object()
+
+
+def _node_color_classes(graph: PropertyGraph) -> Dict[int, List[str]]:
+    """g2-side WL color classes in node insertion order (cached)."""
+    colors = _cached_structure(graph, "wl", lambda: _wl_colors(graph))
+
+    def build() -> Dict[int, List[str]]:
+        by_color: Dict[int, List[str]] = {}
+        for node in graph.nodes():
+            by_color.setdefault(colors[node.id], []).append(node.id)
+        return by_color
+
+    return _cached_structure(graph, "wl_classes", build)
+
+
+def _class_prop_profiles(
+    graph: PropertyGraph,
+) -> Dict[int, Dict[Tuple[str, str], int]]:
+    """Per WL class: how many members carry each (key, value) property."""
+    colors = _cached_structure(graph, "wl", lambda: _wl_colors(graph))
+
+    def build() -> Dict[int, Dict[Tuple[str, str], int]]:
+        profiles: Dict[int, Dict[Tuple[str, str], int]] = {}
+        for node in graph.nodes():
+            profile = profiles.setdefault(colors[node.id], {})
+            for item in node.props.items():
+                profile[item] = profile.get(item, 0) + 1
+        return profiles
+
+    return _cached_structure(graph, "wl_profiles", build)
+
+
+def _edge_class_profiles(
+    graph: PropertyGraph,
+) -> Dict[Tuple[int, int, str], Tuple[int, Dict[Tuple[str, str], int]]]:
+    """Per (src color, tgt color, label) edge class: size + property counts."""
+    colors = _cached_structure(graph, "wl", lambda: _wl_colors(graph))
+
+    def build():
+        classes: Dict[Tuple[int, int, str], List] = {}
+        for edge in graph.edges():
+            key = (colors[edge.src], colors[edge.tgt], edge.label)
+            entry = classes.setdefault(key, [0, {}])
+            entry[0] += 1
+            profile = entry[1]
+            for item in edge.props.items():
+                profile[item] = profile.get(item, 0) + 1
+        return {key: (entry[0], entry[1]) for key, entry in classes.items()}
+
+    return _cached_structure(graph, "wl_edge_profiles", build)
+
+
+def _class_edge_groups(
+    graph: PropertyGraph,
+) -> Dict[Tuple[int, int, str], Dict[Tuple[str, str], List[Edge]]]:
+    """Per edge class: its parallel-edge groups by endpoint pair (cached)."""
+    colors = _cached_structure(graph, "wl", lambda: _wl_colors(graph))
+
+    def build():
+        by_class: Dict[
+            Tuple[int, int, str], Dict[Tuple[str, str], List[Edge]]
+        ] = {}
+        for edge in graph.edges():
+            key = (colors[edge.src], colors[edge.tgt], edge.label)
+            by_class.setdefault(key, {}).setdefault(
+                (edge.src, edge.tgt), []
+            ).append(edge)
+        return by_class
+
+    return _cached_structure(graph, "wl_class_groups", build)
+
+
+def _edge_group_uniform_classes(
+    graph: PropertyGraph,
+) -> Set[Tuple[int, int, str]]:
+    """Edge classes whose parallel-edge groups are property-interchangeable.
+
+    A class qualifies when every endpoint-pair group carries an identical
+    multiset of property fingerprints (e.g. each endpoint pair holds one
+    ``used/open`` plus one ``used/unlink`` edge).  Then the per-group
+    optimal assignment cost is the same whichever same-class group a node
+    matching selects, even though the *pooled* per-item counts are mixed.
+    """
+
+    def build() -> Set[Tuple[int, int, str]]:
+        uniform: Set[Tuple[int, int, str]] = set()
+        for key, by_pair in _class_edge_groups(graph).items():
+            multisets = {
+                tuple(
+                    sorted(
+                        tuple(sorted(edge.props.items())) for edge in edges
+                    )
+                )
+                for edges in by_pair.values()
+            }
+            if len(multisets) == 1:
+                uniform.add(key)
+        return uniform
+
+    return _cached_structure(graph, "wl_edge_group_uniform", build)
+
+
+class _ValuePlan:
+    """A value-structured edge class: its cost varies through one key only.
+
+    Tier 3 of the cost model (see :func:`_minimize_cost_plan`).  Every
+    edge of the class carries the volatile ``key`` (e.g. CamFlow's
+    ``cf:jiffies``); stripping it leaves each group with pairwise-distinct
+    fingerprints over one shared keyset — the group's *slots* — and every
+    group (both graphs) carries the same slot set.  A group is then a
+    vector ``slot -> key value``, and pairing g1 group ``v`` with g2 group
+    ``w`` costs exactly the Hamming distance between the slot-aligned
+    vectors: misaligning slots trades >= 1 stripped mismatch per edge for
+    <= 1 volatile match, so the slot-aligned assignment is always optimal.
+
+    The minimal total mismatch count is then bounded below per slot by
+    ``remaining_pairings - sum_v min(a[v], b[v])`` over the slot's
+    remaining value counts — a potential no pairing can decrease.
+    :meth:`pin` consumes a pairing only when every slot's potential is
+    preserved; a greedy run that completes under that rule achieves every
+    slot's bound simultaneously, hence the true minimum.
+    """
+
+    __slots__ = ("g1_vectors", "g2_vectors", "counts")
+
+    def __init__(
+        self,
+        g1_vectors: Dict[Tuple[str, str], Tuple[str, ...]],
+        g2_vectors: Dict[Tuple[str, str], Tuple[str, ...]],
+        slot_count: int,
+    ) -> None:
+        self.g1_vectors = g1_vectors
+        self.g2_vectors = g2_vectors
+        self.counts: List[Tuple[Dict[str, int], Dict[str, int]]] = [
+            ({}, {}) for _ in range(slot_count)
+        ]
+        for vector in g1_vectors.values():
+            for slot, value in enumerate(vector):
+                a = self.counts[slot][0]
+                a[value] = a.get(value, 0) + 1
+        for vector in g2_vectors.values():
+            for slot, value in enumerate(vector):
+                b = self.counts[slot][1]
+                b[value] = b.get(value, 0) + 1
+
+    def pin(
+        self, vec1: Tuple[str, ...], vec2: Tuple[str, ...]
+    ) -> Optional[List[Tuple]]:
+        """Consume one group pairing; None when it cannot stay minimal.
+
+        Per slot: an equal-value pin always preserves the slot potential;
+        an unequal pin preserves it exactly when both sides hold a surplus
+        of their value.  Rolls itself back and returns None on the first
+        slot that would raise its potential.  Returns undo tokens.
+        """
+        applied: List[Tuple] = []
+        for slot, (val1, val2) in enumerate(zip(vec1, vec2)):
+            a, b = self.counts[slot]
+            if val1 == val2:
+                a[val1] -= 1
+                b[val1] -= 1
+                applied.append((a, val1, b, val1))
+            elif a.get(val1, 0) > b.get(val1, 0) and b.get(val2, 0) > a.get(
+                val2, 0
+            ):
+                a[val1] -= 1
+                b[val2] -= 1
+                applied.append((a, val1, b, val2))
+            else:
+                for undo_a, key_a, undo_b, key_b in applied:
+                    undo_a[key_a] += 1
+                    undo_b[key_b] += 1
+                return None
+        return applied
+
+
+def _value_structured_plan(
+    g1: PropertyGraph, g2: PropertyGraph, class_key: Tuple[int, int, str]
+) -> Optional[_ValuePlan]:
+    """Build the tier-3 plan for one edge class, or None when unprovable."""
+    groups1 = _class_edge_groups(g1).get(class_key)
+    groups2 = _class_edge_groups(g2).get(class_key)
+    if not groups1 or not groups2:
+        return None
+    # Candidate keys: those whose items differ between two g2 groups'
+    # fingerprint multisets (typically exactly one, e.g. cf:jiffies).
+    fingerprints = [
+        tuple(sorted(tuple(sorted(e.props.items())) for e in edges))
+        for edges in groups2.values()
+    ]
+    reference = fingerprints[0]
+    candidate_keys: Set[str] = set()
+    for other in fingerprints[1:]:
+        if other != reference:
+            flat_ref = set(itertools.chain.from_iterable(reference))
+            flat_other = set(itertools.chain.from_iterable(other))
+            candidate_keys.update(
+                item[0] for item in flat_ref ^ flat_other
+            )
+            break
+    for key in sorted(candidate_keys):
+        slots_and_vectors = _slot_valued_groups(groups2, key, slots=None)
+        if slots_and_vectors is None:
+            continue
+        slots, vectors2 = slots_and_vectors
+        # The Hamming cost lemma needs distinct same-keyset slots: two
+        # misaligned edges must each pay a stripped mismatch.
+        keysets = {tuple(item[0] for item in slot) for slot in slots}
+        if len(keysets) != 1:
+            continue
+        from_g1 = _slot_valued_groups(groups1, key, slots=slots)
+        if from_g1 is None:
+            continue
+        return _ValuePlan(from_g1[1], vectors2, len(slots))
+    return None
+
+
+def _slot_valued_groups(
+    groups: Dict[Tuple[str, str], List[Edge]],
+    key: str,
+    slots: Optional[Tuple[Tuple, ...]],
+) -> Optional[Tuple[Tuple[Tuple, ...], Dict[Tuple[str, str], Tuple[str, ...]]]]:
+    """Per-group slot-aligned values of ``key``; None when the shape fails.
+
+    Every edge must carry ``key``; within a group the key-stripped
+    fingerprints must be pairwise distinct (they define the slot order),
+    and every group must present exactly the same slot set — the first
+    group's when ``slots`` is None (the g2 side), the given one otherwise
+    (the g1 side, forcing both graphs onto one canonical alignment).
+    """
+    vectors: Dict[Tuple[str, str], Tuple[str, ...]] = {}
+    for pair, edges in groups.items():
+        slot_values = []
+        for edge in edges:
+            value = edge.props.get(key)
+            if value is None:
+                return None
+            stripped = tuple(
+                sorted(
+                    item for item in edge.props.items() if item[0] != key
+                )
+            )
+            slot_values.append((stripped, value))
+        slot_values.sort()
+        group_slots = tuple(stripped for stripped, _ in slot_values)
+        if len(set(group_slots)) != len(group_slots):
+            return None
+        if slots is None:
+            slots = group_slots
+        elif group_slots != slots:
+            return None
+        vectors[pair] = tuple(value for _, value in slot_values)
+    return slots, vectors
+
+
+def _minimize_cost_plan(
+    g1: PropertyGraph, g2: PropertyGraph
+) -> Optional[Dict[Tuple[int, int, str], _ValuePlan]]:
+    """Prove the stitched matching can be cost-minimal; None = no proof.
+
+    Three tiers, coarse to fine:
+
+    1. *Pooled uniformity* — each g1 node's/edge's (key, value) pairs are
+       carried by all or none of its WL-class candidates, so ``pcost`` is
+       constant over every candidate domain and all complete matchings
+       cost the same (the DFS-leftmost one is minimal).
+    2. *Interchangeable groups* — an edge class failing tier 1 still has
+       constant cost when all its parallel-edge groups carry identical
+       fingerprint multisets (:func:`_edge_group_uniform_classes`).
+    3. *Value-structured collisions* — cost varies through exactly one key
+       (e.g. CamFlow's ``cf:jiffies`` colliding across trials at scale512);
+       the returned :class:`_ValuePlan` lets the greedy consume pairings
+       only when the class's minimal mismatch count is preserved.
+
+    Any shape outside these tiers returns None and the caller falls back
+    to the monolithic search.  Nodes get tier 1 only: a node-level
+    collision redirects the DFS's pcost-sorted candidate order itself,
+    which first-fit stitching cannot reproduce.
+    """
+    colors1 = _cached_structure(g1, "wl", lambda: _wl_colors(g1))
+    classes2 = _node_color_classes(g2)
+    profiles2 = _class_prop_profiles(g2)
+    for node in g1.nodes():
+        members = classes2.get(colors1[node.id])
+        if not members:
+            return None
+        size = len(members)
+        if size == 1:
+            continue
+        profile = profiles2.get(colors1[node.id], {})
+        for item in node.props.items():
+            count = profile.get(item, 0)
+            if count != 0 and count != size:
+                return None
+    edge_profiles2 = _edge_class_profiles(g2)
+    failing: Set[Tuple[int, int, str]] = set()
+    for edge in g1.edges():
+        key = (colors1[edge.src], colors1[edge.tgt], edge.label)
+        entry = edge_profiles2.get(key)
+        if entry is None:
+            return None
+        size, profile = entry
+        if size == 1 or key in failing:
+            continue
+        for item in edge.props.items():
+            count = profile.get(item, 0)
+            if count != 0 and count != size:
+                failing.add(key)
+                break
+    plans: Dict[Tuple[int, int, str], _ValuePlan] = {}
+    if not failing:
+        return plans
+    uniform_groups = _edge_group_uniform_classes(g2)
+    for key in failing:
+        if key in uniform_groups:
+            continue
+        plan = _value_structured_plan(g1, g2, key)
+        if plan is None:
+            return None
+        plans[key] = plan
+    return plans
+
+
+def _exact_group_feasible(
+    groups1: Dict[Tuple[str, str, str], List[Edge]],
+    groups2: Dict[Tuple[str, str, str], List[Edge]],
+    gkeys1: Dict[str, List[Tuple[str, str, str]]],
+    gkeys2: Dict[str, List[Tuple[str, str, str]]],
+    node_map: Dict[str, str],
+    inv: Dict[str, str],
+    u: str,
+    v: str,
+) -> bool:
+    """Exact-mode parallel-edge-group feasibility of mapping ``u -> v``.
+
+    Mirrors ``_MatchSearch._group_feasible`` (optimized, exact) so the
+    stitched pass accepts and rejects candidates exactly as the DFS does.
+    ``node_map``/``inv`` must already contain the tentative ``u -> v``.
+    """
+    for key in gkeys1.get(u, ()):
+        src, tgt, label = key
+        mapped_src = node_map.get(src)
+        mapped_tgt = node_map.get(tgt)
+        if mapped_src is None or mapped_tgt is None:
+            continue
+        edges2 = groups2.get((mapped_src, mapped_tgt, label))
+        count2 = len(edges2) if edges2 else 0
+        if count2 != len(groups1[key]):
+            return False
+    for key in gkeys2.get(v, ()):
+        src2, tgt2, label = key
+        inv_src = inv.get(src2)
+        inv_tgt = inv.get(tgt2)
+        if inv_src is None or inv_tgt is None:
+            continue
+        edges1 = groups1.get((inv_src, inv_tgt, label))
+        count1 = len(edges1) if edges1 else 0
+        if count1 != len(groups2[key]):
+            return False
+    return True
+
+
+def _pin_value_groups(
+    plans: Dict[Tuple[int, int, str], "_ValuePlan"],
+    colors1: Dict[str, int],
+    gkeys1: Dict[str, List[Tuple[str, str, str]]],
+    node_map: Dict[str, str],
+    u: str,
+) -> bool:
+    """Consume the group pairings newly fixed by mapping ``u``.
+
+    Mapping ``u`` pins every incident parallel-edge group whose other
+    endpoint is already mapped.  For groups in a value-structured class
+    the pairing must keep the class's minimal mismatch count reachable
+    (:meth:`_ValuePlan.pin`); one failed pin rejects the whole candidate
+    and rolls this call's pins back.  The potential argument makes the
+    rejection safe: a pin that raises the minimum admits *no* min-cost
+    completion, so the DFS skips the same candidate.  ``node_map`` must
+    already contain the tentative ``u -> v``.
+    """
+    applied: List[Tuple] = []
+    for gkey in gkeys1.get(u, ()):
+        src, tgt, label = gkey
+        mapped_src = node_map.get(src)
+        mapped_tgt = node_map.get(tgt)
+        if mapped_src is None or mapped_tgt is None:
+            continue
+        plan = plans.get((colors1[src], colors1[tgt], label))
+        if plan is None:
+            continue
+        vec1 = plan.g1_vectors.get((src, tgt))
+        vec2 = plan.g2_vectors.get((mapped_src, mapped_tgt))
+        tokens = (
+            plan.pin(vec1, vec2)
+            if vec1 is not None and vec2 is not None
+            else None
+        )
+        if tokens is None:
+            for a, key_a, b, key_b in applied:
+                a[key_a] += 1
+                b[key_b] += 1
+            return False
+        applied.extend(tokens)
+    return True
+
+
+def _residual_components(g1: PropertyGraph) -> List[List[str]]:
+    """Connected components of g1 minus its anchor (WL-singleton) nodes.
+
+    These are the independent sub-problems the decomposed matcher solves;
+    cached per graph version (anchors are a property of g1 alone).
+    """
+    def build() -> List[List[str]]:
+        classes1 = _node_color_classes(g1)
+        colors1 = _cached_structure(g1, "wl", lambda: _wl_colors(g1))
+        anchors = {
+            node.id
+            for node in g1.nodes()
+            if len(classes1[colors1[node.id]]) == 1
+        }
+        adjacency: Dict[str, List[str]] = {
+            node.id: [] for node in g1.nodes()
+        }
+        for edge in g1.edges():
+            adjacency[edge.src].append(edge.tgt)
+            adjacency[edge.tgt].append(edge.src)
+        components: List[List[str]] = []
+        seen: set = set()
+        for node in g1.nodes():
+            node_id = node.id
+            if node_id in anchors or node_id in seen:
+                continue
+            seen.add(node_id)
+            component = [node_id]
+            queue = [node_id]
+            while queue:
+                current = queue.pop()
+                for neighbor in adjacency[current]:
+                    if neighbor in anchors or neighbor in seen:
+                        continue
+                    seen.add(neighbor)
+                    component.append(neighbor)
+                    queue.append(neighbor)
+            components.append(component)
+        return components
+
+    return _cached_structure(g1, "residual_components", build)
+
+
+def _decomposed_isomorphism(
+    g1: PropertyGraph,
+    g2: PropertyGraph,
+    minimize_cost: bool,
+    max_steps: int,
+):
+    """Stitch per-component first-fit matchings into the DFS's answer.
+
+    Returns a :class:`Matching` when the decomposition provably reproduces
+    the monolithic search's result, or :data:`_FALLBACK` when it cannot.
+    """
+    if g1.node_count != g2.node_count or g1.edge_count != g2.edge_count:
+        return _FALLBACK
+    colors1 = _cached_structure(g1, "wl", lambda: _wl_colors(g1))
+    classes1 = _node_color_classes(g1)
+    classes2 = _node_color_classes(g2)
+    if len(classes1) != len(classes2):
+        return _FALLBACK
+    for color, members in classes1.items():
+        others = classes2.get(color)
+        if others is None or len(others) != len(members):
+            return _FALLBACK
+    plans: Dict[Tuple[int, int, str], _ValuePlan] = {}
+    if minimize_cost:
+        built = _minimize_cost_plan(g1, g2)
+        if built is None:
+            return _FALLBACK
+        plans = built
+    order = _cached_structure(
+        g1, "order", lambda: _connected_expansion_order(g1)
+    )
+    if len(order) > max_steps:
+        return _FALLBACK
+    groups1 = _cached_structure(g1, "groups", lambda: _group_edges(g1))
+    groups2 = _cached_structure(g2, "groups", lambda: _group_edges(g2))
+    gkeys1 = _cached_structure(
+        g1, "gkeys", lambda: _group_keys_by_node(groups1)
+    )
+    gkeys2 = _cached_structure(
+        g2, "gkeys", lambda: _group_keys_by_node(groups2)
+    )
+    node_map: Dict[str, str] = {}
+    inv: Dict[str, str] = {}
+    # Per-class scan position: class members are consumed left to right
+    # and never released (no backtracking), so the pointer only advances.
+    scan_from: Dict[int, int] = {}
+    for u in order:
+        color = colors1[u]
+        members = classes2[color]
+        index = scan_from.get(color, 0)
+        while index < len(members) and members[index] in inv:
+            index += 1
+        scan_from[color] = index
+        chosen: Optional[str] = None
+        j = index
+        while j < len(members):
+            v = members[j]
+            if v not in inv:
+                node_map[u] = v
+                inv[v] = u
+                if _exact_group_feasible(
+                    groups1, groups2, gkeys1, gkeys2, node_map, inv, u, v
+                ) and (
+                    not plans
+                    or _pin_value_groups(plans, colors1, gkeys1, node_map, u)
+                ):
+                    chosen = v
+                    break
+                del node_map[u]
+                del inv[v]
+            j += 1
+        if chosen is None:
+            # The DFS would backtrack across components here; stitching
+            # cannot replicate that, so hand the pair to the full search.
+            return _FALLBACK
+    # The leftmost branch completed: compose the edge map and total cost
+    # group by group with the shared assignment machinery.
+    stats = solver_stats()
+    pair_cost: Dict[Tuple[str, str], int] = {}
+
+    def pcost(
+        id1: str, props1: Mapping[str, str], id2: str, props2: Mapping[str, str]
+    ) -> int:
+        key = (id1, id2)
+        cached = pair_cost.get(key)
+        if cached is not None:
+            stats.cost_cache_hits += 1
+            return cached
+        cost = property_mismatch_cost(props1, props2)
+        pair_cost[key] = cost
+        return cost
+
+    total = 0
+    for node in g1.nodes():
+        image = g2.node(node_map[node.id])
+        total += pcost(node.id, node.props, image.id, image.props)
+    edge_map: Dict[str, str] = {}
+    for key, edges1 in groups1.items():
+        src, tgt, label = key
+        edges2 = groups2.get((node_map[src], node_map[tgt], label))
+        if edges2 is None or len(edges2) != len(edges1):
+            return _FALLBACK  # unreachable: feasibility checked per step
+        if len(edges1) == 1:
+            e1, e2 = edges1[0], edges2[0]
+            total += pcost(e1.id, e1.props, e2.id, e2.props)
+            edge_map[e1.id] = e2.id
+            continue
+        group_cost, pairs = _optimal_group_assignment(
+            edges1,
+            edges2,
+            lambda e1, e2: pcost(e1.id, e1.props, e2.id, e2.props),
+        )
+        total += group_cost
+        edge_map.update(pairs)
+    components = _residual_components(g1)
+    stats.searches += 1
+    stats.steps += len(order)
+    stats.decomposed_components += len(components)
+    if components:
+        largest = max(len(component) for component in components)
+        if largest > stats.component_steps_max:
+            stats.component_steps_max = largest
+    return Matching(node_map, edge_map, total)
+
+
 DEFAULT_MAX_STEPS = 2_000_000
 
 
@@ -795,6 +1483,12 @@ def find_isomorphism(
     """
     if g1.is_empty() and g2.is_empty():
         return Matching({}, {}, 0)
+    if _OPTIMIZATIONS_ENABLED and _DECOMPOSITION_ENABLED:
+        stitched = _decomposed_isomorphism(
+            g1, g2, minimize_properties, max_steps
+        )
+        if stitched is not _FALLBACK:
+            return stitched
     search = _MatchSearch(
         g1, g2, exact=True, minimize_cost=minimize_properties,
         max_steps=max_steps, upper_bound=upper_bound,

@@ -6,42 +6,117 @@ relationship, and convert the rows (paper §5.1 attributes OPUS's large
 transformation times to exactly this: JVM warm-up, database initialization,
 and query execution over larger graphs).
 
-This store reproduces the *shape* of that cost at laptop scale: records are
-persisted as serialized JSON rows, opening a session replays the log to
-rebuild indexes (the "startup cost"), and every query deserializes the rows
-it returns.  All of it is real, measurable work proportional to graph
-size — not a ``sleep``.
+This store reproduces the *shape* of that cost at laptop scale.  Records
+are persisted as serialized JSON rows; opening a session **compiles** the
+log — one parsing pass into typed row objects — and then pays a calibrated
+warm-up cost model standing in for JVM + page-cache warm-up: a constant
+component (:attr:`Neo4jSim.WARMUP_PASSES` fixed-size checksum passes,
+modelling JVM/database init) plus a linear component
+(:attr:`Neo4jSim.REPLAY_SWEEPS` per-row checksum sweeps, modelling page
+cache fills).  The warm-up is real, measurable work — not a ``sleep`` —
+so the paper's Figure-6 cost shape survives (OPUS transformation still
+dominates its pipeline and dwarfs SPADE's and CamFlow's), but the old
+O(passes x log) JSON re-parsing is gone: each row is decoded exactly once
+per session.
+
+Queries serve the typed rows directly.  Label- and rel-type-filtered
+matches go through lazy inverted indexes built on first use, and the
+:meth:`Neo4jSim.session` API exposes the compiled rows in one batch so the
+transformation stage can build its property graph without per-row copies.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterator, List, Optional, Tuple
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 
 class Neo4jSimError(Exception):
     """Raised on malformed queries or closed-session access."""
 
 
+@dataclass(frozen=True)
+class NodeRow:
+    """One compiled node record (parsed exactly once per session)."""
+
+    node_id: int
+    label: str
+    props: Mapping[str, str]
+
+
+@dataclass(frozen=True)
+class RelRow:
+    """One compiled relationship record (parsed exactly once per session)."""
+
+    rel_id: int
+    start: int
+    end: int
+    rel_type: str
+    props: Mapping[str, str]
+
+
+class Neo4jSession:
+    """A started store's compiled rows, exposed as one batch.
+
+    ``transform_neo4j`` reads every node and relationship exactly once;
+    handing it the compiled row lists directly (rather than per-row
+    deserialized copies) is the batched-query equivalent of running one
+    ``MATCH (n) RETURN n`` / ``MATCH ()-[r]->() RETURN r`` pair.  Rows are
+    shared, not copied — callers must treat ``props`` as read-only (the
+    property-graph builder copies them on insert).
+    """
+
+    def __init__(self, store: "Neo4jSim") -> None:
+        self._store = store
+
+    def nodes(self) -> Tuple[NodeRow, ...]:
+        self._store._require_open()
+        return self._store._node_rows
+
+    def relationships(self) -> Tuple[RelRow, ...]:
+        self._store._require_open()
+        return self._store._rel_rows
+
+
 class Neo4jSim:
     """A tiny log-structured node/relationship store with a query layer."""
 
-    #: How many times the startup replay scans the log, modelling JVM +
-    #: page-cache warm-up being much more expensive than a single pass.
-    #: Calibrated so that, as in the paper's Figure 6, the OPUS
-    #: transformation stage dominates its pipeline and OPUS stage times
-    #: dwarf SPADE's and CamFlow's.
+    #: How many passes of fixed-size work the startup pays, modelling the
+    #: size-independent share of startup — JVM boot and database
+    #: initialization — which is what flattens OPUS's scalability curve
+    #: (Figure 9): the constant dominates until the log grows very large.
     WARMUP_PASSES = 100
+
+    #: Bytes checksummed per warm-up pass (the fixed component above).
+    STARTUP_FIXED_BYTES = 64 * 1024
+
+    #: How many times the replay sweeps the encoded rows (one checksum per
+    #: row per sweep), modelling page-cache/index warm-up growing linearly
+    #: with log size.  Together the two components are calibrated so that,
+    #: as in the paper's Figure 6, the OPUS transformation stage dominates
+    #: its pipeline and OPUS stage times dwarf SPADE's and CamFlow's —
+    #: while the log itself is *parsed* exactly once per session.
+    REPLAY_SWEEPS = 25
 
     def __init__(self) -> None:
         self._log: List[str] = []
         self._open = False
-        self._node_index: Dict[int, str] = {}
-        self._rel_index: Dict[int, str] = {}
+        #: compiled typed rows, in log-replay order (one parse per start)
+        self._node_rows: Tuple[NodeRow, ...] = ()
+        self._rel_rows: Tuple[RelRow, ...] = ()
+        self._node_index: Dict[int, NodeRow] = {}
+        self._rel_index: Dict[int, RelRow] = {}
         #: built lazily on the first label-filtered query; most sessions
         #: (e.g. ProvMark's transformation stage) never touch labels, so
-        #: replay should not pay for indexing them
+        #: startup should not pay for indexing them
         self._label_index: Optional[Dict[str, List[int]]] = None
+        #: lazy mirror of ``_label_index`` for rel-type-filtered queries
+        self._rel_type_index: Optional[Dict[str, List[int]]] = None
+        #: warm-up sweep checksum — kept so the warm-up work is observable
+        #: (and cannot be optimized away)
+        self._warmup_checksum = 0
 
     # -- write path (used by the OPUS capture system) -------------------------
 
@@ -77,19 +152,57 @@ class Neo4jSim:
     # -- session lifecycle ------------------------------------------------------
 
     def start(self) -> None:
-        """Replay the log and build indexes (the Neo4j/JVM startup cost)."""
+        """Compile the log and pay the warm-up cost model.
+
+        One parsing pass builds the typed row objects and id indexes; the
+        JVM/page-cache warm-up that used to be modelled as repeated JSON
+        re-parsing is now :attr:`WARMUP_PASSES` fixed-size checksum passes
+        (constant init cost) plus :attr:`REPLAY_SWEEPS` per-row checksum
+        sweeps (linear replay cost) — still real, measurable work, ~an
+        order of magnitude cheaper overall.
+        """
+        node_rows: List[NodeRow] = []
+        rel_rows: List[RelRow] = []
+        node_index: Dict[int, NodeRow] = {}
+        rel_index: Dict[int, RelRow] = {}
+        for line in self._log:
+            record = json.loads(line)
+            if record["kind"] == "node":
+                row = NodeRow(record["id"], record["label"], record["props"])
+                node_rows.append(row)
+                node_index[row.node_id] = row
+            else:
+                rel = RelRow(
+                    record["id"],
+                    record["start"],
+                    record["end"],
+                    record["type"],
+                    record["props"],
+                )
+                rel_rows.append(rel)
+                rel_index[rel.rel_id] = rel
+        # Warm-up cost model: each pass touches every record once (a
+        # checksum per row, standing in for page-cache/index warm-up).
+        # Linear in log size like the old reparse loop, so the Figure-6
+        # shape — OPUS transformation dwarfing SPADE's and CamFlow's and
+        # dominating its own pipeline — survives at ~an order of magnitude
+        # less absolute cost.
+        encoded = [line.encode("utf-8") for line in self._log]
+        fixed = b"\xa5" * self.STARTUP_FIXED_BYTES
+        checksum = 0
+        crc32 = zlib.crc32
         for _ in range(self.WARMUP_PASSES):
-            node_index: Dict[int, str] = {}
-            rel_index: Dict[int, str] = {}
-            for line in self._log:
-                record = json.loads(line)
-                if record["kind"] == "node":
-                    node_index[record["id"]] = line
-                else:
-                    rel_index[record["id"]] = line
-            self._node_index = node_index
-            self._rel_index = rel_index
+            checksum = crc32(fixed, checksum)
+        for _ in range(self.REPLAY_SWEEPS):
+            for row in encoded:
+                checksum = crc32(row, checksum)
+        self._warmup_checksum = checksum
+        self._node_rows = tuple(node_rows)
+        self._rel_rows = tuple(rel_rows)
+        self._node_index = node_index
+        self._rel_index = rel_index
         self._label_index = None
+        self._rel_type_index = None
         self._open = True
 
     def shutdown(self) -> None:
@@ -103,52 +216,64 @@ class Neo4jSim:
         if not self._open:
             raise Neo4jSimError("session not started; call start() first")
 
+    def session(self) -> Neo4jSession:
+        """Batched access to the compiled rows of a started store."""
+        self._require_open()
+        return Neo4jSession(self)
+
     # -- query layer ----------------------------------------------------------------
 
     def _labels(self) -> Dict[str, List[int]]:
-        """The label index, built on first use from the node index.
+        """The label index, built on first use from the compiled rows.
 
-        Node ids are appended in node-index (= log replay) order, so
+        Node ids are appended in compiled-row (= log replay) order, so
         label-filtered results are identical to the eager index's.
         """
         if self._label_index is None:
             label_index: Dict[str, List[int]] = {}
-            for node_id, line in self._node_index.items():
-                record = json.loads(line)
-                label_index.setdefault(record["label"], []).append(node_id)
+            for row in self._node_rows:
+                label_index.setdefault(row.label, []).append(row.node_id)
             self._label_index = label_index
         return self._label_index
+
+    def _rel_types(self) -> Dict[str, List[int]]:
+        """The rel-type index — same laziness contract as :meth:`_labels`.
+
+        Rel ids are appended in compiled-row order, so type-filtered
+        results are identical to a full replay-order scan.
+        """
+        if self._rel_type_index is None:
+            rel_type_index: Dict[str, List[int]] = {}
+            for rel in self._rel_rows:
+                rel_type_index.setdefault(rel.rel_type, []).append(rel.rel_id)
+            self._rel_type_index = rel_type_index
+        return self._rel_type_index
 
     def match_nodes(
         self, label: Optional[str] = None
     ) -> Iterator[Tuple[int, str, Dict[str, str]]]:
-        """``MATCH (n[:label]) RETURN n`` — deserializes each row."""
+        """``MATCH (n[:label]) RETURN n`` — each row's props are a fresh copy."""
         self._require_open()
         if label is not None:
             ids = self._labels().get(label, [])
             rows = [self._node_index[node_id] for node_id in ids]
         else:
-            rows = list(self._node_index.values())
-        for line in rows:
-            record = json.loads(line)
-            yield record["id"], record["label"], dict(record["props"])
+            rows = self._node_rows
+        for row in rows:
+            yield row.node_id, row.label, dict(row.props)
 
     def match_relationships(
         self, rel_type: Optional[str] = None
     ) -> Iterator[Tuple[int, int, int, str, Dict[str, str]]]:
-        """``MATCH ()-[r[:type]]->() RETURN r`` — deserializes each row."""
+        """``MATCH ()-[r[:type]]->() RETURN r`` — props are a fresh copy."""
         self._require_open()
-        for line in self._rel_index.values():
-            record = json.loads(line)
-            if rel_type is not None and record["type"] != rel_type:
-                continue
-            yield (
-                record["id"],
-                record["start"],
-                record["end"],
-                record["type"],
-                dict(record["props"]),
-            )
+        if rel_type is not None:
+            ids = self._rel_types().get(rel_type, [])
+            rels = [self._rel_index[rel_id] for rel_id in ids]
+        else:
+            rels = self._rel_rows
+        for rel in rels:
+            yield rel.rel_id, rel.start, rel.end, rel.rel_type, dict(rel.props)
 
     def node_count(self) -> int:
         self._require_open()

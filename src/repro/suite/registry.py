@@ -290,9 +290,12 @@ def _build_scalability_benchmarks() -> Dict[str, Program]:
     The paper stops at scale8; scale16/scale32 extend the sweep toward
     realistic suspicious-behaviour target sizes (§5.4) and exercise the
     matching engine's candidate pruning under the solver step budget.
+    scale128/scale512 are the next-tier rows: they prove the decomposed
+    generalization solver stays ~linear, and are tagged ``slow`` so that
+    default suite sweeps skip them (benchmark runs opt in explicitly).
     """
     benchmarks = {}
-    for factor in (1, 2, 4, 8, 16, 32):
+    for factor in (1, 2, 4, 8, 16, 32, 128, 512):
         ops: List[Op] = []
         for index in range(factor):
             ops.append(Op("creat", ("scale.txt", 0o644), result=f"fd{index}",
@@ -509,9 +512,10 @@ def _seed_builtins(registry: SuiteRegistry) -> None:
             builtin=True,
         )
     for program in SCALABILITY_BENCHMARKS.values():
-        registry.register(
-            program, tags=("builtin", "scalability"), builtin=True
-        )
+        tags = ("builtin", "scalability")
+        if program.name in ("scale128", "scale512"):
+            tags += ("slow",)
+        registry.register(program, tags=tags, builtin=True)
 
 
 #: the default registry every surface (service, CLI, legacy lookups) shares

@@ -11,6 +11,7 @@ from repro import ProvMark
 from repro.suite.registry import (
     FAILURE_BENCHMARKS,
     SCALABILITY_BENCHMARKS,
+    SUITE_REGISTRY,
     TABLE2_BENCHMARKS,
 )
 
@@ -46,6 +47,8 @@ def test_scalability_suite_all_ok(tool):
     provmark = ProvMark(tool=tool, seed=2019)
     sizes = []
     for name in SCALABILITY_BENCHMARKS:
+        if "slow" in SUITE_REGISTRY.tags(name):
+            continue  # scale128/scale512 run in the slow-marked benchmarks
         result = provmark.run_benchmark(name)
         assert result.classification.value == "ok", name
         sizes.append(result.target_graph.size)

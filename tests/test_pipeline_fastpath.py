@@ -57,6 +57,7 @@ class TestMatchingCacheIdentity:
         assert set(timings.solver_row()) == {
             "solver_steps", "solver_searches",
             "matching_cache_hits", "cost_cache_hits",
+            "decomposed_components", "component_steps_max",
         }
 
 

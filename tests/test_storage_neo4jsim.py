@@ -83,11 +83,9 @@ class TestLazyLabelIndex:
         """Regression: lazy index returns exactly the eager index's rows."""
         store.start()
         eager = {}
-        for line in store._node_index.values():
-            import json
-            record = json.loads(line)
-            eager.setdefault(record["label"], []).append(
-                (record["id"], record["label"], dict(record["props"]))
+        for row in store._node_index.values():
+            eager.setdefault(row.label, []).append(
+                (row.node_id, row.label, dict(row.props))
             )
         for label in ("Process", "Global", "Ghost"):
             assert list(store.match_nodes(label=label)) == eager.get(label, [])
@@ -99,6 +97,97 @@ class TestLazyLabelIndex:
         store.start()  # replay picks the new node up
         rows = list(store.match_nodes(label="Process"))
         assert {row[0] for row in rows} == {1, 7}
+
+
+class TestLazyRelTypeIndex:
+    def test_rel_type_index_not_built_by_start(self, store):
+        store.start()
+        assert store._rel_type_index is None
+
+    def test_untyped_queries_never_build_it(self, store):
+        store.start()
+        list(store.match_relationships())
+        list(store.match_nodes())
+        store.relationship_count()
+        assert store._rel_type_index is None
+
+    def test_first_typed_query_builds_it(self, store):
+        store.start()
+        list(store.match_relationships(rel_type="READS"))
+        assert store._rel_type_index is not None
+
+    def test_typed_query_results_unchanged(self, store):
+        """Regression: indexed lookup equals a replay-order full scan."""
+        store.start()
+        scan = {}
+        for rel in store._rel_index.values():
+            scan.setdefault(rel.rel_type, []).append(
+                (rel.rel_id, rel.start, rel.end, rel.rel_type, dict(rel.props))
+            )
+        for rel_type in ("READS", "WRITES", "GHOST"):
+            assert (
+                list(store.match_relationships(rel_type=rel_type))
+                == scan.get(rel_type, [])
+            )
+
+    def test_restart_invalidates_index(self, store):
+        store.start()
+        list(store.match_relationships(rel_type="READS"))
+        store.create_relationship(9, 2, 1, "READS", {"n": "2"})
+        store.start()
+        rows = list(store.match_relationships(rel_type="READS"))
+        assert {row[0] for row in rows} == {3, 9}
+
+
+class TestBatchedSession:
+    def test_session_requires_start(self, store):
+        with pytest.raises(Neo4jSimError):
+            store.session()
+
+    def test_session_rows_in_replay_order(self, store):
+        store.start()
+        session = store.session()
+        assert [row.node_id for row in session.nodes()] == [1, 2]
+        assert [rel.rel_id for rel in session.relationships()] == [3]
+
+    def test_session_rows_match_queries(self, store):
+        store.start()
+        session = store.session()
+        assert [
+            (row.node_id, row.label, dict(row.props)) for row in session.nodes()
+        ] == list(store.match_nodes())
+        assert [
+            (r.rel_id, r.start, r.end, r.rel_type, dict(r.props))
+            for r in session.relationships()
+        ] == list(store.match_relationships())
+
+    def test_session_closed_after_shutdown(self, store):
+        store.start()
+        session = store.session()
+        store.shutdown()
+        with pytest.raises(Neo4jSimError):
+            session.nodes()
+
+    def test_single_parse_per_start(self, store, monkeypatch):
+        """The compiled session parses each log line exactly once."""
+        import json as json_module
+
+        calls = {"n": 0}
+        real_loads = json_module.loads
+
+        def counting_loads(s, *a, **kw):
+            calls["n"] += 1
+            return real_loads(s, *a, **kw)
+
+        import repro.storage.neo4jsim as mod
+
+        monkeypatch.setattr(mod.json, "loads", counting_loads)
+        store.start()
+        assert calls["n"] == 3  # 2 nodes + 1 rel, despite WARMUP_PASSES=100
+        calls["n"] = 0
+        list(store.match_nodes())
+        list(store.match_relationships(rel_type="READS"))
+        assert calls["n"] == 0  # queries never reparse
 
 
 class TestPersistence:
