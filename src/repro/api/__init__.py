@@ -34,8 +34,17 @@ Quickstart::
 
 from repro.api.errors import (
     ApiError,
+    BackpressureError,
+    ConflictError,
+    DeadlineError,
+    ForbiddenError,
+    MethodNotAllowedError,
     NotFoundError,
+    RateLimitError,
+    UnauthorizedError,
     ValidationError,
+    error_body,
+    error_headers,
     render_error,
 )
 from repro.api.http import ApiHTTPServer, DEFAULT_PORT, make_server
@@ -73,34 +82,43 @@ __all__ = [
     "API_VERSION",
     "ApiError",
     "ApiHTTPServer",
+    "BackpressureError",
     "BatchRequest",
     "BenchmarkInfo",
     "BenchmarkService",
     "BenchmarkSpec",
+    "compile_spec",
+    "ConflictError",
+    "DeadlineError",
     "DEFAULT_PORT",
+    "error_body",
+    "error_headers",
     "ExpectationSpec",
+    "ForbiddenError",
     "JobCancelled",
     "JobManager",
     "JobStatus",
+    "load_persisted_specs",
+    "make_server",
+    "MethodNotAllowedError",
     "NotFoundError",
     "OpSpec",
+    "persist_spec",
     "ProgramSpec",
+    "RateLimitError",
+    "remove_persisted_spec",
+    "render_error",
     "RunRequest",
     "RunResponse",
-    "SPEC_STAGE",
     "SetupSpec",
+    "spec_digest",
+    "spec_from_program",
+    "SPEC_STAGE",
     "SynthConfig",
     "SynthCoverage",
     "SynthReport",
     "ToolInfo",
     "ToolQuery",
+    "UnauthorizedError",
     "ValidationError",
-    "compile_spec",
-    "load_persisted_specs",
-    "make_server",
-    "persist_spec",
-    "remove_persisted_spec",
-    "spec_digest",
-    "spec_from_program",
-    "render_error",
 ]

@@ -10,7 +10,7 @@ message, produced in one place.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Sequence
 
 
 class ApiError(Exception):
@@ -34,6 +34,55 @@ class NotFoundError(ApiError, LookupError):
     exit_code = 2
 
 
+class UnauthorizedError(ApiError):
+    """The request carries no (or an unknown) credential (HTTP 401).
+
+    Rendered with a ``WWW-Authenticate: Bearer`` header: the middleware
+    chain's auth layer accepts ``Authorization: Bearer <token>``.
+    """
+
+    http_status = 401
+    exit_code = 4
+
+    #: headers the HTTP layer attaches to the error response
+    extra_headers = {"WWW-Authenticate": "Bearer"}
+
+
+class ForbiddenError(ApiError):
+    """An authenticated client's role does not cover this route (403)."""
+
+    http_status = 403
+    exit_code = 4
+
+
+class ConflictError(ApiError):
+    """A request contradicts earlier state it claims to repeat (409).
+
+    The idempotency middleware raises this when an ``Idempotency-Key``
+    is replayed with a *different* request body: the key promises an
+    exact retry, so a mismatched digest is a client bug, not a replay.
+    """
+
+    http_status = 409
+    exit_code = 2
+
+
+class MethodNotAllowedError(ApiError):
+    """The path exists but not under this HTTP method (405 + ``Allow``)."""
+
+    http_status = 405
+    exit_code = 2
+
+    def __init__(self, message: str, allow: Sequence[str] = ()) -> None:
+        super().__init__(message)
+        #: the methods the path does answer (the ``Allow`` header)
+        self.allow = tuple(sorted(set(allow)))
+
+    @property
+    def extra_headers(self) -> Dict[str, str]:
+        return {"Allow": ", ".join(self.allow)} if self.allow else {}
+
+
 class BackpressureError(ApiError):
     """The job queue is at capacity; retry after ``retry_after`` seconds.
 
@@ -49,6 +98,15 @@ class BackpressureError(ApiError):
         #: suggested client wait, seconds (the ``Retry-After`` header,
         #: rounded up to a whole second on the wire)
         self.retry_after = max(0.0, float(retry_after))
+
+
+class RateLimitError(BackpressureError):
+    """A client exhausted its admission quota (429 + ``Retry-After``).
+
+    Distinct from plain :class:`BackpressureError` so metrics and logs
+    can tell per-client throttling (the middleware layer, in front of
+    everything) from whole-queue saturation (the execution plane).
+    """
 
 
 class DeadlineError(ApiError):
@@ -77,3 +135,19 @@ def error_body(error: ApiError) -> Dict[str, object]:
             "message": render_error(error),
         }
     }
+
+
+def error_headers(error: ApiError) -> Dict[str, str]:
+    """The extra response headers an error carries onto the wire.
+
+    ``retry_after`` becomes a whole-second ``Retry-After`` (rounded up:
+    the header is delta-seconds); error classes may also declare an
+    ``extra_headers`` mapping (``Allow`` on 405, ``WWW-Authenticate``
+    on 401).
+    """
+    headers: Dict[str, str] = {}
+    retry_after = getattr(error, "retry_after", None)
+    if retry_after is not None:
+        headers["Retry-After"] = str(max(1, int(retry_after + 0.999)))
+    headers.update(getattr(error, "extra_headers", None) or {})
+    return headers

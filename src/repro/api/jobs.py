@@ -45,9 +45,18 @@ class JobCancelled(Exception):
 class _Job:
     """Mutable job record; snapshots go out as frozen JobStatus values."""
 
-    def __init__(self, job_id: str, kind: str, total: int) -> None:
+    def __init__(
+        self,
+        job_id: str,
+        kind: str,
+        total: int,
+        client_id: str = "",
+        request_id: str = "",
+    ) -> None:
         self.job_id = job_id
         self.kind = kind
+        self.client_id = client_id
+        self.request_id = request_id
         self.state = "queued"
         self.submitted_at = time.time()
         self.started_at: Optional[float] = None
@@ -76,6 +85,8 @@ class _Job:
             stage=self.stage,
             error=self.error,
             attempts=self.attempts,
+            client_id=self.client_id,
+            request_id=self.request_id,
             result=self.result,
             results=self.results,
             report=self.report,
@@ -108,9 +119,22 @@ class JobManager:
 
     # -- public API ---------------------------------------------------------
 
-    def submit(self, service, request, kind: str, total: int) -> JobStatus:
+    def submit(
+        self,
+        service,
+        request,
+        kind: str,
+        total: int,
+        client_id: str = "",
+        request_id: str = "",
+    ) -> JobStatus:
         """Queue a validated run/batch job (``kind``/``total`` resolved
-        by the service, which already expanded the benchmark list)."""
+        by the service, which already expanded the benchmark list).
+
+        ``client_id``/``request_id`` are correlation-only: the HTTP
+        layer stamps the auth-resolved client and per-request id onto
+        the job record so access-log lines and job snapshots join up.
+        """
         with self._lock:
             if self._closed:
                 raise ValidationError(
@@ -132,7 +156,7 @@ class JobManager:
             # ids (they are capability tokens over /v1/jobs), so use the
             # full 128 bits of uuid4, not a truncation.
             job_id = f"job-{next(self._seq):04d}-{uuid.uuid4().hex}"
-            job = _Job(job_id, kind, total)
+            job = _Job(job_id, kind, total, client_id, request_id)
             self._jobs[job_id] = job
             self._evict_finished()
             job.future = self._executor().submit(

@@ -447,7 +447,12 @@ class BenchmarkService:
     def jobs(self) -> JobManager:
         return self._jobs
 
-    def submit(self, request: Request) -> JobStatus:
+    def submit(
+        self,
+        request: Request,
+        client_id: str = "",
+        request_id: str = "",
+    ) -> JobStatus:
         """Queue a run/batch job; returns its initial status snapshot.
 
         Name lookups (benchmark, tool, profile) are validated *now*
@@ -457,6 +462,10 @@ class BenchmarkService:
         is open and deliberately fresh): concurrent unregistration can
         therefore still fail a queued job, cleanly, with the same
         not-found message in its ``error`` field.
+
+        ``client_id``/``request_id`` (both optional) are stamped onto
+        the job record for correlation with the HTTP middleware layer's
+        access logs and metrics.
         """
         if isinstance(request, RunRequest):
             # resolves the name (or compiles the inline spec) now, so a
@@ -480,7 +489,10 @@ class BenchmarkService:
                 "submit() takes a RunRequest, BatchRequest, or "
                 f"SynthConfig, got {type(request).__name__}"
             )
-        return self.jobs.submit(self, request, kind, total)
+        return self.jobs.submit(
+            self, request, kind, total,
+            client_id=client_id, request_id=request_id,
+        )
 
     def poll(self, job_id: str) -> JobStatus:
         """Current status of a submitted job (with results when done)."""

@@ -710,6 +710,12 @@ class JobStatus:
     #: delivery attempts so far (0 while queued; the execution plane
     #: increments it on every claim, including lease-recovery retries)
     attempts: int = 0
+    #: correlation with the middleware layer: the authenticated client
+    #: that submitted the job and the per-request id its access-log line
+    #: carries, so spool records and structured logs join up ("" when
+    #: the job was submitted outside the HTTP surface)
+    client_id: str = ""
+    request_id: str = ""
     result: Optional[RunResponse] = None
     results: Optional[Tuple[RunResponse, ...]] = None
     #: synthesis jobs report a SynthReport instead of run responses
@@ -731,6 +737,8 @@ class JobStatus:
         _check_str("JobStatus", "stage", self.stage)
         _check_str("JobStatus", "error", self.error)
         _check_int("JobStatus", "attempts", self.attempts, minimum=0)
+        _check_str("JobStatus", "client_id", self.client_id)
+        _check_str("JobStatus", "request_id", self.request_id)
         if self.result is not None and not isinstance(self.result, RunResponse):
             _fail("JobStatus", "result", "must be a RunResponse or None")
         if self.results is not None:
@@ -763,6 +771,8 @@ class JobStatus:
             "stage": self.stage,
             "error": self.error,
             "attempts": self.attempts,
+            "client_id": self.client_id,
+            "request_id": self.request_id,
             "result": self.result.to_payload() if self.result else None,
             "results": (
                 [r.to_payload() for r in self.results]

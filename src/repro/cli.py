@@ -24,6 +24,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.table2 import generate_table2
@@ -185,6 +186,24 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 def _make_serve_jobs(args: argparse.Namespace):
     """The job manager behind ``provmark serve``: a process fleet over a
     durable queue with ``--workers``, else the in-process thread pool."""
+    faults = None
+    if getattr(args, "faults", None):
+        if args.workers <= 0:
+            raise ValidationError(
+                "--faults requires --workers (fault plans are installed "
+                "into the supervised worker processes)"
+            )
+        from repro.faults import FaultPlan
+
+        try:
+            payload = json.loads(Path(args.faults).read_text())
+        except OSError as exc:
+            raise ValidationError(f"cannot read fault plan: {exc}") from None
+        except ValueError as exc:
+            raise ValidationError(
+                f"fault plan {args.faults} is not valid JSON: {exc}"
+            ) from None
+        faults = FaultPlan.from_payload(payload)
     if args.workers > 0:
         if not args.queue:
             raise ValidationError(
@@ -194,11 +213,22 @@ def _make_serve_jobs(args: argparse.Namespace):
         from repro.exec import FleetJobManager
 
         return FleetJobManager(
-            args.queue, workers=args.workers, capacity=args.capacity
+            args.queue, workers=args.workers, capacity=args.capacity,
+            faults=faults,
         )
     from repro.api.jobs import JobManager
 
     return JobManager(capacity=args.capacity)
+
+
+def _make_serve_chain(args: argparse.Namespace):
+    """The middleware chain behind ``provmark serve --middleware``."""
+    if not getattr(args, "middleware", None):
+        return None
+    from repro.middleware import build_chain, load_config
+
+    config_path = Path(args.middleware)
+    return build_chain(load_config(config_path), base_dir=config_path.parent)
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -207,7 +237,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     manager = _make_serve_jobs(args)
     service = BenchmarkService(jobs=manager)
-    server = make_server(service, host=args.host, port=args.port)
+    server = make_server(
+        service, host=args.host, port=args.port,
+        chain=_make_serve_chain(args),
+    )
     host, port = server.server_address[:2]
 
     # First SIGINT/SIGTERM starts a graceful drain (finish in-flight
@@ -517,6 +550,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--drain-timeout", type=float, default=30.0, metavar="SECONDS",
         help="on SIGINT/SIGTERM, let in-flight jobs finish for this "
         "long before cancelling them (default: 30)",
+    )
+    serve.add_argument(
+        "--middleware", default=None, metavar="CONFIG.json",
+        help="middleware-chain config (auth tokens, rate limits, "
+        "idempotent response cache, metrics, access log); see "
+        "repro.middleware.config for the schema",
+    )
+    serve.add_argument(
+        "--faults", default=None, metavar="PLAN.json",
+        help="fault-injection plan installed into worker processes "
+        "(requires --workers); see repro.faults.FaultPlan",
     )
     serve.set_defaults(func=_cmd_serve)
 

@@ -98,7 +98,15 @@ class FleetJobManager:
 
     # -- JobManager surface --------------------------------------------------
 
-    def submit(self, service, request, kind: str, total: int) -> JobStatus:
+    def submit(
+        self,
+        service,
+        request,
+        kind: str,
+        total: int,
+        client_id: str = "",
+        request_id: str = "",
+    ) -> JobStatus:
         """Persist a validated request as a durable job.
 
         The service already validated names against *its* registry;
@@ -122,7 +130,8 @@ class FleetJobManager:
                     )
             request = self._make_portable(service, request, kind)
             record = self.queue.submit(
-                kind, request.to_payload(), total, self.policy.max_attempts
+                kind, request.to_payload(), total, self.policy.max_attempts,
+                client_id=client_id, request_id=request_id,
             )
         return self._status(record)
 
@@ -277,6 +286,8 @@ class FleetJobManager:
             stage=str(record.get("stage") or ""),
             error=str(record.get("error") or ""),
             attempts=int(record.get("attempts") or 0),
+            client_id=str(record.get("client_id") or ""),
+            request_id=str(record.get("request_id") or ""),
             result=result,
             results=results,
             report=report,

@@ -113,6 +113,8 @@ class JobQueue:
         request_payload: Dict[str, object],
         total: int,
         max_attempts: int,
+        client_id: str = "",
+        request_id: str = "",
     ) -> Dict[str, object]:
         """Persist a new job record and its pending token; returns the record.
 
@@ -144,6 +146,10 @@ class JobQueue:
             "results": None,
             "report": None,
             "cancel_requested": False,
+            # middleware correlation: the submitting client and the HTTP
+            # request id its access-log line carries ("" outside HTTP)
+            "client_id": client_id,
+            "request_id": request_id,
         }
         _write_json_atomic(self._record_path(job_id), record)
         self._make_token(job_id, now)

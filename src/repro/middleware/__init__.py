@@ -1,0 +1,57 @@
+"""`repro.middleware`: typed request interception for the HTTP service.
+
+A :class:`MiddlewareChain` of :class:`Middleware` hooks dispatched by
+``repro.api.http`` around every façade call — auth, rate limiting,
+idempotent response caching, metrics, access logs — plus the SSE job
+event stream.  Socket-free and unit-testable; assembled from JSON config
+by :func:`build_chain` for ``provmark serve --middleware``.
+"""
+
+from repro.middleware.auth import AuthMiddleware, required_role
+from repro.middleware.chain import Middleware, MiddlewareChain, MiddlewareError
+from repro.middleware.config import build_chain, load_config
+from repro.middleware.context import (
+    ANONYMOUS,
+    SSE_CONTENT_TYPE,
+    RequestContext,
+    Response,
+    body_digest,
+    new_request_id,
+)
+from repro.middleware.idempotency import IdempotencyMiddleware
+from repro.middleware.logs import AccessLogMiddleware
+from repro.middleware.metrics import (
+    REPLAY_HEADER,
+    MetricsMiddleware,
+    MetricsRegistry,
+    register_service_gauges,
+    route_label,
+)
+from repro.middleware.ratelimit import RateLimitMiddleware
+from repro.middleware.sse import format_event, job_event_stream
+
+__all__ = [
+    "ANONYMOUS",
+    "REPLAY_HEADER",
+    "SSE_CONTENT_TYPE",
+    "AccessLogMiddleware",
+    "AuthMiddleware",
+    "IdempotencyMiddleware",
+    "Middleware",
+    "MiddlewareChain",
+    "MiddlewareError",
+    "MetricsMiddleware",
+    "MetricsRegistry",
+    "RateLimitMiddleware",
+    "RequestContext",
+    "Response",
+    "body_digest",
+    "build_chain",
+    "format_event",
+    "job_event_stream",
+    "load_config",
+    "new_request_id",
+    "register_service_gauges",
+    "required_role",
+    "route_label",
+]

@@ -1,0 +1,135 @@
+"""Token-based authentication and role authorization.
+
+``AuthMiddleware`` maps ``Authorization: Bearer <token>`` to a client
+identity and role from a static token table (the kind of thing
+``provmark serve --middleware config.json`` carries), then checks the
+role against what the route demands:
+
+* ``read``  — every GET (catalog, health, jobs, metrics, SSE);
+* ``submit`` — submitting work (``POST /v1/runs``, ``POST
+  /v1/benchmarks``) and cancelling jobs (``DELETE /v1/jobs/<id>``);
+* ``admin`` — destructive or expensive surface: benchmark synthesis
+  (``POST /v1/synth``) and catalog deletion
+  (``DELETE /v1/benchmarks/<name>``).
+
+Roles are ranked (``read < submit < admin``); a role covers every
+requirement at or below its rank.  ``/v1/health`` never requires auth —
+probes must work before anyone has a token.  A missing or unknown token
+is a 401 (with ``WWW-Authenticate: Bearer``) unless the chain was built
+with ``allow_anonymous`` set to a role, in which case tokenless requests
+proceed as the ``anonymous`` client with that role; a *known* client
+whose role does not reach the route's requirement is a 403.
+
+On success the middleware returns a refined
+:class:`~repro.middleware.context.RequestContext` carrying
+``client_id``/``role``, which is what the rate limiter keys its buckets
+on and what job records persist for correlation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.api.errors import ForbiddenError, UnauthorizedError, ValidationError
+from repro.middleware.chain import Middleware
+from repro.middleware.context import ANONYMOUS, RequestContext
+
+#: role ranks: a client role covers requirements at or below its rank
+ROLE_RANKS: Dict[str, int] = {"read": 0, "submit": 1, "admin": 2}
+
+#: routes that never require a credential
+EXEMPT_PATHS: Tuple[str, ...] = ("/v1/health",)
+
+
+def required_role(method: str, path: str) -> Optional[str]:
+    """The minimum role a route demands, or ``None`` for exempt routes."""
+    clean = path.rstrip("/") or "/"
+    if clean in EXEMPT_PATHS:
+        return None
+    if method == "GET":
+        return "read"
+    if method == "POST":
+        if clean == "/v1/synth":
+            return "admin"
+        return "submit"
+    if method == "DELETE":
+        if clean.startswith("/v1/benchmarks/"):
+            return "admin"
+        return "submit"
+    # unknown methods fall to the routing layer's 405; demand the floor
+    return "read"
+
+
+class AuthMiddleware(Middleware):
+    """Resolve ``Authorization: Bearer`` tokens and enforce route roles.
+
+    ``tokens`` maps each bearer token to ``{"client": <id>, "role":
+    <read|submit|admin>}``.  ``allow_anonymous`` (``None`` by default —
+    credentials required) names the role granted to tokenless requests.
+    """
+
+    name = "auth"
+
+    def __init__(
+        self,
+        tokens: Mapping[str, Mapping[str, str]],
+        allow_anonymous: Optional[str] = None,
+    ) -> None:
+        self._by_token: Dict[str, Tuple[str, str]] = {}
+        for token, entry in tokens.items():
+            if not token or not isinstance(token, str):
+                raise ValidationError("auth: tokens must be non-empty strings")
+            client = str(entry.get("client", "") or "")
+            role = str(entry.get("role", "") or "")
+            if not client:
+                raise ValidationError(
+                    f"auth: token entry for {client or '<unnamed>'!r} "
+                    "is missing 'client'"
+                )
+            if role not in ROLE_RANKS:
+                raise ValidationError(
+                    f"auth: client {client!r} has unknown role {role!r} "
+                    f"(expected one of {sorted(ROLE_RANKS)})"
+                )
+            self._by_token[token] = (client, role)
+        if allow_anonymous is not None and allow_anonymous not in ROLE_RANKS:
+            raise ValidationError(
+                f"auth: allow_anonymous role {allow_anonymous!r} unknown "
+                f"(expected one of {sorted(ROLE_RANKS)})"
+            )
+        self._anonymous_role = allow_anonymous
+
+    def on_request(self, ctx: RequestContext):
+        needed = required_role(ctx.method, ctx.path)
+        if needed is None:
+            return None
+        client, role = self._resolve(ctx)
+        if ROLE_RANKS[role] < ROLE_RANKS[needed]:
+            self.metrics.inc("auth_denied_total", client)
+            raise ForbiddenError(
+                f"client {client!r} (role {role!r}) may not "
+                f"{ctx.method} {ctx.path}: requires role {needed!r}"
+            )
+        self.metrics.inc("auth_ok_total", client)
+        return ctx.replace(client_id=client, role=role)
+
+    def _resolve(self, ctx: RequestContext) -> Tuple[str, str]:
+        header = ctx.header("authorization")
+        if header is None:
+            if self._anonymous_role is not None:
+                return ANONYMOUS, self._anonymous_role
+            self.metrics.inc("auth_denied_total", ANONYMOUS)
+            raise UnauthorizedError(
+                "missing Authorization header (expected 'Bearer <token>')"
+            )
+        scheme, _, token = header.partition(" ")
+        if scheme.lower() != "bearer" or not token.strip():
+            self.metrics.inc("auth_denied_total", ANONYMOUS)
+            raise UnauthorizedError(
+                "malformed Authorization header (expected 'Bearer <token>')"
+            )
+        entry = self._by_token.get(token.strip())
+        if entry is None:
+            self.metrics.inc("auth_denied_total", ANONYMOUS)
+            raise UnauthorizedError("unknown bearer token")
+        return entry

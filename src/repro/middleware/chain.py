@@ -1,0 +1,180 @@
+"""`Middleware` and `MiddlewareChain`: typed request interception.
+
+The wags-style hook shape (SNIPPETS.md: ``on_call_tool`` over a typed
+``MiddlewareContext``) adapted to this service's HTTP surface: each
+:class:`Middleware` implements up to three hooks over a frozen
+:class:`~repro.middleware.context.RequestContext`:
+
+* ``on_request(ctx)`` — before the handler.  Return ``None`` to pass
+  the request through unchanged, a *new* ``RequestContext`` to refine
+  it (auth resolving the client), or a
+  :class:`~repro.middleware.context.Response` to short-circuit the
+  request entirely (an idempotency cache hit).  Raise an
+  :class:`~repro.api.errors.ApiError` to reject it (401/403/429).
+* ``on_response(ctx, response)`` — after the handler (or a
+  short-circuit by a *later* middleware), in reverse registration
+  order.  Return a ``Response`` to substitute, ``None`` to keep.
+* ``on_error(ctx, error)`` — observation of a failed dispatch, reverse
+  order, for every middleware whose ``on_request`` completed.  Purely
+  observational: return values are ignored and exceptions are
+  swallowed (a broken log line must not mask the real failure).
+
+The chain is constructed once and shared by every HTTP handler thread,
+so middlewares keep per-*client* state (rate-limit buckets) behind their
+own locks and use ``ctx.state`` for per-*request* scratch.  Dispatch is
+socket-free — a chain is unit-testable by passing any callable handler.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Tuple, Union
+
+from repro.api.errors import ApiError, render_error
+from repro.middleware.context import RequestContext, Response
+
+#: what an on_request hook may return
+RequestHookResult = Union[None, RequestContext, Response]
+
+#: the terminal request handler a chain wraps
+Handler = Callable[[RequestContext], Response]
+
+
+class MiddlewareError(Exception):
+    """A middleware broke its contract (bad hook return type)."""
+
+
+class Middleware:
+    """Base middleware: every hook defaults to a no-op.
+
+    Subclasses set ``name`` (used in metrics labels and config) and
+    override the hooks they need.  :meth:`bind` is called once when the
+    chain is assembled, handing the middleware the chain's shared
+    :class:`~repro.middleware.metrics.MetricsRegistry`.
+    """
+
+    name = "middleware"
+
+    def bind(self, chain: "MiddlewareChain") -> None:
+        """Called once at chain assembly; default keeps the registry."""
+        self.metrics = chain.metrics
+
+    def on_request(self, ctx: RequestContext) -> RequestHookResult:
+        return None
+
+    def on_response(
+        self, ctx: RequestContext, response: Response
+    ) -> Optional[Response]:
+        return None
+
+    def on_error(self, ctx: RequestContext, error: ApiError) -> None:
+        return None
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class MiddlewareChain:
+    """An ordered middleware composition around one request handler.
+
+    ``dispatch`` runs every ``on_request`` in order, the handler, then
+    ``on_response`` in reverse for the middlewares that saw the request
+    — the classic onion.  A middleware that short-circuits with a
+    ``Response`` skips the handler *and* every later middleware, but the
+    earlier (outer) ones still get ``on_response``, so metrics and
+    access logs cover cache hits exactly like real handler work.
+
+    Failures: any ``ApiError`` (from a hook or the handler) is shown to
+    the outer middlewares' ``on_error`` and re-raised for the HTTP layer
+    to render; an unexpected exception is observed as a wrapped 500 but
+    re-raised unwrapped so the HTTP layer's fallback keeps its exact
+    behavior.
+    """
+
+    def __init__(
+        self,
+        middlewares: Iterable[Middleware] = (),
+        metrics: Optional[object] = None,
+    ) -> None:
+        # lazy import: metrics.py subclasses Middleware from here
+        from repro.middleware.metrics import MetricsRegistry
+
+        self.middlewares: Tuple[Middleware, ...] = tuple(middlewares)
+        for mw in self.middlewares:
+            if not isinstance(mw, Middleware):
+                raise MiddlewareError(
+                    f"chain entries must be Middleware instances, got "
+                    f"{type(mw).__name__}"
+                )
+        #: one registry shared by every middleware and the /v1/metrics
+        #: endpoint, whether or not a MetricsMiddleware is on the chain
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        for mw in self.middlewares:
+            mw.bind(self)
+
+    def __len__(self) -> int:
+        return len(self.middlewares)
+
+    def dispatch(self, ctx: RequestContext, handler: Handler) -> Response:
+        """Run one request through the chain and the handler."""
+        ran: List[Middleware] = []
+        try:
+            response: Optional[Response] = None
+            for mw in self.middlewares:
+                out = mw.on_request(ctx)
+                if out is None:
+                    ran.append(mw)
+                    continue
+                if isinstance(out, RequestContext):
+                    ctx = out
+                    ran.append(mw)
+                    continue
+                if isinstance(out, Response):
+                    # short-circuit: this middleware answered; only the
+                    # outer ones get the response hooks
+                    response = out
+                    break
+                raise MiddlewareError(
+                    f"{mw.name}.on_request returned "
+                    f"{type(out).__name__}; expected None, "
+                    "RequestContext, or Response"
+                )
+            if response is None:
+                response = handler(ctx)
+            if not isinstance(response, Response):
+                raise MiddlewareError(
+                    f"handler returned {type(response).__name__}; "
+                    "expected Response"
+                )
+            for mw in reversed(ran):
+                out = mw.on_response(ctx, response)
+                if out is None:
+                    continue
+                if isinstance(out, Response):
+                    response = out
+                    continue
+                raise MiddlewareError(
+                    f"{mw.name}.on_response returned "
+                    f"{type(out).__name__}; expected None or Response"
+                )
+            return response
+        except ApiError as exc:
+            self._observe_error(ran, ctx, exc)
+            raise
+        except Exception as exc:
+            # surfaced to hooks as the 500 it will render as, re-raised
+            # unwrapped so the HTTP layer's fallback path is unchanged
+            wrapped = ApiError(
+                f"internal error: {type(exc).__name__}: {render_error(exc)}"
+            )
+            self._observe_error(ran, ctx, wrapped)
+            raise
+
+    @staticmethod
+    def _observe_error(
+        ran: List[Middleware], ctx: RequestContext, error: ApiError
+    ) -> None:
+        for mw in reversed(ran):
+            try:
+                mw.on_error(ctx, error)
+            except Exception:  # noqa: BLE001 — observation must not mask
+                pass

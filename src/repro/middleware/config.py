@@ -1,0 +1,147 @@
+"""Assemble a middleware chain from a JSON config file.
+
+``provmark serve --middleware config.json`` hands this module a config
+like::
+
+    {
+      "metrics": true,
+      "access_log": {"path": "access.log"},
+      "auth": {
+        "tokens": {
+          "reader-token":  {"client": "dash",  "role": "read"},
+          "ci-token":      {"client": "ci",    "role": "submit"},
+          "op-token":      {"client": "ops",   "role": "admin"}
+        },
+        "allow_anonymous": null
+      },
+      "ratelimit": {
+        "rate": 10, "burst": 20,
+        "clients": {"ci": {"rate": 50, "burst": 100}}
+      },
+      "idempotency": {"store": "artifacts"}
+    }
+
+and gets back a :class:`~repro.middleware.chain.MiddlewareChain` in the
+canonical order — metrics outermost (so throttled and replayed requests
+are still counted), then access log, auth (resolving ``client_id``),
+rate limiting (keyed on that identity), and idempotency innermost (a
+cache hit still flows through everything above it).  Sections are
+independent: omit one and that layer is simply absent.  ``metrics``
+defaults to on; everything else to off.  Unknown top-level keys are
+rejected — a typoed section silently disabling auth would be a security
+hole, not a convenience.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Mapping, Optional, Union
+
+from repro.api.errors import ValidationError
+from repro.middleware.auth import AuthMiddleware
+from repro.middleware.chain import Middleware, MiddlewareChain
+from repro.middleware.idempotency import IdempotencyMiddleware
+from repro.middleware.logs import AccessLogMiddleware
+from repro.middleware.metrics import MetricsMiddleware
+from repro.middleware.ratelimit import RateLimitMiddleware
+
+#: recognized top-level config sections, in chain order
+SECTIONS = ("metrics", "access_log", "auth", "ratelimit", "idempotency")
+
+
+def load_config(path: Union[str, Path]) -> Mapping[str, object]:
+    """Read and minimally validate a middleware config file."""
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise ValidationError(f"cannot read middleware config: {exc}") from exc
+    try:
+        config = json.loads(text)
+    except ValueError as exc:
+        raise ValidationError(
+            f"middleware config {path} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(config, dict):
+        raise ValidationError(
+            f"middleware config {path} must be a JSON object, "
+            f"got {type(config).__name__}"
+        )
+    return config
+
+
+def build_chain(
+    config: Mapping[str, object],
+    base_dir: Optional[Union[str, Path]] = None,
+) -> MiddlewareChain:
+    """A chain from a parsed config (see the module example).
+
+    Relative ``idempotency.store`` / ``access_log.path`` values resolve
+    against ``base_dir`` (the config file's directory, typically).
+    """
+    unknown = sorted(set(config) - set(SECTIONS))
+    if unknown:
+        raise ValidationError(
+            f"middleware config has unknown section(s) {unknown}; "
+            f"expected a subset of {list(SECTIONS)}"
+        )
+    root = Path(base_dir) if base_dir is not None else Path(".")
+    middlewares: List[Middleware] = []
+
+    if config.get("metrics", True):
+        middlewares.append(MetricsMiddleware())
+
+    access = config.get("access_log", False)
+    if access:
+        if isinstance(access, Mapping) and access.get("path"):
+            middlewares.append(
+                AccessLogMiddleware(path=_resolve(root, str(access["path"])))
+            )
+        else:
+            middlewares.append(AccessLogMiddleware())
+
+    auth = config.get("auth")
+    if auth is not None:
+        if not isinstance(auth, Mapping):
+            raise ValidationError("middleware config: 'auth' must be an object")
+        tokens = auth.get("tokens")
+        if not isinstance(tokens, Mapping) or not tokens:
+            raise ValidationError(
+                "middleware config: 'auth.tokens' must be a non-empty "
+                "object mapping tokens to {client, role}"
+            )
+        allow_anonymous = auth.get("allow_anonymous")
+        middlewares.append(
+            AuthMiddleware(tokens, allow_anonymous=allow_anonymous)
+        )
+
+    ratelimit = config.get("ratelimit")
+    if ratelimit is not None:
+        if not isinstance(ratelimit, Mapping):
+            raise ValidationError(
+                "middleware config: 'ratelimit' must be an object"
+            )
+        middlewares.append(
+            RateLimitMiddleware(
+                rate=float(ratelimit.get("rate", 10.0)),
+                burst=float(ratelimit.get("burst", 20.0)),
+                quotas=ratelimit.get("clients"),
+            )
+        )
+
+    idempotency = config.get("idempotency")
+    if idempotency is not None:
+        if not isinstance(idempotency, Mapping) or not idempotency.get("store"):
+            raise ValidationError(
+                "middleware config: 'idempotency' needs a 'store' directory"
+            )
+        middlewares.append(
+            IdempotencyMiddleware(_resolve(root, str(idempotency["store"])))
+        )
+
+    return MiddlewareChain(middlewares)
+
+
+def _resolve(root: Path, value: str) -> Path:
+    path = Path(value)
+    return path if path.is_absolute() else root / path

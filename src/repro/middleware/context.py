@@ -1,0 +1,121 @@
+"""The typed request/response vocabulary of the middleware chain.
+
+A :class:`RequestContext` is the frozen, middleware-facing view of one
+HTTP request: method, path, normalized headers, the parsed JSON body and
+its raw-byte digest, the resolved client identity, and a per-request
+correlation id.  Middlewares never see sockets or handler objects — the
+HTTP layer builds one context per request, and hooks that *refine* the
+request (auth resolving ``client_id``/``role``) return a replacement via
+:meth:`RequestContext.replace` instead of mutating.
+
+The one deliberately mutable field is ``state``: a per-request scratch
+dict the chain threads through every hook, so a middleware can leave a
+note for its own ``on_response`` (the idempotency layer stashes the
+cache key it decided on during ``on_request`` there) without smuggling
+request-scoped state into middleware instances, which are shared across
+handler threads.
+
+A :class:`Response` is what handlers and short-circuiting middlewares
+produce: a status, a JSON payload (or a byte-chunk iterator for
+streaming responses — the SSE endpoint), and extra headers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple, Union
+
+#: content type of streaming (Server-Sent Events) responses
+SSE_CONTENT_TYPE = "text/event-stream"
+
+#: the client id of requests no auth layer has resolved
+ANONYMOUS = "anonymous"
+
+
+def new_request_id() -> str:
+    """An unguessable per-request correlation id (``req-<hex>``)."""
+    return f"req-{uuid.uuid4().hex[:16]}"
+
+
+def body_digest(raw: bytes) -> str:
+    """SHA-256 hex digest of the raw request body ("" for no body)."""
+    return hashlib.sha256(raw).hexdigest() if raw else ""
+
+
+@dataclass(frozen=True)
+class RequestContext:
+    """One request as the middleware chain sees it.
+
+    ``headers`` is a tuple of lower-cased ``(name, value)`` pairs —
+    hashable and frozen like the rest; :meth:`header` does the lookup.
+    ``client_id``/``role`` start anonymous/empty until an auth
+    middleware replaces the context.  ``deadline`` is an absolute
+    ``time.monotonic()`` instant when the client sent a
+    ``Request-Timeout`` header, else ``None``.
+    """
+
+    method: str
+    path: str
+    query: str = ""
+    headers: Tuple[Tuple[str, str], ...] = ()
+    #: parsed JSON body (None for bodyless or non-JSON requests)
+    body: Optional[Mapping[str, object]] = None
+    #: SHA-256 of the raw body bytes ("" when there is no body)
+    body_digest: str = ""
+    client_id: str = ANONYMOUS
+    role: str = ""
+    request_id: str = field(default_factory=new_request_id)
+    received_at: float = field(default_factory=time.time)
+    remote_addr: str = ""
+    deadline: Optional[float] = None
+    #: per-request scratch shared by all hooks of one dispatch; never
+    #: part of equality/hash semantics (mutable by design)
+    state: Dict[str, object] = field(
+        default_factory=dict, compare=False, repr=False
+    )
+
+    def header(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        """Case-insensitive header lookup (first match wins)."""
+        wanted = name.lower()
+        for key, value in self.headers:
+            if key == wanted:
+                return value
+        return default
+
+    def replace(self, **changes: object) -> "RequestContext":
+        """A copy with the given fields replaced (``state`` is shared)."""
+        return dataclasses.replace(self, **changes)
+
+    @staticmethod
+    def normalize_headers(
+        raw: Union[Mapping[str, str], Iterable[Tuple[str, str]]]
+    ) -> Tuple[Tuple[str, str], ...]:
+        """Lower-case and freeze headers (a mapping or ``(k, v)`` pairs —
+        ``email.message.Message.items()`` included)."""
+        items = raw.items() if hasattr(raw, "items") else raw
+        return tuple((k.lower(), str(v)) for k, v in items)
+
+
+@dataclass
+class Response:
+    """What one dispatched request answers.
+
+    ``payload`` is the JSON body for ordinary responses; ``stream`` (an
+    iterator of byte chunks, each written and flushed individually)
+    replaces it for streaming responses, with ``content_type`` switched
+    to ``text/event-stream``.  Exactly one of the two should be set.
+    """
+
+    status: int = 200
+    payload: Optional[Dict[str, object]] = None
+    headers: Dict[str, str] = field(default_factory=dict)
+    stream: Optional[Iterator[bytes]] = None
+    content_type: str = "application/json"
+
+    @property
+    def streaming(self) -> bool:
+        return self.stream is not None

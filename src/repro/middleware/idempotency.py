@@ -1,0 +1,157 @@
+"""Idempotent response caching over the artifact store.
+
+``IdempotencyMiddleware`` makes retried submissions safe and repeated
+deterministic work free, in two modes:
+
+* **Header mode** — a client sends ``Idempotency-Key: <key>`` on a POST.
+  The first response (any 2xx JSON) is persisted under ``(client, key,
+  path)``; an identical retry replays it byte-for-byte — including a
+  202 job envelope, so a retried submit returns the *same* job instead
+  of spooling a duplicate.  A retry under the same key with a
+  *different* body digest is a client bug and gets a 409
+  :class:`~repro.api.errors.ConflictError`.
+
+* **Auto mode** — deterministic runs need no cooperation: a ``POST
+  /v1/runs`` whose body pins a ``seed`` is keyed by the canonical
+  request body (minus the transport-only ``wait`` flag).  The first
+  completed 200 response is cached; any later identical submission —
+  even one asking for async execution — is answered ``200`` straight
+  from the store, no job spooled, no pipeline run.
+
+Responses live in the content-addressed
+:class:`~repro.storage.artifacts.ArtifactStore` under the ``response``
+stage, next to the pipeline's own artifacts: same atomic writes, same
+corruption-is-a-miss behavior, same ``StoreStats`` counters (exposed as
+the ``response_cache`` gauge in ``/v1/metrics``).  Replays carry an
+``X-Idempotent-Replay: <mode>`` header so clients and tests can tell a
+cache hit from fresh work.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.api.errors import ConflictError
+from repro.middleware.chain import Middleware
+from repro.middleware.context import RequestContext, Response
+from repro.middleware.metrics import REPLAY_HEADER
+from repro.storage.artifacts import ArtifactStore
+
+#: artifact-store stage holding cached response envelopes
+RESPONSE_STAGE = "response"
+
+#: the request header opting a POST into header-mode idempotency
+IDEMPOTENCY_HEADER = "idempotency-key"
+
+#: the route whose deterministic requests are auto-cached
+AUTO_CACHE_PATH = "/v1/runs"
+
+
+class IdempotencyMiddleware(Middleware):
+    """Replay cached responses for repeated POSTs (see module docs)."""
+
+    name = "idempotency"
+
+    def __init__(self, store: Union[ArtifactStore, str, Path]) -> None:
+        self.store = (
+            store if isinstance(store, ArtifactStore) else ArtifactStore(store)
+        )
+
+    def bind(self, chain) -> None:
+        super().bind(chain)
+
+        def cache_gauge() -> Dict[str, object]:
+            row = self.store.stats.as_row()
+            seen = row["hits"] + row["misses"]
+            row["hit_ratio"] = round(row["hits"] / seen, 4) if seen else 0.0
+            return row
+
+        self.metrics.gauge_fn("response_cache", cache_gauge)
+
+    # -- request side ------------------------------------------------------
+
+    def on_request(self, ctx: RequestContext):
+        if ctx.method != "POST":
+            return None
+        key = ctx.header(IDEMPOTENCY_HEADER)
+        if key is not None and key.strip():
+            return self._header_mode(ctx, key.strip())
+        return self._auto_mode(ctx)
+
+    def _header_mode(self, ctx: RequestContext, key: str):
+        material = {
+            "mode": "header",
+            "client": ctx.client_id,
+            "key": key,
+            "path": ctx.path,
+        }
+        record = self.store.load(RESPONSE_STAGE, material)
+        if isinstance(record, dict):
+            if record.get("body_digest") != ctx.body_digest:
+                raise ConflictError(
+                    f"Idempotency-Key {key!r} was first used with a "
+                    "different request body; idempotent retries must "
+                    "repeat the original request exactly"
+                )
+            return self._replay(record, "header")
+        ctx.state["idempotency.material"] = material
+        ctx.state["idempotency.mode"] = "header"
+        return None
+
+    def _auto_mode(self, ctx: RequestContext):
+        if (ctx.path.rstrip("/") or "/") != AUTO_CACHE_PATH:
+            return None
+        body = ctx.body
+        if not isinstance(body, dict) or body.get("seed") is None:
+            return None  # unseeded runs are not deterministic; never cache
+        material = {
+            "mode": "auto",
+            "path": AUTO_CACHE_PATH,
+            "request": {k: v for k, v in body.items() if k != "wait"},
+        }
+        record = self.store.load(RESPONSE_STAGE, material)
+        if isinstance(record, dict):
+            return self._replay(record, "auto")
+        ctx.state["idempotency.material"] = material
+        ctx.state["idempotency.mode"] = "auto"
+        return None
+
+    def _replay(self, record: Dict[str, object], mode: str) -> Response:
+        self.metrics.inc("idempotency_replay_total", mode)
+        return Response(
+            status=int(record.get("status", 200)),
+            payload=record.get("payload"),  # type: ignore[arg-type]
+            headers={REPLAY_HEADER: mode},
+        )
+
+    # -- response side -----------------------------------------------------
+
+    def on_response(
+        self, ctx: RequestContext, response: Response
+    ) -> Optional[Response]:
+        material = ctx.state.get("idempotency.material")
+        if material is None:
+            return None
+        mode = ctx.state.get("idempotency.mode")
+        if response.streaming or not isinstance(response.payload, dict):
+            return None
+        # header mode caches any final 2xx (incl. the 202 job envelope —
+        # the point is submit-once); auto mode only a completed run
+        cacheable = (
+            200 <= response.status < 300
+            if mode == "header" else response.status == 200
+        )
+        if not cacheable:
+            return None
+        self.store.save(
+            RESPONSE_STAGE,
+            material,
+            {
+                "body_digest": ctx.body_digest,
+                "status": response.status,
+                "payload": response.payload,
+            },
+        )
+        self.metrics.inc("idempotency_cached_total", str(mode))
+        return None

@@ -1,0 +1,98 @@
+"""Structured JSON access logging.
+
+``AccessLogMiddleware`` emits one JSON object per completed request —
+success, short-circuit, or error — to a stream (stderr by default) or
+an append-only file.  Each line carries the correlation fields the rest
+of the system speaks: the per-request ``request_id`` (also stamped on
+job records by the HTTP layer) and the auth-resolved ``client_id``, so
+an access-log line, a ``/v1/metrics`` counter, and a job spool record
+for the same submission all join on the same ids.
+
+Log lines are written under a lock (handler threads share the stream)
+and rendered with ``sort_keys`` so the field order is stable for
+line-oriented tooling.  A failing write never breaks the request — the
+chain swallows ``on_error`` exceptions, and ``_emit`` guards the
+success path the same way.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional, TextIO, Union
+
+from repro.api.errors import ApiError, render_error
+from repro.middleware.chain import Middleware
+from repro.middleware.context import RequestContext, Response
+
+
+class AccessLogMiddleware(Middleware):
+    """One structured JSON line per request (see module docs)."""
+
+    name = "access_log"
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        path: Optional[Union[str, Path]] = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self._path = Path(path) if path is not None else None
+        self._stream = stream
+        self._clock = clock
+        self._lock = threading.Lock()
+
+    def on_request(self, ctx: RequestContext):
+        ctx.state["access_log.start"] = time.perf_counter()
+        return None
+
+    def on_response(self, ctx: RequestContext, response: Response):
+        record = self._base_record(ctx)
+        record["status"] = response.status
+        if response.streaming:
+            record["streaming"] = True
+        replay = response.headers.get("X-Idempotent-Replay")
+        if replay:
+            record["replay"] = replay
+        self._emit(record)
+        return None
+
+    def on_error(self, ctx: RequestContext, error: ApiError) -> None:
+        record = self._base_record(ctx)
+        record["status"] = error.http_status
+        record["error"] = type(error).__name__
+        record["message"] = render_error(error)
+        self._emit(record)
+
+    def _base_record(self, ctx: RequestContext) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "ts": round(self._clock(), 6),
+            "request_id": ctx.request_id,
+            "client_id": ctx.client_id,
+            "method": ctx.method,
+            "path": ctx.path,
+            "remote": ctx.remote_addr,
+        }
+        started = ctx.state.get("access_log.start")
+        if isinstance(started, float):
+            record["duration_ms"] = round(
+                (time.perf_counter() - started) * 1000.0, 3
+            )
+        return record
+
+    def _emit(self, record: Dict[str, object]) -> None:
+        line = json.dumps(record, sort_keys=True)
+        try:
+            with self._lock:
+                if self._path is not None:
+                    with self._path.open("a") as handle:
+                        handle.write(line + "\n")
+                else:
+                    stream = self._stream or sys.stderr
+                    stream.write(line + "\n")
+                    stream.flush()
+        except OSError:  # a dead log target must not fail the request
+            pass

@@ -1,0 +1,112 @@
+"""Per-client token-bucket rate limiting.
+
+``RateLimitMiddleware`` keeps one token bucket per ``client_id`` (so it
+sits *after* auth on the chain, keying on resolved identities rather
+than whatever the socket claims).  Each bucket refills continuously at
+``rate`` tokens/second up to ``burst``; a request costs one token, and
+an empty bucket raises
+:class:`~repro.api.errors.RateLimitError` — rendered as ``429`` with a
+``Retry-After`` that tells the client exactly when the next token lands.
+
+This is the *admission* layer, in front of the execution plane's own
+queue-capacity backpressure (PR 6): a single client hammering the API
+is throttled here, per identity, before it can fill the shared queue
+and starve everyone else's submissions.
+
+``quotas`` overrides ``(rate, burst)`` for specific clients — paying
+tenants get bigger buckets, the anonymous role a smaller one.  The
+clock is injectable so quota exhaustion and refill are unit-testable
+without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from repro.api.errors import RateLimitError, ValidationError
+from repro.middleware.chain import Middleware
+from repro.middleware.context import RequestContext
+
+#: routes rate limiting never throttles (probes and metric scrapes)
+EXEMPT_PATHS: Tuple[str, ...] = ("/v1/health", "/v1/metrics")
+
+
+class _Bucket:
+    __slots__ = ("tokens", "updated_at")
+
+    def __init__(self, tokens: float, updated_at: float) -> None:
+        self.tokens = tokens
+        self.updated_at = updated_at
+
+
+class RateLimitMiddleware(Middleware):
+    """Token-bucket admission control keyed on the resolved client id."""
+
+    name = "ratelimit"
+
+    def __init__(
+        self,
+        rate: float = 10.0,
+        burst: float = 20.0,
+        quotas: Optional[Mapping[str, Mapping[str, float]]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._default = self._check_quota("default", rate, burst)
+        self._quotas: Dict[str, Tuple[float, float]] = {}
+        for client, entry in (quotas or {}).items():
+            self._quotas[str(client)] = self._check_quota(
+                client,
+                float(entry.get("rate", rate)),
+                float(entry.get("burst", burst)),
+            )
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: Dict[str, _Bucket] = {}
+
+    @staticmethod
+    def _check_quota(
+        client: str, rate: float, burst: float
+    ) -> Tuple[float, float]:
+        if rate <= 0 or burst < 1:
+            raise ValidationError(
+                f"ratelimit: quota for {client!r} needs rate > 0 and "
+                f"burst >= 1, got rate={rate}, burst={burst}"
+            )
+        return (float(rate), float(burst))
+
+    def on_request(self, ctx: RequestContext):
+        if (ctx.path.rstrip("/") or "/") in EXEMPT_PATHS:
+            return None
+        rate, burst = self._quotas.get(ctx.client_id, self._default)
+        now = self._clock()
+        with self._lock:
+            bucket = self._buckets.get(ctx.client_id)
+            if bucket is None:
+                bucket = self._buckets[ctx.client_id] = _Bucket(burst, now)
+            else:
+                elapsed = max(0.0, now - bucket.updated_at)
+                bucket.tokens = min(burst, bucket.tokens + elapsed * rate)
+                bucket.updated_at = now
+            if bucket.tokens >= 1.0:
+                bucket.tokens -= 1.0
+                return None
+            wait = (1.0 - bucket.tokens) / rate
+        self.metrics.inc("ratelimit_throttled_total", ctx.client_id)
+        raise RateLimitError(
+            f"client {ctx.client_id!r} exceeded its request quota "
+            f"({rate:g}/s, burst {burst:g}); retry in {wait:.2f}s",
+            retry_after=wait,
+        )
+
+    def tokens_remaining(self, client_id: str) -> float:
+        """The bucket level right now (tests and diagnostics)."""
+        rate, burst = self._quotas.get(client_id, self._default)
+        now = self._clock()
+        with self._lock:
+            bucket = self._buckets.get(client_id)
+            if bucket is None:
+                return burst
+            elapsed = max(0.0, now - bucket.updated_at)
+            return min(burst, bucket.tokens + elapsed * rate)

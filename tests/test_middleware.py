@@ -1,0 +1,740 @@
+"""Unit tests for repro.middleware: chain semantics and every layer.
+
+Everything here is socket-free — chains are dispatched against plain
+callables, clocks and sleeps are injected, and the idempotency layer
+runs over a tmp-path artifact store.  The live-HTTP behavior of the
+same layers is covered in tests/test_middleware_http.py.
+"""
+
+import json
+
+import pytest
+
+from repro.api.errors import (
+    ConflictError,
+    ForbiddenError,
+    NotFoundError,
+    RateLimitError,
+    UnauthorizedError,
+    ValidationError,
+    error_headers,
+)
+from repro.api.types import JobStatus
+from repro.middleware import (
+    AccessLogMiddleware,
+    AuthMiddleware,
+    IdempotencyMiddleware,
+    Middleware,
+    MiddlewareChain,
+    MiddlewareError,
+    MetricsMiddleware,
+    MetricsRegistry,
+    RateLimitMiddleware,
+    RequestContext,
+    Response,
+    body_digest,
+    build_chain,
+    format_event,
+    job_event_stream,
+    required_role,
+    route_label,
+)
+from repro.middleware.metrics import REPLAY_HEADER
+
+
+def make_ctx(method="GET", path="/v1/tools", headers=None, body=None,
+             raw=b"", **kwargs):
+    return RequestContext(
+        method=method,
+        path=path,
+        headers=RequestContext.normalize_headers(headers or {}),
+        body=body,
+        body_digest=body_digest(raw),
+        **kwargs,
+    )
+
+
+def ok_handler(ctx):
+    return Response(payload={"ok": True, "client": ctx.client_id})
+
+
+class Recorder(Middleware):
+    """Records hook invocations for chain-ordering assertions."""
+
+    def __init__(self, name, log):
+        self.name = name
+        self.log = log
+
+    def on_request(self, ctx):
+        self.log.append(f"{self.name}.request")
+        return None
+
+    def on_response(self, ctx, response):
+        self.log.append(f"{self.name}.response")
+        return None
+
+    def on_error(self, ctx, error):
+        self.log.append(f"{self.name}.error")
+
+
+class TestRequestContext:
+    def test_header_lookup_is_case_insensitive(self):
+        ctx = make_ctx(headers={"Authorization": "Bearer x", "X-Thing": "1"})
+        assert ctx.header("authorization") == "Bearer x"
+        assert ctx.header("AUTHORIZATION") == "Bearer x"
+        assert ctx.header("missing") is None
+        assert ctx.header("missing", "d") == "d"
+
+    def test_normalize_headers_accepts_pairs_and_mappings(self):
+        as_map = RequestContext.normalize_headers({"A": "1"})
+        as_pairs = RequestContext.normalize_headers([("A", "1")])
+        assert as_map == as_pairs == (("a", "1"),)
+
+    def test_replace_refines_without_mutating(self):
+        ctx = make_ctx()
+        refined = ctx.replace(client_id="ci", role="submit")
+        assert ctx.client_id == "anonymous"
+        assert refined.client_id == "ci" and refined.role == "submit"
+        # the scratch dict is shared across refinements (one dispatch)
+        refined.state["k"] = "v"
+        assert ctx.state["k"] == "v"
+
+    def test_body_digest(self):
+        assert body_digest(b"") == ""
+        assert body_digest(b"x") == body_digest(b"x") != body_digest(b"y")
+
+
+class TestChainSemantics:
+    def test_onion_ordering(self):
+        log = []
+        chain = MiddlewareChain([Recorder("a", log), Recorder("b", log)])
+        response = chain.dispatch(make_ctx(), ok_handler)
+        assert response.payload["ok"] is True
+        assert log == ["a.request", "b.request", "b.response", "a.response"]
+
+    def test_refinement_threads_new_context(self):
+        class Refine(Middleware):
+            name = "refine"
+
+            def on_request(self, ctx):
+                return ctx.replace(client_id="ci")
+
+        chain = MiddlewareChain([Refine()])
+        response = chain.dispatch(make_ctx(), ok_handler)
+        assert response.payload["client"] == "ci"
+
+    def test_short_circuit_skips_handler_and_inner_layers(self):
+        log = []
+
+        class Short(Middleware):
+            name = "short"
+
+            def on_request(self, ctx):
+                return Response(status=299, payload={"cached": True})
+
+        chain = MiddlewareChain(
+            [Recorder("outer", log), Short(), Recorder("inner", log)]
+        )
+        calls = []
+
+        def handler(ctx):
+            calls.append(ctx)
+            return Response()
+
+        response = chain.dispatch(make_ctx(), handler)
+        assert response.status == 299 and not calls
+        # outer saw both sides; inner saw nothing
+        assert log == ["outer.request", "outer.response"]
+
+    def test_api_error_observed_then_reraised(self):
+        log = []
+        chain = MiddlewareChain([Recorder("a", log)])
+
+        def handler(ctx):
+            raise NotFoundError("nope")
+
+        with pytest.raises(NotFoundError):
+            chain.dispatch(make_ctx(), handler)
+        assert log == ["a.request", "a.error"]
+
+    def test_unexpected_error_reraised_unwrapped(self):
+        log = []
+        chain = MiddlewareChain([Recorder("a", log)])
+
+        def handler(ctx):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            chain.dispatch(make_ctx(), handler)
+        assert log == ["a.request", "a.error"]
+
+    def test_error_hook_exceptions_are_swallowed(self):
+        class Broken(Middleware):
+            name = "broken"
+
+            def on_error(self, ctx, error):
+                raise RuntimeError("log pipe burst")
+
+        chain = MiddlewareChain([Broken()])
+
+        def handler(ctx):
+            raise NotFoundError("real failure")
+
+        with pytest.raises(NotFoundError):  # not the RuntimeError
+            chain.dispatch(make_ctx(), handler)
+
+    def test_bad_hook_return_is_a_contract_error(self):
+        class Bad(Middleware):
+            name = "bad"
+
+            def on_request(self, ctx):
+                return 42
+
+        with pytest.raises(MiddlewareError):
+            MiddlewareChain([Bad()]).dispatch(make_ctx(), ok_handler)
+
+    def test_non_middleware_entry_rejected(self):
+        with pytest.raises(MiddlewareError):
+            MiddlewareChain([object()])
+
+    def test_shared_registry(self):
+        registry = MetricsRegistry()
+        chain = MiddlewareChain([MetricsMiddleware()], metrics=registry)
+        assert chain.metrics is registry
+        assert chain.middlewares[0].metrics is registry
+
+
+class TestAuth:
+    TOKENS = {
+        "tok-read": {"client": "dash", "role": "read"},
+        "tok-submit": {"client": "ci", "role": "submit"},
+        "tok-admin": {"client": "ops", "role": "admin"},
+    }
+
+    def chain(self, **kwargs):
+        return MiddlewareChain([AuthMiddleware(self.TOKENS, **kwargs)])
+
+    def dispatch(self, chain, method="GET", path="/v1/tools", token=None):
+        headers = {"Authorization": f"Bearer {token}"} if token else {}
+        return chain.dispatch(
+            make_ctx(method=method, path=path, headers=headers), ok_handler
+        )
+
+    def test_missing_token_is_401(self):
+        with pytest.raises(UnauthorizedError) as excinfo:
+            self.dispatch(self.chain())
+        assert error_headers(excinfo.value)["WWW-Authenticate"] == "Bearer"
+
+    def test_unknown_and_malformed_tokens_are_401(self):
+        with pytest.raises(UnauthorizedError):
+            self.dispatch(self.chain(), token="who-dis")
+        with pytest.raises(UnauthorizedError):
+            chain = self.chain()
+            chain.dispatch(
+                make_ctx(headers={"Authorization": "Basic dXNlcg=="}),
+                ok_handler,
+            )
+
+    def test_role_resolution_refines_context(self):
+        response = self.dispatch(self.chain(), token="tok-read")
+        assert response.payload["client"] == "dash"
+
+    def test_read_role_cannot_submit(self):
+        with pytest.raises(ForbiddenError):
+            self.dispatch(
+                self.chain(), method="POST", path="/v1/runs",
+                token="tok-read",
+            )
+
+    def test_submit_role_cannot_synthesize(self):
+        with pytest.raises(ForbiddenError):
+            self.dispatch(
+                self.chain(), method="POST", path="/v1/synth",
+                token="tok-submit",
+            )
+
+    def test_admin_covers_everything(self):
+        for method, path in [
+            ("GET", "/v1/tools"),
+            ("POST", "/v1/runs"),
+            ("POST", "/v1/synth"),
+            ("DELETE", "/v1/benchmarks/custom"),
+        ]:
+            response = self.dispatch(
+                self.chain(), method=method, path=path, token="tok-admin"
+            )
+            assert response.payload["client"] == "ops"
+
+    def test_health_is_exempt(self):
+        response = self.dispatch(self.chain(), path="/v1/health")
+        assert response.payload["ok"] is True
+
+    def test_allow_anonymous_grants_configured_role(self):
+        chain = self.chain(allow_anonymous="read")
+        assert self.dispatch(chain).payload["client"] == "anonymous"
+        with pytest.raises(ForbiddenError):
+            self.dispatch(chain, method="POST", path="/v1/runs")
+
+    def test_required_role_table(self):
+        assert required_role("GET", "/v1/health") is None
+        assert required_role("GET", "/v1/jobs/j-1/events") == "read"
+        assert required_role("POST", "/v1/runs") == "submit"
+        assert required_role("DELETE", "/v1/jobs/j-1") == "submit"
+        assert required_role("POST", "/v1/synth") == "admin"
+        assert required_role("DELETE", "/v1/benchmarks/x") == "admin"
+
+    def test_config_validation(self):
+        with pytest.raises(ValidationError):
+            AuthMiddleware({"t": {"client": "c", "role": "deity"}})
+        with pytest.raises(ValidationError):
+            AuthMiddleware({"t": {"role": "read"}})
+        with pytest.raises(ValidationError):
+            AuthMiddleware(self.TOKENS, allow_anonymous="deity")
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestRateLimit:
+    def test_burst_then_throttle_with_retry_after(self):
+        clock = FakeClock()
+        chain = MiddlewareChain(
+            [RateLimitMiddleware(rate=1.0, burst=2.0, clock=clock)]
+        )
+        ctx = make_ctx()
+        chain.dispatch(ctx, ok_handler)
+        chain.dispatch(ctx, ok_handler)
+        with pytest.raises(RateLimitError) as excinfo:
+            chain.dispatch(ctx, ok_handler)
+        # empty bucket at 1 token/s: the next token is ~1s away
+        assert 0.0 < excinfo.value.retry_after <= 1.0
+        assert error_headers(excinfo.value)["Retry-After"] == "1"
+
+    def test_bucket_refills_with_time(self):
+        clock = FakeClock()
+        limiter = RateLimitMiddleware(rate=2.0, burst=2.0, clock=clock)
+        chain = MiddlewareChain([limiter])
+        ctx = make_ctx()
+        chain.dispatch(ctx, ok_handler)
+        chain.dispatch(ctx, ok_handler)
+        with pytest.raises(RateLimitError):
+            chain.dispatch(ctx, ok_handler)
+        clock.advance(0.6)  # 1.2 tokens back at rate=2
+        chain.dispatch(ctx, ok_handler)
+        assert limiter.tokens_remaining("anonymous") < 1.0
+
+    def test_buckets_are_per_client(self):
+        clock = FakeClock()
+        chain = MiddlewareChain(
+            [RateLimitMiddleware(rate=1.0, burst=1.0, clock=clock)]
+        )
+        chain.dispatch(make_ctx(client_id="a"), ok_handler)
+        with pytest.raises(RateLimitError):
+            chain.dispatch(make_ctx(client_id="a"), ok_handler)
+        # client b still has its own full bucket
+        chain.dispatch(make_ctx(client_id="b"), ok_handler)
+
+    def test_per_client_quota_overrides(self):
+        clock = FakeClock()
+        chain = MiddlewareChain([RateLimitMiddleware(
+            rate=1.0, burst=1.0,
+            quotas={"vip": {"rate": 10.0, "burst": 3.0}}, clock=clock,
+        )])
+        for _ in range(3):
+            chain.dispatch(make_ctx(client_id="vip"), ok_handler)
+        with pytest.raises(RateLimitError) as excinfo:
+            chain.dispatch(make_ctx(client_id="vip"), ok_handler)
+        # vip refills at 10/s, so the suggested wait is a tenth of
+        # the default client's
+        assert excinfo.value.retry_after <= 0.1
+
+    def test_health_and_metrics_exempt(self):
+        clock = FakeClock()
+        chain = MiddlewareChain(
+            [RateLimitMiddleware(rate=1.0, burst=1.0, clock=clock)]
+        )
+        for _ in range(5):
+            chain.dispatch(make_ctx(path="/v1/health"), ok_handler)
+            chain.dispatch(make_ctx(path="/v1/metrics"), ok_handler)
+
+    def test_quota_validation(self):
+        with pytest.raises(ValidationError):
+            RateLimitMiddleware(rate=0.0)
+        with pytest.raises(ValidationError):
+            RateLimitMiddleware(burst=0.5)
+
+
+class TestIdempotency:
+    def run_body(self, seed=7):
+        return {"benchmark": "open", "tool": "camflow", "seed": seed}
+
+    def chain(self, tmp_path):
+        return MiddlewareChain([IdempotencyMiddleware(tmp_path / "cache")])
+
+    def test_header_mode_replays_cached_response(self, tmp_path):
+        chain = self.chain(tmp_path)
+        calls = []
+
+        def handler(ctx):
+            calls.append(1)
+            return Response(status=202, payload={"job_id": "job-1"})
+
+        ctx = make_ctx(
+            method="POST", path="/v1/runs",
+            headers={"Idempotency-Key": "abc"},
+            body=self.run_body(), raw=b"one",
+        )
+        first = chain.dispatch(ctx, handler)
+        replay = chain.dispatch(make_ctx(
+            method="POST", path="/v1/runs",
+            headers={"Idempotency-Key": "abc"},
+            body=self.run_body(), raw=b"one",
+        ), handler)
+        assert len(calls) == 1
+        assert replay.status == 202
+        assert replay.payload == first.payload
+        assert replay.headers[REPLAY_HEADER] == "header"
+
+    def test_header_mode_conflicting_body_is_409(self, tmp_path):
+        chain = self.chain(tmp_path)
+        base = dict(
+            method="POST", path="/v1/runs",
+            headers={"Idempotency-Key": "abc"},
+        )
+        chain.dispatch(
+            make_ctx(**base, body=self.run_body(), raw=b"one"),
+            lambda ctx: Response(payload={"x": 1}),
+        )
+        with pytest.raises(ConflictError):
+            chain.dispatch(
+                make_ctx(**base, body=self.run_body(9), raw=b"two"),
+                ok_handler,
+            )
+
+    def test_header_keys_are_scoped_per_client(self, tmp_path):
+        chain = self.chain(tmp_path)
+        calls = []
+
+        def handler(ctx):
+            calls.append(ctx.client_id)
+            return Response(payload={"for": ctx.client_id})
+
+        for client in ("a", "b"):
+            chain.dispatch(make_ctx(
+                method="POST", path="/v1/runs", client_id=client,
+                headers={"Idempotency-Key": "same"},
+                body=self.run_body(), raw=b"one",
+            ), handler)
+        assert calls == ["a", "b"]  # no cross-client replay
+
+    def test_auto_mode_caches_deterministic_runs(self, tmp_path):
+        chain = self.chain(tmp_path)
+        calls = []
+
+        def handler(ctx):
+            calls.append(1)
+            return Response(payload={"result": {"n": len(calls)}})
+
+        body = self.run_body()
+        first = chain.dispatch(
+            make_ctx(method="POST", path="/v1/runs", body=body), handler
+        )
+        # same request, different transport flag: still a replay
+        replay = chain.dispatch(
+            make_ctx(method="POST", path="/v1/runs",
+                     body={**body, "wait": True}),
+            handler,
+        )
+        assert len(calls) == 1
+        assert replay.payload == first.payload
+        assert replay.headers[REPLAY_HEADER] == "auto"
+
+    def test_auto_mode_ignores_unseeded_and_other_paths(self, tmp_path):
+        chain = self.chain(tmp_path)
+        calls = []
+
+        def handler(ctx):
+            calls.append(1)
+            return Response(payload={"n": len(calls)})
+
+        unseeded = {"benchmark": "open", "tool": "camflow"}
+        for _ in range(2):
+            chain.dispatch(
+                make_ctx(method="POST", path="/v1/runs", body=unseeded),
+                handler,
+            )
+        chain.dispatch(
+            make_ctx(method="POST", path="/v1/synth", body=self.run_body()),
+            handler,
+        )
+        assert len(calls) == 3  # nothing was served from cache
+
+    def test_errors_are_not_cached(self, tmp_path):
+        chain = self.chain(tmp_path)
+        attempts = []
+
+        def handler(ctx):
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise ValidationError("flaky")
+            return Response(payload={"ok": True})
+
+        body = self.run_body()
+        with pytest.raises(ValidationError):
+            chain.dispatch(
+                make_ctx(method="POST", path="/v1/runs", body=body), handler
+            )
+        response = chain.dispatch(
+            make_ctx(method="POST", path="/v1/runs", body=body), handler
+        )
+        assert response.payload == {"ok": True} and len(attempts) == 2
+
+    def test_replay_metrics(self, tmp_path):
+        chain = self.chain(tmp_path)
+        body = self.run_body()
+        for _ in range(3):
+            chain.dispatch(
+                make_ctx(method="POST", path="/v1/runs", body=body),
+                lambda ctx: Response(payload={"r": 1}),
+            )
+        assert chain.metrics.counter_value(
+            "idempotency_replay_total", "auto"
+        ) == 2
+        gauge = chain.metrics.render()["gauges"]["response_cache"]
+        assert gauge["hits"] == 2 and gauge["writes"] == 1
+
+
+class TestMetrics:
+    def test_registry_counters_and_histograms(self):
+        registry = MetricsRegistry()
+        registry.inc("c", "x")
+        registry.inc("c", "x", by=2)
+        registry.inc("c", "y")
+        registry.observe("h", "route", 0.004)
+        registry.observe("h", "route", 2.0)
+        assert registry.counter_value("c", "x") == 3
+        assert registry.counter_total("c") == 4
+        rendered = registry.render()
+        histogram = rendered["histograms"]["h"]["route"]
+        assert histogram["count"] == 2
+        assert histogram["min"] == 0.004 and histogram["max"] == 2.0
+        assert histogram["buckets"]["0.005"] == 1
+        assert histogram["buckets"]["2.5"] == 1
+
+    def test_gauges_sample_at_render_and_isolate_failures(self):
+        registry = MetricsRegistry()
+        registry.gauge_fn("depth", lambda: 7)
+        registry.gauge_fn("broken", lambda: 1 / 0)
+        gauges = registry.render()["gauges"]
+        assert gauges["depth"] == 7
+        assert gauges["broken"].startswith("error: ZeroDivisionError")
+
+    def test_route_label_bounds_cardinality(self):
+        assert route_label("/v1/jobs/job-0001-abc") == "/v1/jobs/{id}"
+        assert route_label("/v1/jobs/job-1/events") == "/v1/jobs/{id}/events"
+        assert route_label("/v1/benchmarks/open") == "/v1/benchmarks/{name}"
+        assert route_label("/v1/runs") == "/v1/runs"
+        assert route_label("/") == "/"
+
+    def test_middleware_records_requests_and_errors(self):
+        clock = FakeClock()
+        chain = MiddlewareChain([MetricsMiddleware(clock=clock)])
+        chain.dispatch(make_ctx(path="/v1/tools"), ok_handler)
+
+        def failing(ctx):
+            raise NotFoundError("x")
+
+        with pytest.raises(NotFoundError):
+            chain.dispatch(make_ctx(path="/v1/jobs/job-9"), failing)
+        counters = chain.metrics.render()["counters"]
+        assert counters["http_requests_total"]["GET /v1/tools 200"] == 1
+        assert counters["http_requests_total"]["GET /v1/jobs/{id} 404"] == 1
+        assert counters["http_errors_total"]["NotFoundError"] == 1
+
+    def test_pipeline_counters_harvested_from_run_payloads(self):
+        chain = MiddlewareChain([MetricsMiddleware()])
+        payload = {"result": {"timings": {
+            "solver_steps": 11, "store_hits": 2, "store_misses": 1,
+        }}}
+        chain.dispatch(
+            make_ctx(method="POST", path="/v1/runs"),
+            lambda ctx: Response(payload=payload),
+        )
+        assert chain.metrics.counter_value("pipeline_solver_steps") == 11
+        assert chain.metrics.counter_value("pipeline_store_hits") == 2
+
+    def test_replays_not_double_counted(self):
+        chain = MiddlewareChain([MetricsMiddleware()])
+        payload = {"result": {"timings": {"solver_steps": 5}}}
+        chain.dispatch(
+            make_ctx(method="POST", path="/v1/runs"),
+            lambda ctx: Response(
+                payload=payload, headers={REPLAY_HEADER: "auto"}
+            ),
+        )
+        assert chain.metrics.counter_value("pipeline_solver_steps") == 0
+
+
+class TestAccessLog:
+    def test_json_lines_carry_correlation_fields(self, tmp_path):
+        log_file = tmp_path / "access.log"
+        chain = MiddlewareChain([AccessLogMiddleware(path=log_file)])
+        ctx = make_ctx(client_id="ci")
+        chain.dispatch(ctx, ok_handler)
+
+        def failing(c):
+            raise NotFoundError("gone")
+
+        with pytest.raises(NotFoundError):
+            chain.dispatch(make_ctx(path="/v1/jobs/j"), failing)
+        lines = [json.loads(l) for l in log_file.read_text().splitlines()]
+        assert len(lines) == 2
+        assert lines[0]["client_id"] == "ci"
+        assert lines[0]["status"] == 200
+        assert lines[0]["request_id"] == ctx.request_id
+        assert lines[0]["duration_ms"] >= 0
+        assert lines[1]["status"] == 404
+        assert lines[1]["error"] == "NotFoundError"
+
+
+class FakeJobService:
+    """service.poll stub returning a scripted snapshot sequence."""
+
+    def __init__(self, snapshots):
+        self.snapshots = list(snapshots)
+
+    def poll(self, job_id):
+        if not self.snapshots:
+            raise NotFoundError(f"unknown job {job_id!r}")
+        return self.snapshots.pop(0) if len(self.snapshots) > 1 \
+            else self.snapshots[0]
+
+
+def job_snapshot(state="running", completed=0, stage=""):
+    return JobStatus(
+        job_id="job-0001-x", state=state, kind="run",
+        submitted_at=1.0, total=1, completed=completed, stage=stage,
+    )
+
+
+def parse_events(chunks):
+    text = b"".join(chunks).decode()
+    events = []
+    for frame in text.strip().split("\n\n"):
+        lines = frame.splitlines()
+        name = lines[0].split(": ", 1)[1]
+        data = json.loads("\n".join(
+            l.split(": ", 1)[1] for l in lines[1:] if l.startswith("data:")
+        ))
+        events.append((name, data))
+    return events
+
+
+class TestSse:
+    def test_format_event_frames(self):
+        frame = format_event("progress", {"a": 1})
+        assert frame == b'event: progress\ndata: {"a": 1}\n\n'
+
+    def test_stream_snapshot_progress_terminal(self):
+        service = FakeJobService([
+            job_snapshot("queued"),
+            job_snapshot("running", stage="open/recording:start"),
+            job_snapshot("running", completed=1, stage="open/comparison:done"),
+            job_snapshot("done", completed=1),
+        ])
+        events = parse_events(job_event_stream(
+            service, "job-0001-x", poll_interval=0.0, sleep=lambda s: None,
+        ))
+        names = [name for name, _ in events]
+        assert names == ["snapshot", "progress", "progress", "done"]
+        assert events[0][1]["state"] == "queued"
+        assert events[1][1]["stage"] == "open/recording:start"
+        assert events[-1][1]["state"] == "done"
+
+    def test_terminal_event_named_by_state_on_cancel(self):
+        service = FakeJobService([
+            job_snapshot("queued"), job_snapshot("cancelled"),
+        ])
+        events = parse_events(job_event_stream(
+            service, "job-0001-x", poll_interval=0.0, sleep=lambda s: None,
+        ))
+        assert [name for name, _ in events] == ["snapshot", "cancelled"]
+
+    def test_heartbeat_when_nothing_changes(self):
+        clock = FakeClock()
+
+        def sleeping(seconds):
+            clock.advance(seconds)
+
+        snapshots = [job_snapshot("running")] * 8 + [job_snapshot("done")]
+        service = FakeJobService(snapshots)
+        events = parse_events(job_event_stream(
+            service, "job-0001-x", poll_interval=5.0, heartbeat=10.0,
+            clock=clock, sleep=sleeping,
+        ))
+        names = [name for name, _ in events]
+        assert names[0] == "snapshot" and names[-1] == "done"
+        assert "heartbeat" in names and "progress" not in names
+
+    def test_max_duration_ends_with_timeout_frame(self):
+        clock = FakeClock()
+
+        def sleeping(seconds):
+            clock.advance(seconds)
+
+        service = FakeJobService([job_snapshot("running")] * 100)
+        events = parse_events(job_event_stream(
+            service, "job-0001-x", poll_interval=1.0, max_duration=3.0,
+            clock=clock, sleep=sleeping,
+        ))
+        assert events[-1][0] == "timeout"
+
+    def test_unknown_job_raises_before_streaming(self):
+        with pytest.raises(NotFoundError):
+            job_event_stream(FakeJobService([]), "job-nope")
+
+
+class TestBuildChain:
+    def test_canonical_order_and_sections(self, tmp_path):
+        chain = build_chain({
+            "metrics": True,
+            "access_log": {"path": str(tmp_path / "a.log")},
+            "auth": {"tokens": {"t": {"client": "c", "role": "read"}}},
+            "ratelimit": {"rate": 5, "burst": 10},
+            "idempotency": {"store": str(tmp_path / "cache")},
+        })
+        assert [mw.name for mw in chain.middlewares] == [
+            "metrics", "access_log", "auth", "ratelimit", "idempotency",
+        ]
+
+    def test_metrics_default_on_and_sections_optional(self):
+        assert [mw.name for mw in build_chain({}).middlewares] == ["metrics"]
+        assert len(build_chain({"metrics": False})) == 0
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ValidationError):
+            build_chain({"authz": {}})
+
+    def test_bad_sections_rejected(self, tmp_path):
+        with pytest.raises(ValidationError):
+            build_chain({"auth": {"tokens": {}}})
+        with pytest.raises(ValidationError):
+            build_chain({"idempotency": {}})
+        with pytest.raises(ValidationError):
+            build_chain({"ratelimit": {"rate": -1}})
+
+    def test_relative_store_resolves_against_base_dir(self, tmp_path):
+        chain = build_chain(
+            {"metrics": False, "idempotency": {"store": "cache"}},
+            base_dir=tmp_path,
+        )
+        (mw,) = chain.middlewares
+        assert mw.store.root == tmp_path / "cache"
