@@ -109,6 +109,18 @@ class RateLimitError(BackpressureError):
     """
 
 
+class QuotaExceededError(BackpressureError):
+    """A client is over its scheduler quota (429 + ``Retry-After``).
+
+    Third face of the 429 family, raised by the admission controller:
+    :class:`RateLimitError` throttles request *rate* at the middleware
+    edge, :class:`BackpressureError` reports whole-queue saturation, and
+    this one means *this client's* in-flight/queued job allowance is
+    spent — others may still submit freely.  The distinct type name in
+    the error envelope is the contract clients key retry logic on.
+    """
+
+
 class DeadlineError(ApiError):
     """A run overran its requested deadline (HTTP 504).
 

@@ -52,7 +52,8 @@ all prefixed with the API version:
 
 Request headers the middleware layer speaks: ``Authorization: Bearer
 <token>`` (auth), ``Idempotency-Key`` (exact-retry response caching),
-``Request-Timeout`` (seconds; bounds an SSE stream).  Response headers:
+``Request-Timeout`` (seconds; bounds an SSE stream), ``Last-Event-ID``
+(SSE resume — replays completions missed while disconnected).  Response headers:
 ``Retry-After`` on 429, ``Allow`` on 405, ``WWW-Authenticate`` on 401,
 ``X-Request-Id`` (the correlation id job records and access logs
 carry), ``X-Idempotent-Replay`` on responses served from the response
@@ -312,6 +313,9 @@ class ApiRequestHandler(BaseHTTPRequestHandler):
             # explains why an old job id 404s (finished records are
             # retained only up to a cap)
             "queue": self.service.jobs.queue_stats(),
+            # per-priority-class pending/running counts and queue-wait
+            # quantiles, plus the monotonic aging-promotion count
+            "sched": self.service.jobs.sched_stats(),
         })
 
     def _get_metrics(self, ctx: RequestContext, arg: Optional[str]) -> Response:
@@ -359,12 +363,22 @@ class ApiRequestHandler(BaseHTTPRequestHandler):
         )
         if ctx.deadline is not None:
             max_seconds = min(max_seconds, ctx.deadline - time.monotonic())
+        # Resume: a reconnecting SSE client echoes the last `id:` it saw
+        # (the completed count); malformed values mean a fresh stream.
+        last_event_id = None
+        raw_last = ctx.header("last-event-id")
+        if raw_last is not None:
+            try:
+                last_event_id = int(raw_last.strip())
+            except ValueError:
+                last_event_id = None
         stream = job_event_stream(
             self.service,
             job_id,
             poll_interval=poll,
             heartbeat=heartbeat,
             max_duration=max_seconds,
+            last_event_id=last_event_id,
         )
         return Response(
             stream=stream,
@@ -422,7 +436,8 @@ class ApiRequestHandler(BaseHTTPRequestHandler):
         if wait:
             return Response(payload=self.service.run(request).to_payload())
         status = self.service.submit(
-            request, client_id=ctx.client_id, request_id=ctx.request_id
+            request, client_id=ctx.client_id, request_id=ctx.request_id,
+            role=ctx.role,
         )
         return Response(status=202, payload=status.to_payload())
 
@@ -446,7 +461,8 @@ class ApiRequestHandler(BaseHTTPRequestHandler):
                 "report": report.to_payload(),
             })
         status = self.service.submit(
-            config, client_id=ctx.client_id, request_id=ctx.request_id
+            config, client_id=ctx.client_id, request_id=ctx.request_id,
+            role=ctx.role,
         )
         return Response(status=202, payload=status.to_payload())
 

@@ -36,6 +36,8 @@ from repro.api.errors import (
 )
 from repro.api.types import JobStatus, RunResponse
 from repro.core.stages import ProgressEvent
+from repro.sched.admission import AdmissionController
+from repro.sched.policy import DEFAULT_CLASS_BY_KIND, PRIORITY_CLASSES
 
 
 class JobCancelled(Exception):
@@ -52,11 +54,13 @@ class _Job:
         total: int,
         client_id: str = "",
         request_id: str = "",
+        priority: str = "",
     ) -> None:
         self.job_id = job_id
         self.kind = kind
         self.client_id = client_id
         self.request_id = request_id
+        self.priority = priority
         self.state = "queued"
         self.submitted_at = time.time()
         self.started_at: Optional[float] = None
@@ -87,6 +91,11 @@ class _Job:
             attempts=self.attempts,
             client_id=self.client_id,
             request_id=self.request_id,
+            priority=self.priority,
+            queue_wait=(
+                max(0.0, self.started_at - self.submitted_at)
+                if self.started_at is not None else None
+            ),
             result=self.result,
             results=self.results,
             report=self.report,
@@ -102,12 +111,21 @@ class JobManager:
     MAX_FINISHED_JOBS = 256
 
     def __init__(
-        self, max_workers: int = 4, capacity: Optional[int] = None
+        self,
+        max_workers: int = 4,
+        capacity: Optional[int] = None,
+        admission: Optional[AdmissionController] = None,
     ) -> None:
         self._max_workers = max(1, max_workers)
         #: queued+running jobs admitted before submit() answers 429
         #: (None = unbounded, the historical behavior)
         self._capacity = capacity
+        #: optional scheduler gate (priority classes + quotas).  The
+        #: thread pool itself stays FIFO — true priority claim order
+        #: needs the durable fleet queue — but quotas are enforced and
+        #: the class/queue-wait are stamped onto every snapshot, so the
+        #: API contract is identical across both managers.
+        self._admission = admission
         self._pool: Optional[ThreadPoolExecutor] = None
         self._jobs: Dict[str, _Job] = {}
         self._lock = threading.RLock()
@@ -127,6 +145,7 @@ class JobManager:
         total: int,
         client_id: str = "",
         request_id: str = "",
+        role: str = "",
     ) -> JobStatus:
         """Queue a validated run/batch job (``kind``/``total`` resolved
         by the service, which already expanded the benchmark list).
@@ -134,11 +153,29 @@ class JobManager:
         ``client_id``/``request_id`` are correlation-only: the HTTP
         layer stamps the auth-resolved client and per-request id onto
         the job record so access-log lines and job snapshots join up.
+        ``role`` feeds the admission controller (when one is
+        configured): explicit priorities validate against it and quotas
+        resolve through it.
         """
         with self._lock:
             if self._closed:
                 raise ValidationError(
                     "job manager is shut down; no new jobs accepted"
+                )
+            if self._admission is not None:
+                priority = self._admission.admit(
+                    request, kind, role, client_id,
+                    active=(
+                        (job.client_id, job.state)
+                        for job in self._jobs.values()
+                    ),
+                    retry_after=self._retry_after_estimate,
+                )
+            else:
+                explicit = getattr(request, "priority", None)
+                priority = (
+                    str(explicit) if explicit
+                    else DEFAULT_CLASS_BY_KIND.get(kind, "batch")
                 )
             if self._capacity is not None:
                 active = sum(
@@ -156,7 +193,7 @@ class JobManager:
             # ids (they are capability tokens over /v1/jobs), so use the
             # full 128 bits of uuid4, not a truncation.
             job_id = f"job-{next(self._seq):04d}-{uuid.uuid4().hex}"
-            job = _Job(job_id, kind, total, client_id, request_id)
+            job = _Job(job_id, kind, total, client_id, request_id, priority)
             self._jobs[job_id] = job
             self._evict_finished()
             job.future = self._executor().submit(
@@ -202,6 +239,14 @@ class JobManager:
             leased = sum(
                 1 for job in self._jobs.values() if job.state == "running"
             )
+            priorities = {name: 0 for name in PRIORITY_CLASSES}
+            for job in self._jobs.values():
+                if job.state == "queued":
+                    cls = job.priority or DEFAULT_CLASS_BY_KIND.get(
+                        job.kind, "batch"
+                    )
+                    if cls in priorities:
+                        priorities[cls] += 1
             return {
                 "pending": pending,
                 "leased": leased,
@@ -209,7 +254,47 @@ class JobManager:
                 "capacity": self._capacity,
                 "evicted": self._evicted,
                 "workers": self._max_workers,
+                "priorities": priorities,
+                "promotions": 0,
             }
+
+    def sched_stats(self) -> Dict[str, object]:
+        """Per-class depth/wait stats, shape-compatible with the fleet
+        manager's (the thread pool never promotes, so ``promotions``
+        stays 0)."""
+        now = time.time()
+        with self._lock:
+            per: Dict[str, Dict[str, object]] = {
+                name: {"pending": 0, "running": 0, "waits": []}
+                for name in PRIORITY_CLASSES
+            }
+            for job in self._jobs.values():
+                cls = job.priority or DEFAULT_CLASS_BY_KIND.get(
+                    job.kind, "batch"
+                )
+                row = per.get(cls)
+                if row is None:
+                    continue
+                if job.state == "queued":
+                    row["pending"] += 1
+                    row["waits"].append(max(0.0, now - job.submitted_at))
+                elif job.state == "running":
+                    row["running"] += 1
+                if job.started_at is not None:
+                    row["waits"].append(
+                        max(0.0, job.started_at - job.submitted_at)
+                    )
+        classes: Dict[str, Dict[str, object]] = {}
+        for name, row in per.items():
+            waits = sorted(row.pop("waits"))
+            classes[name] = {
+                "pending": row["pending"],
+                "running": row["running"],
+                "waited": len(waits),
+                "wait_p50": waits[len(waits) // 2] if waits else 0.0,
+                "wait_max": waits[-1] if waits else 0.0,
+            }
+        return {"classes": classes, "promotions": 0}
 
     def drain(self, timeout: float = 30.0) -> bool:
         """Graceful drain: refuse new jobs, wait out in-flight ones.

@@ -452,6 +452,7 @@ class BenchmarkService:
         request: Request,
         client_id: str = "",
         request_id: str = "",
+        role: str = "",
     ) -> JobStatus:
         """Queue a run/batch job; returns its initial status snapshot.
 
@@ -465,7 +466,10 @@ class BenchmarkService:
 
         ``client_id``/``request_id`` (both optional) are stamped onto
         the job record for correlation with the HTTP middleware layer's
-        access logs and metrics.
+        access logs and metrics.  ``role`` is the auth-resolved role
+        the scheduler's admission controller validates explicit
+        priorities and resolves quotas against ("" = a trusted direct
+        caller — CLI, tests, embeddings).
         """
         if isinstance(request, RunRequest):
             # resolves the name (or compiles the inline spec) now, so a
@@ -491,7 +495,7 @@ class BenchmarkService:
             )
         return self.jobs.submit(
             self, request, kind, total,
-            client_id=client_id, request_id=request_id,
+            client_id=client_id, request_id=request_id, role=role,
         )
 
     def poll(self, job_id: str) -> JobStatus:

@@ -23,6 +23,7 @@ from typing import Dict, Mapping, Optional, Tuple
 from repro.api.errors import ValidationError
 from repro.api.specs import BenchmarkSpec
 from repro.core.result import BenchmarkResult
+from repro.sched.policy import PRIORITY_CLASSES
 from repro.storage.artifacts import ArtifactError
 
 #: version tag of this request/response vocabulary; served as the
@@ -167,10 +168,14 @@ def _validate_pipeline_fields(request: object, type_name: str) -> None:
     if request.deadline is not None and request.deadline <= 0:
         _fail(type_name, "deadline",
               f"must be > 0 seconds, got {request.deadline}")
+    if request.priority is not None:
+        _check_choice(type_name, "priority", request.priority,
+                      PRIORITY_CLASSES)
 
 
 def _pipeline_payload(request: object) -> Dict[str, object]:
     return {
+        "priority": request.priority,
         "tool": request.tool,
         "profile": request.profile,
         "config_path": request.config_path,
@@ -223,6 +228,9 @@ class RunRequest:
     #: per-benchmark wall-clock budget, seconds (enforced at stage
     #: boundaries; an overrun is a permanent DeadlineError, never retried)
     deadline: Optional[float] = None
+    #: requested scheduling class (None = the kind's default; ``urgent``
+    #: requires the admin role when submitted through authenticated HTTP)
+    priority: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.spec is not None and not isinstance(self.spec, BenchmarkSpec):
@@ -284,6 +292,9 @@ class BatchRequest:
     #: per-benchmark wall-clock budget, seconds (each run in the batch
     #: gets its own budget; enforced at stage boundaries)
     deadline: Optional[float] = None
+    #: requested scheduling class (None = the kind's default; ``urgent``
+    #: requires the admin role when submitted through authenticated HTTP)
+    priority: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.benchmarks is not None:
@@ -354,6 +365,8 @@ class SynthConfig:
     register: bool = True
     store_path: Optional[str] = None
     max_workers: Optional[int] = None
+    #: requested scheduling class (None = the synth default, background)
+    priority: Optional[str] = None
 
     #: generation bounds protecting the service from hostile configs
     MAX_COUNT = 256
@@ -391,9 +404,13 @@ class SynthConfig:
                    optional=True)
         _check_int("SynthConfig", "max_workers", self.max_workers,
                    optional=True, minimum=1)
+        if self.priority is not None:
+            _check_choice("SynthConfig", "priority", self.priority,
+                          PRIORITY_CLASSES)
 
     def to_payload(self) -> Dict[str, object]:
         return {
+            "priority": self.priority,
             "count": self.count,
             "seed": self.seed,
             "tools": list(self.tools),
@@ -716,6 +733,12 @@ class JobStatus:
     #: the job was submitted outside the HTTP surface)
     client_id: str = ""
     request_id: str = ""
+    #: the scheduling class admission stamped onto the job ("" for jobs
+    #: from managers predating the scheduler)
+    priority: str = ""
+    #: seconds the job waited queued before its first claim (None while
+    #: still waiting — per-class live waits are on ``/v1/metrics``)
+    queue_wait: Optional[float] = None
     result: Optional[RunResponse] = None
     results: Optional[Tuple[RunResponse, ...]] = None
     #: synthesis jobs report a SynthReport instead of run responses
@@ -739,6 +762,11 @@ class JobStatus:
         _check_int("JobStatus", "attempts", self.attempts, minimum=0)
         _check_str("JobStatus", "client_id", self.client_id)
         _check_str("JobStatus", "request_id", self.request_id)
+        if self.priority:
+            _check_choice("JobStatus", "priority", self.priority,
+                          PRIORITY_CLASSES)
+        _check_number("JobStatus", "queue_wait", self.queue_wait,
+                      optional=True, minimum=0.0)
         if self.result is not None and not isinstance(self.result, RunResponse):
             _fail("JobStatus", "result", "must be a RunResponse or None")
         if self.results is not None:
@@ -773,6 +801,8 @@ class JobStatus:
             "attempts": self.attempts,
             "client_id": self.client_id,
             "request_id": self.request_id,
+            "priority": self.priority,
+            "queue_wait": self.queue_wait,
             "result": self.result.to_payload() if self.result else None,
             "results": (
                 [r.to_payload() for r in self.results]

@@ -183,6 +183,54 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _make_serve_scheduler(args: argparse.Namespace):
+    """The :class:`~repro.sched.SchedulerConfig` behind ``provmark serve``.
+
+    ``--scheduler CONFIG.json`` loads priority classes, quotas, fair
+    share, and aging; ``--workers-min``/``--workers-max`` fold into (or
+    stand up) the autoscale policy — CLI flags win over the file so an
+    operator can resize a fleet without editing config.  Returns ``None``
+    when nothing scheduler-related was asked for.
+    """
+    import dataclasses
+
+    from repro.sched import (
+        AutoscalePolicy,
+        SchedulerConfig,
+        load_scheduler_config,
+    )
+
+    sched = (
+        load_scheduler_config(args.scheduler)
+        if getattr(args, "scheduler", None) else None
+    )
+    workers_min = getattr(args, "workers_min", None)
+    workers_max = getattr(args, "workers_max", None)
+    if workers_min is None and workers_max is None:
+        return sched
+    if args.workers <= 0:
+        raise ValidationError(
+            "--workers-min/--workers-max require --workers (autoscaling "
+            "resizes the supervised worker fleet)"
+        )
+    base = (
+        sched.autoscale if sched is not None and sched.autoscale is not None
+        else AutoscalePolicy()
+    )
+    auto = dataclasses.replace(
+        base,
+        min_workers=(
+            int(workers_min) if workers_min is not None else base.min_workers
+        ),
+        max_workers=(
+            int(workers_max) if workers_max is not None else base.max_workers
+        ),
+    )
+    if sched is None:
+        return SchedulerConfig(autoscale=auto)
+    return sched.with_autoscale(auto)
+
+
 def _make_serve_jobs(args: argparse.Namespace):
     """The job manager behind ``provmark serve``: a process fleet over a
     durable queue with ``--workers``, else the in-process thread pool."""
@@ -204,6 +252,7 @@ def _make_serve_jobs(args: argparse.Namespace):
                 f"fault plan {args.faults} is not valid JSON: {exc}"
             ) from None
         faults = FaultPlan.from_payload(payload)
+    scheduler = _make_serve_scheduler(args)
     if args.workers > 0:
         if not args.queue:
             raise ValidationError(
@@ -214,21 +263,55 @@ def _make_serve_jobs(args: argparse.Namespace):
 
         return FleetJobManager(
             args.queue, workers=args.workers, capacity=args.capacity,
-            faults=faults,
+            faults=faults, scheduler=scheduler,
         )
     from repro.api.jobs import JobManager
 
+    if scheduler is not None:
+        from repro.sched import AdmissionController
+
+        return JobManager(
+            capacity=args.capacity, admission=AdmissionController(scheduler)
+        )
     return JobManager(capacity=args.capacity)
 
 
 def _make_serve_chain(args: argparse.Namespace):
-    """The middleware chain behind ``provmark serve --middleware``."""
+    """The middleware chain behind ``provmark serve --middleware``.
+
+    ``--response-cache-max`` bounds the idempotent response cache with
+    LRU eviction; it needs an ``idempotency`` section on the chain to
+    have anything to bound.
+    """
+    cache_max = getattr(args, "response_cache_max", None)
     if not getattr(args, "middleware", None):
+        if cache_max is not None:
+            raise ValidationError(
+                "--response-cache-max requires --middleware with an "
+                "'idempotency' section (there is no response cache to "
+                "bound otherwise)"
+            )
         return None
     from repro.middleware import build_chain, load_config
 
     config_path = Path(args.middleware)
-    return build_chain(load_config(config_path), base_dir=config_path.parent)
+    chain = build_chain(load_config(config_path), base_dir=config_path.parent)
+    if cache_max is not None:
+        if int(cache_max) < 1:
+            raise ValidationError(
+                f"--response-cache-max must be >= 1, got {cache_max}"
+            )
+        bounded = False
+        for mw in chain.middlewares:
+            if mw.name == "idempotency":
+                mw.max_entries = int(cache_max)
+                bounded = True
+        if not bounded:
+            raise ValidationError(
+                "--response-cache-max requires an 'idempotency' section "
+                "in the middleware config"
+            )
+    return chain
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -561,6 +644,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--faults", default=None, metavar="PLAN.json",
         help="fault-injection plan installed into worker processes "
         "(requires --workers); see repro.faults.FaultPlan",
+    )
+    serve.add_argument(
+        "--scheduler", default=None, metavar="CONFIG.json",
+        help="scheduler config (priority classes, per-client/per-role "
+        "quotas, fair-share weights, aging, autoscaling); see "
+        "repro.sched.SchedulerConfig for the schema",
+    )
+    serve.add_argument(
+        "--workers-min", type=int, default=None, metavar="N",
+        help="with --workers: autoscaler floor on live worker processes "
+        "(overrides the scheduler config's autoscale.min_workers)",
+    )
+    serve.add_argument(
+        "--workers-max", type=int, default=None, metavar="N",
+        help="with --workers: autoscaler ceiling on live worker "
+        "processes (overrides autoscale.max_workers)",
+    )
+    serve.add_argument(
+        "--response-cache-max", type=int, default=None, metavar="N",
+        help="LRU-bound the idempotent response cache to N entries "
+        "(requires --middleware with an 'idempotency' section)",
     )
     serve.set_defaults(func=_cmd_serve)
 

@@ -19,6 +19,12 @@ The package splits the HTTP front end from a fleet of worker
   ``provmark serve --workers N`` plugs into
   :class:`~repro.api.service.BenchmarkService`.
 
+The queue speaks the :mod:`repro.sched` surface natively: pending
+tokens carry a priority-class prefix claimed strict-priority with
+fair-share tie-breaking, starved jobs age upward, and the supervisor
+hosts a :class:`~repro.sched.QueueAutoscaler` resizing the fleet from
+queue pressure (``provmark serve --scheduler CONFIG.json``).
+
 Delivery semantics are **at-least-once**: a lost worker's leased job is
 requeued and re-run, so only seeded (deterministic) requests should be
 submitted when byte-identical results matter — which the artifact store

@@ -52,6 +52,9 @@ from repro.exec.policy import RetryPolicy
 from repro.exec.queue import JobQueue, TERMINAL_STATES
 from repro.exec.supervisor import Supervisor
 from repro.faults import FaultPlan
+from repro.sched.admission import AdmissionController
+from repro.sched.autoscale import QueueAutoscaler
+from repro.sched.policy import SchedulerConfig
 from repro.storage.artifacts import ArtifactStore
 
 #: plane-root subdirectories
@@ -74,6 +77,7 @@ class FleetJobManager:
         faults: Optional[FaultPlan] = None,
         capacity: Optional[int] = None,
         poll_interval: float = 0.05,
+        scheduler: Optional[SchedulerConfig] = None,
     ) -> None:
         plane = Path(plane_root)
         self.store_path = str(plane / STORE_DIR)
@@ -82,16 +86,34 @@ class FleetJobManager:
         self._store = ArtifactStore(self.store_path)
         self.policy = policy if policy is not None else RetryPolicy()
         self.capacity = capacity
+        self.scheduler = (
+            scheduler if scheduler is not None else SchedulerConfig()
+        )
+        self.admission = AdmissionController(self.scheduler)
         self.queue = JobQueue(self.spool_root)
+        # persist scheduler policy into the spool *before* the
+        # supervisor and workers open their own JobQueue over it, so
+        # claim-side fairness/aging agree fleet-wide
+        self.queue.configure(self.scheduler)
+        autoscale = self.scheduler.autoscale
+        initial = workers
+        if autoscale is not None:
+            initial = min(
+                max(workers, autoscale.min_workers), autoscale.max_workers
+            )
         self.supervisor = Supervisor(
             self.spool_root,
             self.store_path,
-            workers=workers,
+            workers=initial,
             policy=self.policy,
             faults=faults,
             poll_interval=poll_interval,
             finished_cap=self.MAX_FINISHED_JOBS,
         )
+        if autoscale is not None:
+            self.supervisor.autoscaler = QueueAutoscaler(
+                self.supervisor.queue, autoscale
+            )
         self._lock = threading.Lock()
         self._closed = False
         self.supervisor.start()
@@ -106,20 +128,35 @@ class FleetJobManager:
         total: int,
         client_id: str = "",
         request_id: str = "",
+        role: str = "",
     ) -> JobStatus:
         """Persist a validated request as a durable job.
 
         The service already validated names against *its* registry;
-        here the request is made portable to worker processes (custom
-        specs persisted into the plane store, tag selections pinned to
-        names) before the record is written and a pending token makes
-        it claimable.
+        here the submit passes admission (priority class resolution
+        against ``role``, per-client/per-role quotas — 429 with a
+        distinct ``QuotaExceededError`` type), then whole-queue
+        capacity, and the request is made portable to worker processes
+        (custom specs persisted into the plane store, tag selections
+        pinned to names) before the record is written and a pending
+        token makes it claimable.
         """
         with self._lock:
             if self._closed:
                 raise ValidationError(
                     "job manager is shut down; no new jobs accepted"
                 )
+            priority = self.admission.admit(
+                request, kind, role, client_id,
+                active=(
+                    (
+                        str(rec.get("client_id") or ""),
+                        str(rec.get("state") or ""),
+                    )
+                    for rec in self.queue.records()
+                ),
+                retry_after=self._retry_after_estimate,
+            )
             if self.capacity is not None:
                 active = self.queue.depth()["active"]
                 if active >= self.capacity:
@@ -132,6 +169,7 @@ class FleetJobManager:
             record = self.queue.submit(
                 kind, request.to_payload(), total, self.policy.max_attempts,
                 client_id=client_id, request_id=request_id,
+                priority=priority,
             )
         return self._status(record)
 
@@ -160,7 +198,18 @@ class FleetJobManager:
         stats["evicted"] = self.queue.evicted()
         stats["workers"] = self.supervisor.alive_workers()
         stats["restarts"] = self.supervisor.restarts
+        stats["priorities"] = self.queue.pending_by_class()
+        stats["promotions"] = self.queue.promotions()
+        autoscaler = self.supervisor.autoscaler
+        if autoscaler is not None:
+            auto = autoscaler.stats()
+            auto["target"] = self.supervisor.target
+            stats["autoscale"] = auto
         return stats
+
+    def sched_stats(self) -> Dict[str, object]:
+        """Per-class depth/wait stats + promotion total, for metrics."""
+        return self.queue.sched_stats()
 
     def drain(self, timeout: float = 30.0) -> bool:
         """Graceful drain: refuse new jobs, let workers finish in-flight
@@ -274,6 +323,12 @@ class FleetJobManager:
                 )
             if record.get("report") is not None:
                 report = SynthReport.from_payload(record["report"])
+        submitted = float(record.get("submitted_at") or 0.0)
+        started = record.get("started_at")
+        queue_wait = (
+            max(0.0, float(started) - submitted)
+            if started is not None else None
+        )
         return JobStatus(
             job_id=str(record["job_id"]),
             state=str(record["state"]),
@@ -288,6 +343,8 @@ class FleetJobManager:
             attempts=int(record.get("attempts") or 0),
             client_id=str(record.get("client_id") or ""),
             request_id=str(record.get("request_id") or ""),
+            priority=str(record.get("priority") or ""),
+            queue_wait=queue_wait,
             result=result,
             results=results,
             report=report,

@@ -10,11 +10,17 @@ across processes:
   attempts, timestamps, error history, and (when done) the result
   payloads.  Records are written atomically (temp file + ``os.replace``)
   so readers never see a half-written record.
-* ``pending/<prio>-<job_id>`` — FIFO claim tokens.  Claiming is one
-  atomic ``os.rename`` of the token into ``leases/<job_id>``: exactly
-  one worker wins, losers get ``FileNotFoundError`` and move on.  Every
-  active job owns exactly one of {pending token, lease}, which is the
-  queue-depth invariant backpressure counts.
+* ``pending/p<rank>.<stamp>-<job_id>`` — claim tokens.  The ``p<rank>.``
+  prefix is the job's priority class (``p0`` urgent … ``p3``
+  background), the stamp its submit time, so a ``(rank, stamp)`` scan
+  is strict-priority FIFO; within one rank, claim order is fair-shared
+  by the ledger (see :meth:`JobQueue.claim`) and a starved token ages
+  *up* a rank by rename (:meth:`JobQueue.promote_starved`).  Claiming
+  is one atomic ``os.rename`` of the token into ``leases/<job_id>``:
+  exactly one worker wins, losers get ``FileNotFoundError`` and move
+  on.  Every active job owns exactly one of {pending token, lease},
+  which is the queue-depth invariant backpressure counts.  Tokens from
+  pre-priority spools (no prefix) still parse and claim as interactive.
 * ``leases/<job_id>`` — the winner's lease, doubling as its heartbeat:
   the worker rewrites it every ``heartbeat_interval``; a lease whose
   embedded timestamp goes stale past ``lease_ttl`` marks a lost worker,
@@ -40,15 +46,51 @@ import tempfile
 import time
 import uuid
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.api.errors import ValidationError
 from repro.exec.policy import RetryPolicy
+from repro.sched.policy import (
+    AGING_FLOOR,
+    PRIORITY_CLASSES,
+    FairShareLedger,
+    SchedulerConfig,
+    class_of_rank,
+    class_rank,
+)
 
 #: bump when the record schema changes incompatibly
 QUEUE_VERSION = 1
 
 #: record states, mirroring the API's JOB_STATES
 TERMINAL_STATES = ("done", "failed", "cancelled")
+
+#: the rank prefix-less tokens (pre-priority spools) claim under
+_LEGACY_RANK = class_rank("interactive")
+
+
+def _parse_token(name: str) -> Optional[Tuple[Optional[int], float, str]]:
+    """``(rank, stamp, job_id)`` of a pending token name, or None.
+
+    ``rank`` is None for pre-priority tokens (``<stamp>-<job_id>``) and
+    for unparseable prefixes — callers decide the fallback rank.
+    """
+    head, sep, job_id = name.partition("-")
+    if not sep or not job_id:
+        return None
+    rank: Optional[int] = None
+    digits = head
+    if head.startswith("p") and "." in head:
+        prefix, _, digits = head.partition(".")
+        try:
+            rank = int(prefix[1:])
+        except ValueError:
+            rank = None
+    try:
+        stamp = int(digits) / 1e6
+    except ValueError:
+        stamp = 0.0
+    return rank, stamp, job_id
 
 
 class QueueError(Exception):
@@ -95,7 +137,7 @@ class JobQueue:
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
         try:
-            for sub in ("jobs", "pending", "leases", "cancel"):
+            for sub in ("jobs", "pending", "leases", "cancel", "promoted"):
                 (self.root / sub).mkdir(parents=True, exist_ok=True)
         except OSError as exc:
             raise QueueError(f"cannot create spool at {root}: {exc}") from exc
@@ -103,7 +145,41 @@ class JobQueue:
         self._pending = self.root / "pending"
         self._leases = self.root / "leases"
         self._cancel = self.root / "cancel"
+        self._promoted = self.root / "promoted"
         self._evicted_file = self.root / "evicted.count"
+        self._promotions_file = self.root / "promotions.count"
+        self._sched_file = self.root / "sched.json"
+        # Scheduler policy is part of the spool, not the process: every
+        # JobQueue over one spool (manager, supervisor, each worker
+        # process) reads the same sched.json, so claim-side fairness and
+        # aging agree fleet-wide.  Absent file = permissive defaults.
+        self.sched = self._load_sched()
+        self.ledger = self._make_ledger()
+
+    def configure(self, config: SchedulerConfig) -> None:
+        """Persist scheduler policy into the spool (read by every
+        process that opens this queue after the atomic write lands)."""
+        _write_json_atomic(self._sched_file, config.to_payload())
+        self.sched = config
+        self.ledger = self._make_ledger()
+
+    def _load_sched(self) -> SchedulerConfig:
+        payload = _read_json(self._sched_file)
+        if payload is None:
+            return SchedulerConfig()
+        try:
+            return SchedulerConfig.from_payload(payload)
+        except ValidationError as exc:
+            raise QueueError(
+                f"invalid scheduler config in {self._sched_file}: {exc}"
+            ) from exc
+
+    def _make_ledger(self) -> FairShareLedger:
+        return FairShareLedger(
+            self.root / "ledger",
+            weights=self.sched.fair_share_weights,
+            halflife=self.sched.fair_share_halflife,
+        )
 
     # -- submission ----------------------------------------------------------
 
@@ -115,14 +191,20 @@ class JobQueue:
         max_attempts: int,
         client_id: str = "",
         request_id: str = "",
+        priority: str = "",
     ) -> Dict[str, object]:
         """Persist a new job record and its pending token; returns the record.
 
-        Job ids reuse the API scheme — an unguessable uuid4 suffix is
-        the only access control on job records, exactly like the
-        in-process manager's ids over ``/v1/jobs``.
+        ``priority`` is the admitted class name ("" = the kind's default
+        from scheduler config); it is stamped into the record *and*
+        encoded into the token name, which is what makes claim order
+        priority-aware.  Job ids reuse the API scheme — an unguessable
+        uuid4 suffix is the only access control on job records, exactly
+        like the in-process manager's ids over ``/v1/jobs``.
         """
         now = _now()
+        cls = priority or self.sched.class_for_kind(kind)
+        rank = class_rank(cls)  # rejects unknown class names
         job_id = f"job-{int(now * 1e3) % 10000:04d}-{uuid.uuid4().hex}"
         record: Dict[str, object] = {
             "version": QUEUE_VERSION,
@@ -150,66 +232,141 @@ class JobQueue:
             # request id its access-log line carries ("" outside HTTP)
             "client_id": client_id,
             "request_id": request_id,
+            # the admitted priority class (the token prefix's source of
+            # truth: retries and recovery re-token at this class)
+            "priority": cls,
         }
         _write_json_atomic(self._record_path(job_id), record)
-        self._make_token(job_id, now)
+        self._make_token(job_id, now, rank)
         return record
 
     # -- worker side ---------------------------------------------------------
 
-    def claim(self, owner: str) -> Optional[Dict[str, object]]:
-        """Atomically claim the oldest runnable pending job, if any.
+    def claim(
+        self, owner: str, now: Optional[float] = None
+    ) -> Optional[Dict[str, object]]:
+        """Atomically claim the best runnable pending job, if any.
 
-        Tokens are scanned FIFO; jobs still inside their retry backoff
-        (``not_before`` in the future) are skipped, cancellation
-        requests observed while queued finalize immediately, and losing
-        a rename race just moves on to the next token.  On a win the
-        record flips to ``running`` with ``attempts`` incremented — the
-        attempt counter counts claims, so a worker that dies before its
-        first record write still gets charged by recovery.
+        Claim order is **strict priority** across classes (a pending
+        ``p0`` token always beats a ``p3``), and **deficit-round-robin
+        fair share** within a class: runnable candidates of the best
+        non-empty rank are ordered by their client's decayed fair-share
+        usage (completed runtimes over weight), FIFO stamp breaking
+        ties — so anonymous/same-usage clients preserve the old pure
+        FIFO order exactly.  Starved tokens are aged up a class first
+        (:meth:`promote_starved`).
+
+        Jobs still inside their retry backoff (``not_before`` in the
+        future) are skipped, cancellation requests observed while queued
+        finalize immediately, and losing a rename race just moves on.
+        On a win the record flips to ``running`` with ``attempts``
+        incremented — the attempt counter counts claims, so a worker
+        that dies before its first record write still gets charged by
+        recovery.  ``now`` is injectable for deterministic tests.
         """
-        now = _now()
-        for token in sorted(self._pending.iterdir()):
-            job_id = self._job_id_of(token.name)
-            if job_id is None:
+        now = _now() if now is None else now
+        if self.sched.aging_wait is not None:
+            self.promote_starved(now)
+        by_rank: Dict[int, List[Tuple[float, str, Path, str]]] = {}
+        for token in self._pending.iterdir():
+            parsed = _parse_token(token.name)
+            if parsed is None:
+                continue
+            rank, stamp, job_id = parsed
+            if rank is None:
+                rank = _LEGACY_RANK
+            by_rank.setdefault(rank, []).append(
+                (stamp, token.name, token, job_id)
+            )
+        usages: Dict[str, float] = {}
+        for rank in sorted(by_rank):
+            runnable: List[Tuple[float, float, str, Path, str]] = []
+            for stamp, name, token, job_id in by_rank[rank]:
+                record = self.record(job_id)
+                if record is None:
+                    # orphan token (record unreadable/missing): drop it
+                    try:
+                        token.unlink()
+                    except OSError:
+                        pass
+                    continue
+                if record.get("state") in TERMINAL_STATES:
+                    try:
+                        token.unlink()
+                    except OSError:
+                        pass
+                    continue
+                if record.get("cancel_requested"):
+                    try:
+                        token.unlink()
+                    except OSError:
+                        continue  # another worker got here first
+                    self._finalize(record, "cancelled")
+                    continue
+                if float(record.get("not_before") or 0.0) > now:
+                    continue
+                client = str(record.get("client_id") or "")
+                if client not in usages:
+                    usages[client] = self.ledger.usage(client, now)
+                runnable.append((usages[client], stamp, name, token, job_id))
+            runnable.sort()
+            for _usage, _stamp, _name, token, job_id in runnable:
+                lease = self._leases / job_id
+                try:
+                    os.rename(token, lease)
+                except OSError:
+                    continue  # lost the race
+                self.heartbeat(job_id, owner, "claimed")
+                def _claimed(rec: Dict[str, object]) -> None:
+                    rec["state"] = "running"
+                    rec["attempts"] = int(rec.get("attempts") or 0) + 1
+                    rec["owner"] = owner
+                    rec["started_at"] = rec.get("started_at") or _now()
+                    rec["stage"] = ""
+                return self._update(job_id, _claimed)
+        return None
+
+    def promote_starved(self, now: Optional[float] = None) -> int:
+        """Age starved pending tokens up a class; returns promotions made.
+
+        A token whose stamp is ``aging_wait`` old is promoted one class
+        per elapsed wait, monotonically, measured from the job's
+        *admitted* class — capped at :data:`AGING_FLOOR` (interactive),
+        never into the admin-only urgent lane.  Promotion is a bare
+        token rename (same stamp, lower rank prefix): losing the rename
+        race to a claim or a peer's promotion sweep is benign.  Each win
+        drops an O_EXCL marker under ``promoted/``, the durable source
+        of the ``sched_promotions_total`` counter.
+        """
+        wait = self.sched.aging_wait
+        if wait is None:
+            return 0
+        now = _now() if now is None else now
+        floor = class_rank(AGING_FLOOR)
+        promoted = 0
+        for token in list(self._pending.iterdir()):
+            parsed = _parse_token(token.name)
+            if parsed is None:
+                continue
+            rank, stamp, job_id = parsed
+            if rank is None or rank <= floor:
+                continue
+            age = now - stamp
+            if age < wait:
                 continue
             record = self.record(job_id)
-            if record is None:
-                # orphan token (record unreadable/missing): drop it
-                try:
-                    token.unlink()
-                except OSError:
-                    pass
+            origin = self._rank_of_record(record) if record else rank
+            new_rank = max(floor, origin - int(age // wait))
+            if new_rank >= rank:
                 continue
-            if record.get("state") in TERMINAL_STATES:
-                try:
-                    token.unlink()
-                except OSError:
-                    pass
-                continue
-            if record.get("cancel_requested"):
-                try:
-                    token.unlink()
-                except OSError:
-                    continue  # another worker got here first
-                self._finalize(record, "cancelled")
-                continue
-            if float(record.get("not_before") or 0.0) > now:
-                continue
-            lease = self._leases / job_id
+            new_name = f"p{new_rank}.{int(stamp * 1e6):020d}-{job_id}"
             try:
-                os.rename(token, lease)
+                os.rename(token, self._pending / new_name)
             except OSError:
-                continue  # lost the race
-            self.heartbeat(job_id, owner, "claimed")
-            def _claimed(rec: Dict[str, object]) -> None:
-                rec["state"] = "running"
-                rec["attempts"] = int(rec.get("attempts") or 0) + 1
-                rec["owner"] = owner
-                rec["started_at"] = rec.get("started_at") or _now()
-                rec["stage"] = ""
-            return self._update(job_id, _claimed)
-        return None
+                continue  # claimed, cancelled, or promoted by a peer
+            self._note_promotion(job_id, new_rank)
+            promoted += 1
+        return promoted
 
     def heartbeat(self, job_id: str, owner: str, stage: str = "") -> None:
         """Refresh the lease (atomic rewrite; stale mtime = lost worker)."""
@@ -240,7 +397,10 @@ class JobQueue:
     ) -> Dict[str, object]:
         """Record success.  A real result always wins: ``done`` may
         overwrite a recovery-written ``failed``/retrying state (the
-        zombie-worker convergence case), never the other way around."""
+        zombie-worker convergence case), never the other way around.
+        The first completion also charges the job's wall-clock runtime
+        to its client in the fair-share ledger."""
+        prior = self.record(job_id)
         def _done(rec: Dict[str, object]) -> None:
             rec["state"] = "done"
             rec["result"] = result
@@ -256,6 +416,17 @@ class JobQueue:
             rec["finished_at"] = _now()
         record = self._update(job_id, _done, allow_terminal=True)
         self._release(job_id)
+        started = record.get("started_at")
+        finished = record.get("finished_at")
+        if (
+            (prior is None or prior.get("state") != "done")
+            and started and finished and float(finished) > float(started)
+        ):
+            self.ledger.charge(
+                str(record.get("client_id") or ""),
+                float(finished) - float(started),
+                now=float(finished),
+            )
         return record
 
     def fail(self, job_id: str, error: str) -> Dict[str, object]:
@@ -315,7 +486,9 @@ class JobQueue:
         record = self._update(job_id, _requeue)
         self._release(job_id, keep_cancel=True)
         if record.get("state") == "queued":
-            self._make_token(job_id, _now())
+            # re-token at the *admitted* class: an aging promotion does
+            # not survive a failed attempt (the job re-earns it)
+            self._make_token(job_id, _now(), self._rank_of_record(record))
         return record
 
     # -- control side --------------------------------------------------------
@@ -401,6 +574,7 @@ class JobQueue:
                 terminal.append(record)
         terminal.sort(key=lambda rec: float(rec.get("submitted_at") or 0.0))
         evicted = self.evicted()
+        folded = 0
         for record in terminal[: max(0, len(terminal) - cap)]:
             job_id = str(record["job_id"])
             try:
@@ -411,8 +585,19 @@ class JobQueue:
                 (self._cancel / job_id).unlink()
             except OSError:
                 pass
+            # fold the job's promotion markers into the durable base so
+            # sched_promotions_total stays monotonic across eviction
+            for marker in self._promoted.glob(f"{job_id}.p*"):
+                try:
+                    marker.unlink()
+                except OSError:
+                    continue
+                folded += 1
             evicted += 1
         _write_json_atomic(self._evicted_file, {"evicted": evicted})
+        if folded:
+            base = self._promotions_base() + folded
+            _write_json_atomic(self._promotions_file, {"promoted": base})
         return evicted
 
     def evicted(self) -> int:
@@ -447,14 +632,109 @@ class JobQueue:
         leased = sum(1 for _ in self._leases.iterdir())
         return {"pending": pending, "leased": leased, "active": pending + leased}
 
+    def pending_by_class(self) -> Dict[str, int]:
+        """Pending-token counts per priority class (token names only —
+        cheap enough for every autoscaler tick and metrics render)."""
+        counts = {name: 0 for name in PRIORITY_CLASSES}
+        for token in self._pending.iterdir():
+            parsed = _parse_token(token.name)
+            if parsed is None:
+                continue
+            rank = parsed[0]
+            if rank is None:
+                rank = _LEGACY_RANK
+            try:
+                counts[class_of_rank(rank)] += 1
+            except ValidationError:
+                counts["batch"] += 1
+        return counts
+
+    def promotions(self) -> int:
+        """Total aging promotions ever (survives restarts and eviction:
+        durable base counter + live per-job markers)."""
+        return self._promotions_base() + sum(
+            1 for _ in self._promoted.iterdir()
+        )
+
+    def sched_stats(self, now: Optional[float] = None) -> Dict[str, object]:
+        """Per-class depth and queue-wait stats (parses every record —
+        this backs the ``/v1/metrics`` gauges, not the health hot path).
+
+        Waits count time from submit to first claim: finished and
+        running jobs contribute their realized wait, still-queued jobs
+        their live wait so starvation is visible while it happens.
+        """
+        now = _now() if now is None else now
+        per: Dict[str, Dict[str, object]] = {
+            name: {"pending": 0, "running": 0, "waits": []}
+            for name in PRIORITY_CLASSES
+        }
+        for record in self.records():
+            cls = str(record.get("priority") or "")
+            if cls not in per:
+                cls = self.sched.class_for_kind(str(record.get("kind") or ""))
+            if cls not in per:
+                cls = "batch"
+            row = per[cls]
+            state = record.get("state")
+            submitted = float(record.get("submitted_at") or 0.0)
+            started = record.get("started_at")
+            if state == "queued":
+                row["pending"] += 1
+                row["waits"].append(max(0.0, now - submitted))
+            elif state == "running":
+                row["running"] += 1
+            if started:
+                row["waits"].append(max(0.0, float(started) - submitted))
+        classes: Dict[str, Dict[str, object]] = {}
+        for name, row in per.items():
+            waits = sorted(row.pop("waits"))
+            classes[name] = {
+                "pending": row["pending"],
+                "running": row["running"],
+                "waited": len(waits),
+                "wait_p50": waits[len(waits) // 2] if waits else 0.0,
+                "wait_max": waits[-1] if waits else 0.0,
+            }
+        return {"classes": classes, "promotions": self.promotions()}
+
     # -- internals -----------------------------------------------------------
 
     def _record_path(self, job_id: str) -> Path:
         return self._jobs / f"{job_id}.json"
 
-    def _make_token(self, job_id: str, stamp: float) -> None:
-        token = self._pending / f"{int(stamp * 1e6):020d}-{job_id}"
+    def _make_token(self, job_id: str, stamp: float, rank: int) -> None:
+        token = self._pending / f"p{rank}.{int(stamp * 1e6):020d}-{job_id}"
         token.touch()
+
+    def _rank_of_record(self, record: Dict[str, object]) -> int:
+        """The claim rank of a record's admitted class (tolerant of
+        records from pre-priority spools, which fall back to the kind's
+        default class)."""
+        try:
+            return class_rank(str(record.get("priority") or ""))
+        except ValidationError:
+            return class_rank(
+                self.sched.class_for_kind(str(record.get("kind") or ""))
+            )
+
+    def _note_promotion(self, job_id: str, rank: int) -> None:
+        """Drop the O_EXCL promotion marker (idempotent per job+rank:
+        concurrent sweeps that both win distinct renames of one token
+        cannot double-count one promotion level)."""
+        marker = self._promoted / f"{job_id}.p{rank}"
+        try:
+            fd = os.open(str(marker), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except OSError:
+            return
+        os.close(fd)
+
+    def _promotions_base(self) -> int:
+        payload = _read_json(self._promotions_file) or {}
+        try:
+            return int(payload.get("promoted") or 0)
+        except (TypeError, ValueError):
+            return 0
 
     @staticmethod
     def _job_id_of(token_name: str) -> Optional[str]:

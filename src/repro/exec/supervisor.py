@@ -80,6 +80,12 @@ class Supervisor:
         self._generations: List[int] = [0] * self.workers
         #: total worker restarts (crash respawns), for health/stats
         self.restarts = 0
+        #: worker slots the fleet aims to keep alive; slots beyond it
+        #: are retired (drained, never respawned) — the autoscaler's
+        #: lever, also usable directly via :meth:`set_target`
+        self._target = self.workers
+        #: optional QueueAutoscaler ticked by the monitor thread
+        self.autoscaler = None
         self._draining = False
         self._stop = threading.Event()
         self._monitor: Optional[threading.Thread] = None
@@ -91,7 +97,7 @@ class Supervisor:
     def start(self) -> None:
         """Spawn every worker slot and the monitor thread."""
         with self._lock:
-            for slot in range(self.workers):
+            for slot in range(self._target):
                 self._spawn(slot)
         self._monitor = threading.Thread(
             target=self._monitor_loop, name="exec-supervisor", daemon=True
@@ -147,10 +153,57 @@ class Supervisor:
                 1 for p in self._procs if p is not None and p.is_alive()
             )
 
+    @property
+    def target(self) -> int:
+        """Current worker-slot target (autoscaling moves it)."""
+        with self._lock:
+            return self._target
+
+    def set_target(self, target: int) -> bool:
+        """Grow or shrink the fleet to ``target`` slots; False while
+        draining (a drain is a scale-to-zero that must not be fought).
+
+        Growing spawns fresh incarnations in new/retired slots at once.
+        Shrinking retires the *highest* slots gracefully: each gets a
+        SIGTERM (workers finish their in-flight job, then exit) and
+        :meth:`tick` reaps it without respawning.  Slot bookkeeping
+        (uids, generations) is never truncated — lease recovery must
+        remember every incarnation that ever ran.
+        """
+        target = max(1, int(target))
+        with self._lock:
+            if self._draining:
+                return False
+            if target > len(self._procs):
+                grow = target - len(self._procs)
+                self._procs.extend([None] * grow)
+                self._uids.extend([""] * grow)
+                self._generations.extend([0] * grow)
+            self._target = target
+            for slot in range(target):
+                # dead-but-unreaped procs are left for tick(), which
+                # joins them and recovers their leases before respawning
+                if self._procs[slot] is None:
+                    self._spawn(slot)
+            retiring = [
+                p for p in self._procs[target:]
+                if p is not None and p.is_alive()
+            ]
+        for proc in retiring:
+            proc.terminate()  # SIGTERM: drain the slot, don't kill it
+        return True
+
     # -- supervision ---------------------------------------------------------
 
     def tick(self) -> None:
-        """One supervision pass: reap + respawn, recover, evict."""
+        """One supervision pass: reap + respawn, recover, evict, scale.
+
+        Slots at or beyond the current target are retired, not
+        respawned — a scale-down exit is deliberate, so it does not
+        count as a crash restart.  Retired incarnations' leases recover
+        like any dead worker's (a retiring worker that was SIGKILLed by
+        the OS mid-drain loses nothing durable).
+        """
         dead_uids: List[str] = []
         with self._lock:
             for slot, proc in enumerate(self._procs):
@@ -159,7 +212,7 @@ class Supervisor:
                 proc.join()
                 dead_uids.append(self._uids[slot])
                 self._procs[slot] = None
-                if not self._draining:
+                if not self._draining and slot < self._target:
                     self.restarts += 1
                     self._spawn(slot)
         # Dead incarnations' leases recover immediately (by owner); the
@@ -168,6 +221,8 @@ class Supervisor:
         self._ticks += 1
         if self._ticks % self.EVICT_EVERY == 0:
             self.queue.evict_finished(self.finished_cap)
+        if self.autoscaler is not None and not self._draining:
+            self.autoscaler.maybe_scale(self)
 
     def _monitor_loop(self) -> None:
         while not self._stop.wait(self.TICK_INTERVAL):

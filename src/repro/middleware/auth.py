@@ -33,6 +33,7 @@ from typing import Dict, Mapping, Optional, Tuple
 from repro.api.errors import ForbiddenError, UnauthorizedError, ValidationError
 from repro.middleware.chain import Middleware
 from repro.middleware.context import ANONYMOUS, RequestContext
+from repro.sched.policy import ADMIN_ONLY_CLASSES
 
 #: role ranks: a client role covers requirements at or below its rank
 ROLE_RANKS: Dict[str, int] = {"read": 0, "submit": 1, "admin": 2}
@@ -109,6 +110,23 @@ class AuthMiddleware(Middleware):
             raise ForbiddenError(
                 f"client {client!r} (role {role!r}) may not "
                 f"{ctx.method} {ctx.path}: requires role {needed!r}"
+            )
+        # Admin-only scheduling classes are enforced at the edge too
+        # (admission re-checks; failing here keeps the rejection in the
+        # auth metrics and ahead of request parsing).  Unknown priority
+        # strings are left for request validation's 400.
+        requested = (
+            ctx.body.get("priority") if isinstance(ctx.body, Mapping)
+            else None
+        )
+        if (
+            requested in ADMIN_ONLY_CLASSES
+            and ROLE_RANKS[role] < ROLE_RANKS["admin"]
+        ):
+            self.metrics.inc("auth_priority_denied_total", client)
+            raise ForbiddenError(
+                f"client {client!r} (role {role!r}) may not request "
+                f"priority {requested!r}: requires role 'admin'"
             )
         self.metrics.inc("auth_ok_total", client)
         return ctx.replace(client_id=client, role=role)

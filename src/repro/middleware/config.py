@@ -16,9 +16,11 @@ like::
       },
       "ratelimit": {
         "rate": 10, "burst": 20,
-        "clients": {"ci": {"rate": 50, "burst": 100}}
+        "clients": {"ci": {"rate": 50, "burst": 100}},
+        "roles": {"admin": {"rate": 100, "burst": 200},
+                  "read": {"rate": 5, "burst": 10}}
       },
-      "idempotency": {"store": "artifacts"}
+      "idempotency": {"store": "artifacts", "max_entries": 1024}
     }
 
 and gets back a :class:`~repro.middleware.chain.MiddlewareChain` in the
@@ -126,6 +128,7 @@ def build_chain(
                 rate=float(ratelimit.get("rate", 10.0)),
                 burst=float(ratelimit.get("burst", 20.0)),
                 quotas=ratelimit.get("clients"),
+                roles=ratelimit.get("roles"),
             )
         )
 
@@ -135,8 +138,14 @@ def build_chain(
             raise ValidationError(
                 "middleware config: 'idempotency' needs a 'store' directory"
             )
+        max_entries = idempotency.get("max_entries")
         middlewares.append(
-            IdempotencyMiddleware(_resolve(root, str(idempotency["store"])))
+            IdempotencyMiddleware(
+                _resolve(root, str(idempotency["store"])),
+                max_entries=(
+                    int(max_entries) if max_entries is not None else None
+                ),
+            )
         )
 
     return MiddlewareChain(middlewares)

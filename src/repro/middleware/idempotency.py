@@ -25,14 +25,24 @@ corruption-is-a-miss behavior, same ``StoreStats`` counters (exposed as
 the ``response_cache`` gauge in ``/v1/metrics``).  Replays carry an
 ``X-Idempotent-Replay: <mode>`` header so clients and tests can tell a
 cache hit from fresh work.
+
+``max_entries`` bounds the ``response`` stage with LRU eviction
+(``provmark serve --response-cache-max N``): every replay touches its
+artifact's mtime, and each save evicts the least-recently-used entries
+past the cap.  Unbounded by default — the cache is tiny JSON envelopes
+— but a long-lived appliance serving many distinct seeded runs can now
+cap its disk footprint.  Evictions surface as ``evicted`` on the
+``response_cache`` gauge.
 """
 
 from __future__ import annotations
 
+import os
+import threading
 from pathlib import Path
 from typing import Dict, Optional, Union
 
-from repro.api.errors import ConflictError
+from repro.api.errors import ConflictError, ValidationError
 from repro.middleware.chain import Middleware
 from repro.middleware.context import RequestContext, Response
 from repro.middleware.metrics import REPLAY_HEADER
@@ -53,10 +63,21 @@ class IdempotencyMiddleware(Middleware):
 
     name = "idempotency"
 
-    def __init__(self, store: Union[ArtifactStore, str, Path]) -> None:
+    def __init__(
+        self,
+        store: Union[ArtifactStore, str, Path],
+        max_entries: Optional[int] = None,
+    ) -> None:
         self.store = (
             store if isinstance(store, ArtifactStore) else ArtifactStore(store)
         )
+        if max_entries is not None and int(max_entries) < 1:
+            raise ValidationError(
+                f"idempotency: max_entries must be >= 1, got {max_entries}"
+            )
+        self.max_entries = int(max_entries) if max_entries is not None else None
+        self._evicted = 0
+        self._evict_lock = threading.Lock()
 
     def bind(self, chain) -> None:
         super().bind(chain)
@@ -65,6 +86,8 @@ class IdempotencyMiddleware(Middleware):
             row = self.store.stats.as_row()
             seen = row["hits"] + row["misses"]
             row["hit_ratio"] = round(row["hits"] / seen, 4) if seen else 0.0
+            row["evicted"] = self._evicted
+            row["max_entries"] = self.max_entries
             return row
 
         self.metrics.gauge_fn("response_cache", cache_gauge)
@@ -94,6 +117,7 @@ class IdempotencyMiddleware(Middleware):
                     "different request body; idempotent retries must "
                     "repeat the original request exactly"
                 )
+            self._touch(material)
             return self._replay(record, "header")
         ctx.state["idempotency.material"] = material
         ctx.state["idempotency.mode"] = "header"
@@ -112,6 +136,7 @@ class IdempotencyMiddleware(Middleware):
         }
         record = self.store.load(RESPONSE_STAGE, material)
         if isinstance(record, dict):
+            self._touch(material)
             return self._replay(record, "auto")
         ctx.state["idempotency.material"] = material
         ctx.state["idempotency.mode"] = "auto"
@@ -154,4 +179,37 @@ class IdempotencyMiddleware(Middleware):
             },
         )
         self.metrics.inc("idempotency_cached_total", str(mode))
+        self._evict_lru()
         return None
+
+    # -- LRU bound ---------------------------------------------------------
+
+    def _touch(self, material: Dict[str, object]) -> None:
+        """Bump a cache hit's mtime so eviction sees it as recently used."""
+        if self.max_entries is None:
+            return
+        try:
+            os.utime(self.store.path_for(RESPONSE_STAGE, material))
+        except OSError:
+            pass  # racing eviction/cleanup: the replay already succeeded
+
+    def _evict_lru(self) -> None:
+        """Drop least-recently-used cached responses past ``max_entries``."""
+        if self.max_entries is None:
+            return
+        stage_dir = self.store.root / RESPONSE_STAGE
+        with self._evict_lock:
+            entries = []
+            for path in stage_dir.glob("*.json"):
+                try:
+                    entries.append((path.stat().st_mtime, path))
+                except OSError:
+                    continue  # vanished mid-scan
+            entries.sort()
+            excess = len(entries) - self.max_entries
+            for _, path in entries[:excess]:
+                try:
+                    path.unlink()
+                except OSError:
+                    continue  # concurrent eviction already took it
+                self._evicted += 1

@@ -242,12 +242,17 @@ class MetricsMiddleware(Middleware):
 
 
 def register_service_gauges(registry: MetricsRegistry, service) -> None:
-    """Wire the live-state ``jobs`` gauge ``/v1/metrics`` reports.
+    """Wire the live-state ``jobs``/``sched`` gauges ``/v1/metrics``
+    reports.
 
     Samples the job manager's ``queue_stats()`` (depth, capacity,
-    evicted — the execution plane's health surface) plus job counts by
-    state.  Registered by ``make_server`` so the endpoint is live with
-    or without any middleware configured.
+    evicted, per-class pending, autoscale counters — the execution
+    plane's health surface) plus job counts by state, and — when the
+    manager speaks the scheduler surface — a ``sched`` gauge of
+    per-class pending/running/queue-wait quantiles with the monotonic
+    aging-promotion count doubled as ``sched_promotions_total``.
+    Registered by ``make_server`` so the endpoint is live with or
+    without any middleware configured.
     """
 
     def jobs_gauge() -> Dict[str, object]:
@@ -262,3 +267,11 @@ def register_service_gauges(registry: MetricsRegistry, service) -> None:
         }
 
     registry.gauge_fn("jobs", jobs_gauge)
+
+    sched_stats = getattr(service.jobs, "sched_stats", None)
+    if callable(sched_stats):
+        registry.gauge_fn("sched", sched_stats)
+        registry.gauge_fn(
+            "sched_promotions_total",
+            lambda: sched_stats().get("promotions", 0),
+        )

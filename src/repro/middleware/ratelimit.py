@@ -14,9 +14,13 @@ is throttled here, per identity, before it can fill the shared queue
 and starve everyone else's submissions.
 
 ``quotas`` overrides ``(rate, burst)`` for specific clients — paying
-tenants get bigger buckets, the anonymous role a smaller one.  The
-clock is injectable so quota exhaustion and refill are unit-testable
-without sleeping.
+tenants get bigger buckets, the anonymous role a smaller one — and
+``roles`` overrides them for whole roles (``admin`` > ``submit`` >
+``read``), resolved *after* client overrides: the most specific quota
+wins (client > role > default).  Buckets are still keyed per client, so
+two ``submit`` clients sharing a role quota each get their own bucket
+at that size.  The clock is injectable so quota exhaustion and refill
+are unit-testable without sleeping.
 """
 
 from __future__ import annotations
@@ -51,6 +55,7 @@ class RateLimitMiddleware(Middleware):
         rate: float = 10.0,
         burst: float = 20.0,
         quotas: Optional[Mapping[str, Mapping[str, float]]] = None,
+        roles: Optional[Mapping[str, Mapping[str, float]]] = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self._default = self._check_quota("default", rate, burst)
@@ -61,9 +66,24 @@ class RateLimitMiddleware(Middleware):
                 float(entry.get("rate", rate)),
                 float(entry.get("burst", burst)),
             )
+        self._roles: Dict[str, Tuple[float, float]] = {}
+        for role, entry in (roles or {}).items():
+            self._roles[str(role)] = self._check_quota(
+                f"role {role}",
+                float(entry.get("rate", rate)),
+                float(entry.get("burst", burst)),
+            )
         self._clock = clock
         self._lock = threading.Lock()
         self._buckets: Dict[str, _Bucket] = {}
+
+    def _resolve_quota(self, client_id: str, role: str) -> Tuple[float, float]:
+        """Most-specific wins: client override → role override → default."""
+        if client_id in self._quotas:
+            return self._quotas[client_id]
+        if role and role in self._roles:
+            return self._roles[role]
+        return self._default
 
     @staticmethod
     def _check_quota(
@@ -79,7 +99,7 @@ class RateLimitMiddleware(Middleware):
     def on_request(self, ctx: RequestContext):
         if (ctx.path.rstrip("/") or "/") in EXEMPT_PATHS:
             return None
-        rate, burst = self._quotas.get(ctx.client_id, self._default)
+        rate, burst = self._resolve_quota(ctx.client_id, ctx.role)
         now = self._clock()
         with self._lock:
             bucket = self._buckets.get(ctx.client_id)
@@ -100,9 +120,9 @@ class RateLimitMiddleware(Middleware):
             retry_after=wait,
         )
 
-    def tokens_remaining(self, client_id: str) -> float:
+    def tokens_remaining(self, client_id: str, role: str = "") -> float:
         """The bucket level right now (tests and diagnostics)."""
-        rate, burst = self._quotas.get(client_id, self._default)
+        rate, burst = self._resolve_quota(client_id, role)
         now = self._clock()
         with self._lock:
             bucket = self._buckets.get(client_id)

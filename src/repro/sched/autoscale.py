@@ -1,0 +1,131 @@
+"""QueueAutoscaler: grow/shrink the fleet from queue pressure.
+
+The supervisor's monitor thread calls :meth:`maybe_scale` every tick;
+the autoscaler reads queue depth and the pending class mix (both are
+cheap directory scans, no record parsing) and nudges the supervisor's
+worker target one slot at a time between the policy's
+``min_workers``/``max_workers``:
+
+* **Up** when latency-sensitive work is waiting behind a fully leased
+  fleet (any pending urgent/interactive job while every slot holds a
+  lease), or when total backlog exceeds ``backlog_per_worker`` per
+  current slot — whichever fires first, rate-limited by
+  ``scale_up_cooldown``.
+* **Down** one slot per ``scale_down_cooldown`` once the pending queue
+  has been empty (with at least one idle worker) for ``idle_grace``
+  seconds continuously.  Shrinking goes through the supervisor's drain
+  machinery: the retired worker finishes its in-flight job, then exits.
+
+Scale events are counted (``scale_up_total``/``scale_down_total``) and
+surfaced through ``queue_stats()`` → ``/v1/health`` and ``/v1/metrics``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+from repro.sched.policy import AGING_FLOOR, AutoscalePolicy, class_rank
+
+#: classes whose queueing alone (not depth) justifies growing the fleet
+_LATENCY_RANK = class_rank(AGING_FLOOR)
+
+
+class QueueAutoscaler:
+    """One fleet's scaling loop state (cooldowns, counters)."""
+
+    def __init__(
+        self,
+        queue,
+        policy: AutoscalePolicy,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.queue = queue
+        self.policy = policy
+        self.clock = clock
+        self.scale_up_total = 0
+        self.scale_down_total = 0
+        self._last_up: Optional[float] = None
+        self._last_down: Optional[float] = None
+        self._idle_since: Optional[float] = None
+
+    # -- decision ------------------------------------------------------------
+
+    def desired_target(
+        self,
+        target: int,
+        pending: int,
+        leased: int,
+        latency_pending: int,
+        now: float,
+    ) -> int:
+        """The next worker target (pure decision logic, no side effects
+        beyond idle-tracking — injectable inputs make it unit-testable)."""
+        pol = self.policy
+        # clamp drifted targets (e.g. a fleet started outside the band)
+        bounded = min(max(target, pol.min_workers), pol.max_workers)
+        if bounded != target:
+            return bounded
+        busy = leased >= target
+        pressure = (
+            (latency_pending > 0 and busy)
+            or pending > target * pol.backlog_per_worker
+        )
+        if pressure:
+            self._idle_since = None
+            if target < pol.max_workers and self._cooled(
+                self._last_up, pol.scale_up_cooldown, now
+            ):
+                return target + 1
+            return target
+        if pending == 0 and leased < target:
+            if self._idle_since is None:
+                self._idle_since = now
+            if (
+                target > pol.min_workers
+                and now - self._idle_since >= pol.idle_grace
+                and self._cooled(self._last_down, pol.scale_down_cooldown, now)
+            ):
+                return target - 1
+        else:
+            self._idle_since = None
+        return target
+
+    @staticmethod
+    def _cooled(last: Optional[float], cooldown: float, now: float) -> bool:
+        return last is None or now - last >= cooldown
+
+    # -- supervisor hook -----------------------------------------------------
+
+    def maybe_scale(self, supervisor) -> Optional[int]:
+        """One scaling pass; returns the new target when it changed."""
+        target = supervisor.target
+        depth = self.queue.depth()
+        by_class = self.queue.pending_by_class()
+        latency_pending = sum(
+            count for name, count in by_class.items()
+            if class_rank(name) <= _LATENCY_RANK
+        )
+        now = self.clock()
+        new = self.desired_target(
+            target, depth["pending"], depth["leased"], latency_pending, now
+        )
+        if new == target:
+            return None
+        if not supervisor.set_target(new):
+            return None  # draining; leave counters alone
+        if new > target:
+            self.scale_up_total += 1
+            self._last_up = now
+        else:
+            self.scale_down_total += 1
+            self._last_down = now
+        return new
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "min_workers": self.policy.min_workers,
+            "max_workers": self.policy.max_workers,
+            "scale_up_total": self.scale_up_total,
+            "scale_down_total": self.scale_down_total,
+        }

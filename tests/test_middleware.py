@@ -738,3 +738,254 @@ class TestBuildChain:
         )
         (mw,) = chain.middlewares
         assert mw.store.root == tmp_path / "cache"
+
+
+class TestRoleRateLimitQuotas:
+    """Role-level (rate, burst) overrides: client > role > default."""
+
+    def middleware(self, clock):
+        return RateLimitMiddleware(
+            rate=1.0, burst=2.0,
+            quotas={"ci": {"rate": 10.0, "burst": 20.0}},
+            roles={
+                "admin": {"rate": 100.0, "burst": 200.0},
+                "read": {"rate": 0.5, "burst": 1.0},
+            },
+            clock=clock,
+        )
+
+    def test_role_quota_applies_when_no_client_override(self):
+        limiter = self.middleware(FakeClock())
+        assert limiter.tokens_remaining("ops", role="admin") == 200.0
+        assert limiter.tokens_remaining("dash", role="read") == 1.0
+        assert limiter.tokens_remaining("stranger", role="submit") == 2.0
+
+    def test_client_override_beats_role_quota(self):
+        limiter = self.middleware(FakeClock())
+        # ci has a client-specific quota even though its role is submit
+        assert limiter.tokens_remaining("ci", role="submit") == 20.0
+
+    def test_role_sized_buckets_are_still_per_client(self):
+        clock = FakeClock()
+        chain = MiddlewareChain([self.middleware(clock)])
+
+        def spend(client, role, path="/v1/tools"):
+            return chain.dispatch(
+                make_ctx(path=path, client_id=client, role=role), ok_handler
+            )
+
+        spend("dash", "read")  # burst 1: dash's bucket is now empty
+        with pytest.raises(RateLimitError):
+            spend("dash", "read")
+        # a different read-role client has its own (role-sized) bucket
+        spend("dash2", "read")
+        # and refill uses the role's rate: 2s at 0.5/s buys one token
+        clock.advance(2.0)
+        spend("dash", "read")
+
+    def test_role_quota_validation(self):
+        with pytest.raises(ValidationError):
+            RateLimitMiddleware(roles={"read": {"rate": -1.0}})
+
+    def test_build_chain_accepts_role_quotas(self, tmp_path):
+        chain = build_chain({
+            "metrics": False,
+            "ratelimit": {
+                "rate": 5, "burst": 10,
+                "roles": {"admin": {"rate": 50, "burst": 100}},
+            },
+        })
+        (mw,) = chain.middlewares
+        assert mw.tokens_remaining("ops", role="admin") == 100.0
+
+
+class TestAuthPriorityGate:
+    """Admin-only scheduling classes are rejected at the auth edge."""
+
+    def chain(self):
+        return MiddlewareChain([AuthMiddleware(TestAuth.TOKENS)])
+
+    def submit_ctx(self, token, priority):
+        return make_ctx(
+            method="POST", path="/v1/runs",
+            headers={"Authorization": f"Bearer {token}"},
+            body={"benchmark": "open", "tool": "spade", "priority": priority},
+        )
+
+    def test_submit_role_cannot_request_urgent(self):
+        with pytest.raises(ForbiddenError) as info:
+            self.chain().dispatch(
+                self.submit_ctx("tok-submit", "urgent"), ok_handler
+            )
+        assert "urgent" in str(info.value)
+
+    def test_admin_can_request_urgent(self):
+        response = self.chain().dispatch(
+            self.submit_ctx("tok-admin", "urgent"), ok_handler
+        )
+        assert response.payload["client"] == "ops"
+
+    def test_non_admin_classes_pass_through(self):
+        response = self.chain().dispatch(
+            self.submit_ctx("tok-submit", "background"), ok_handler
+        )
+        assert response.payload["client"] == "ci"
+
+    def test_unknown_priority_left_for_request_validation(self):
+        # auth only guards the admin-only lane; a typoed class must still
+        # become the request validator's 400, not a confusing 403
+        response = self.chain().dispatch(
+            self.submit_ctx("tok-submit", "warp"), ok_handler
+        )
+        assert response.payload["ok"] is True
+
+
+class TestIdempotencyLru:
+    def entry(self, key):
+        return dict(
+            method="POST", path="/v1/runs",
+            headers={"Idempotency-Key": key},
+        )
+
+    def cached_keys(self, chain, handler, *keys):
+        for key in keys:
+            chain.dispatch(
+                make_ctx(**self.entry(key), body={"seed": 1},
+                         raw=key.encode()),
+                handler,
+            )
+
+    def replayed(self, chain, key):
+        response = chain.dispatch(
+            make_ctx(**self.entry(key), body={"seed": 1}, raw=key.encode()),
+            lambda ctx: Response(payload={"fresh": key}),
+        )
+        return REPLAY_HEADER in response.headers
+
+    def test_eviction_drops_least_recently_used(self, tmp_path):
+        import os
+
+        mw = IdempotencyMiddleware(tmp_path / "cache", max_entries=2)
+        chain = MiddlewareChain([mw])
+        handler = lambda ctx: Response(payload={"ok": True})  # noqa: E731
+        self.cached_keys(chain, handler, "a", "b")
+        # age the entries apart, then touch "a" by replaying it
+        stage = mw.store.root / "response"
+        for i, path in enumerate(sorted(stage.iterdir())):
+            os.utime(path, (100 + i, 100 + i))
+        assert self.replayed(chain, "a")  # bumps a's mtime to now
+        self.cached_keys(chain, handler, "c")  # over cap: evicts "b"
+        assert self.replayed(chain, "a")
+        assert self.replayed(chain, "c")
+        assert not self.replayed(chain, "b")  # evicted, re-ran fresh
+
+    def test_eviction_counter_in_response_cache_gauge(self, tmp_path):
+        mw = IdempotencyMiddleware(tmp_path / "cache", max_entries=1)
+        chain = MiddlewareChain([mw])
+        handler = lambda ctx: Response(payload={"ok": True})  # noqa: E731
+        self.cached_keys(chain, handler, "a", "b", "c")
+        gauge = chain.metrics.render()["gauges"]["response_cache"]
+        assert gauge["evicted"] == 2
+        assert gauge["max_entries"] == 1
+
+    def test_unbounded_cache_never_evicts(self, tmp_path):
+        mw = IdempotencyMiddleware(tmp_path / "cache")
+        chain = MiddlewareChain([mw])
+        handler = lambda ctx: Response(payload={"ok": True})  # noqa: E731
+        self.cached_keys(chain, handler, *(f"k{i}" for i in range(10)))
+        gauge = chain.metrics.render()["gauges"]["response_cache"]
+        assert gauge["evicted"] == 0
+        assert gauge["max_entries"] is None
+        assert all(self.replayed(chain, f"k{i}") for i in range(10))
+
+    def test_max_entries_validation_and_config_key(self, tmp_path):
+        with pytest.raises(ValidationError):
+            IdempotencyMiddleware(tmp_path / "cache", max_entries=0)
+        chain = build_chain({
+            "metrics": False,
+            "idempotency": {
+                "store": str(tmp_path / "cache2"), "max_entries": 7,
+            },
+        })
+        (mw,) = chain.middlewares
+        assert mw.max_entries == 7
+
+
+def parse_event_ids(chunks):
+    """``(event_name, id_or_None)`` per frame, in order."""
+    ids = []
+    for frame in b"".join(chunks).decode().strip().split("\n\n"):
+        name = event_id = None
+        for line in frame.splitlines():
+            if line.startswith("event: "):
+                name = line[len("event: "):]
+            elif line.startswith("id: "):
+                event_id = int(line[len("id: "):])
+        ids.append((name, event_id))
+    return ids
+
+
+class TestSseResume:
+    def test_frames_carry_completed_count_as_event_id(self):
+        service = FakeJobService([
+            job_snapshot("queued"),
+            job_snapshot("running", completed=1, stage="open/x:done"),
+            job_snapshot("running", completed=2, stage="close/x:done"),
+            job_snapshot("done", completed=2),
+        ])
+        ids = parse_event_ids(job_event_stream(
+            service, "job-0001-x", poll_interval=0.0, sleep=lambda s: None,
+        ))
+        assert ids == [
+            ("snapshot", 0), ("progress", 1), ("progress", 2), ("done", 2),
+        ]
+
+    def test_heartbeats_carry_no_id(self):
+        clock = FakeClock()
+        snapshots = [job_snapshot("running")] * 8 + [job_snapshot("done")]
+        events = parse_event_ids(job_event_stream(
+            FakeJobService(snapshots), "job-0001-x",
+            poll_interval=5.0, heartbeat=10.0,
+            clock=clock, sleep=lambda s: clock.advance(s),
+        ))
+        assert ("heartbeat", None) in events
+
+    def test_resume_replays_missed_completions_before_snapshot(self):
+        service = FakeJobService([
+            job_snapshot("running", completed=5, stage="late/x:done"),
+            job_snapshot("done", completed=6),
+        ])
+        stream = list(job_event_stream(
+            service, "job-0001-x", poll_interval=0.0, sleep=lambda s: None,
+            last_event_id=2,
+        ))
+        ids = parse_event_ids(stream)
+        assert ids == [
+            ("progress", 3), ("progress", 4), ("progress", 5),
+            ("snapshot", 5), ("done", 6),
+        ]
+        replays = parse_events(stream)[:3]
+        assert [data["completed"] for _, data in replays] == [3, 4, 5]
+        assert all(data["replayed"] for _, data in replays)
+
+    def test_resume_at_current_position_replays_nothing(self):
+        service = FakeJobService([
+            job_snapshot("running", completed=3),
+            job_snapshot("done", completed=3),
+        ])
+        ids = parse_event_ids(job_event_stream(
+            service, "job-0001-x", poll_interval=0.0, sleep=lambda s: None,
+            last_event_id=3,
+        ))
+        assert ids == [("snapshot", 3), ("done", 3)]
+
+    def test_negative_last_event_id_clamps_to_start(self):
+        service = FakeJobService([
+            job_snapshot("running", completed=1),
+            job_snapshot("done", completed=1),
+        ])
+        ids = parse_event_ids(job_event_stream(
+            service, "job-0001-x", poll_interval=0.0, sleep=lambda s: None,
+            last_event_id=-5,
+        ))
+        assert ids[0] == ("progress", 1)

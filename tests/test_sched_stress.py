@@ -1,0 +1,206 @@
+"""Scheduling under load and chaos (slow tier).
+
+The two acceptance gates the unit tests cannot prove:
+
+* **Starvation resistance** — a saturating flood of background work
+  never delays an interactive submit beyond the scheduling bound: the
+  interactive job jumps the pending queue (strict priority) and its
+  realized queue wait stays below the background p50 while aging keeps
+  promoting the flood so it drains too.
+* **Chaos priority preservation** — killing a worker mid-job and
+  recovering its lease re-tokens the job at its admitted class, so
+  recovered work neither gains nor loses priority, and the chaos run
+  still converges byte-identically to a fault-free serial run.
+"""
+
+import json
+
+import pytest
+
+from repro.api import BenchmarkService, RunRequest
+from repro.api.types import BatchRequest
+from repro.exec import FleetJobManager, JobQueue, RetryPolicy
+from repro.faults import FaultPlan, FaultSpec
+from repro.sched import QuotaPolicy, QuotaTable, SchedulerConfig
+from repro.suite import TABLE2_ORDER
+
+FAST = dict(lease_ttl=2.0, heartbeat_interval=0.2, backoff_base=0.05,
+            backoff_cap=0.2, seed=7)
+
+
+def wait_terminal(manager, job_id, timeout=120.0):
+    import time
+
+    deadline = time.monotonic() + timeout
+    status = None
+    while time.monotonic() < deadline:
+        status = manager.poll(job_id)
+        if status.state in ("done", "failed", "cancelled"):
+            return status
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} still {status.state} after {timeout}s")
+
+
+# -- crash recovery keeps the admitted class (fast, queue-level) -------------
+
+
+def test_recovered_leases_requeue_at_their_admitted_class(tmp_path):
+    queue = JobQueue(tmp_path / "spool")
+    policy = RetryPolicy(max_attempts=3, backoff_base=0.0,
+                         backoff_jitter=0.0, **{
+                             k: v for k, v in FAST.items()
+                             if k not in ("backoff_base", "backoff_cap")
+                         })
+    ids = {}
+    for name, priority in (("bg", "background"), ("u", "urgent"),
+                           ("b", "batch")):
+        record = queue.submit("run", {"benchmark": "open"}, 1, 3,
+                              priority=priority)
+        ids[record["job_id"]] = name
+    # a doomed worker claims everything, then dies without heartbeats
+    while queue.claim("doomed") is not None:
+        pass
+    assert queue.depth()["pending"] == 0
+    recovered = queue.recover(policy, dead_owners=("doomed",))
+    assert len(recovered) == 3
+    # requeued tokens carry the original class ranks...
+    prefixes = sorted(t.name.split(".")[0]
+                      for t in (tmp_path / "spool" / "pending").iterdir())
+    assert prefixes == ["p0", "p2", "p3"]
+    # ...so the next claimant sees the same priority order as before
+    order = []
+    while True:
+        record = queue.claim("healthy")
+        if record is None:
+            break
+        order.append(ids[record["job_id"]])
+    assert order == ["u", "b", "bg"]
+
+
+# -- starvation resistance under a real fleet (slow) -------------------------
+
+
+@pytest.mark.slow
+def test_background_flood_does_not_starve_interactive(tmp_path):
+    # aging_wait far beyond the drain time: this test isolates strict
+    # priority (aging promotion under the fleet is the next test)
+    scheduler = SchedulerConfig(aging_wait=60.0)
+    flood = 10
+    names = tuple(TABLE2_ORDER[:8])
+    with FleetJobManager(tmp_path, workers=2, policy=RetryPolicy(**FAST),
+                         scheduler=scheduler) as manager:
+        service = BenchmarkService(jobs=manager)
+        background = [
+            service.submit(BatchRequest(benchmarks=names, tool="spade",
+                                        seed=100 + i, priority="background"))
+            for i in range(flood)
+        ]
+        # the flood is in; now an interactive user shows up
+        interactive = service.submit(
+            RunRequest(benchmark="open", tool="spade", seed=999))
+        assert interactive.priority == "interactive"
+
+        done = wait_terminal(manager, interactive.job_id)
+        assert done.state == "done"
+        for status in background:
+            assert wait_terminal(manager, status.job_id).state == "done"
+
+        # strict priority: the interactive job jumped the queue — when it
+        # started, most of the flood was still waiting behind it
+        record = manager.queue.record(interactive.job_id)
+        jumped = sum(
+            1 for job in background
+            if float(manager.queue.record(job.job_id)["started_at"])
+            > float(record["started_at"])
+        )
+        assert jumped >= flood // 2
+
+        classes = manager.sched_stats()["classes"]
+        assert classes["interactive"]["waited"] >= 1
+        # the scheduling bound: interactive waits below the saturated
+        # background median (it only ever waits for one slot to free)
+        assert (classes["interactive"]["wait_p50"]
+                < classes["background"]["wait_p50"])
+        assert manager.queue_stats()["priorities"] == {
+            "urgent": 0, "interactive": 0, "batch": 0, "background": 0,
+        }
+
+
+@pytest.mark.slow
+def test_fleet_ages_starved_background_while_worker_is_busy(tmp_path):
+    # one worker, pinned down by a batch job long enough for the
+    # backgrounds behind it to exceed aging_wait: the worker's next
+    # claim sweep must promote them (and count it durably)
+    scheduler = SchedulerConfig(aging_wait=0.1)
+    names = tuple(TABLE2_ORDER[:12])
+    with FleetJobManager(tmp_path, workers=1, policy=RetryPolicy(**FAST),
+                         scheduler=scheduler) as manager:
+        service = BenchmarkService(jobs=manager)
+        pin = service.submit(
+            BatchRequest(benchmarks=names, tool="spade", seed=1,
+                         priority="batch"))
+        starved = [
+            service.submit(RunRequest(benchmark="open", tool="spade",
+                                      seed=200 + i, priority="background"))
+            for i in range(3)
+        ]
+        assert wait_terminal(manager, pin.job_id).state == "done"
+        for status in starved:
+            assert wait_terminal(manager, status.job_id).state == "done"
+        promotions = manager.queue_stats()["promotions"]
+        assert promotions > 0
+        assert manager.sched_stats()["promotions"] == promotions
+
+
+# -- chaos with priorities intact (slow) -------------------------------------
+
+
+@pytest.mark.slow
+def test_worker_kill_converges_byte_identical_with_priority_intact(tmp_path):
+    names = tuple(TABLE2_ORDER[:12])
+
+    with BenchmarkService() as service:
+        baseline = [
+            response.to_payload() for response in service.run_batch(
+                BatchRequest(benchmarks=names, tool="spade", seed=2019))
+        ]
+
+    faults = FaultPlan(
+        [FaultSpec(kind="worker_kill", stage="generalization", at=5,
+                   times=1)],
+        seed=7,
+    )
+    scheduler = SchedulerConfig(
+        aging_wait=5.0,
+        quotas=QuotaTable(default=QuotaPolicy(max_in_flight=4)),
+    )
+    policy = RetryPolicy(max_attempts=4, **FAST)
+    with FleetJobManager(tmp_path, workers=2, policy=policy, faults=faults,
+                         scheduler=scheduler) as manager:
+        service = BenchmarkService(jobs=manager)
+        status = service.submit(
+            BatchRequest(benchmarks=names, tool="spade", seed=2019,
+                         priority="batch"))
+        assert status.priority == "batch"
+        done = wait_terminal(manager, status.job_id)
+        assert done.state == "done", done.error
+
+        record = manager.queue.record(status.job_id)
+        # the kill really fired and recovery really ran...
+        assert done.attempts >= 2
+        assert any("lost its lease" in line
+                   for line in record["error_history"])
+        # ...and the record kept its admitted class through recovery
+        assert record["priority"] == "batch"
+        assert done.priority == "batch"
+        assert done.queue_wait is not None and done.queue_wait >= 0.0
+
+        chaos = [response.to_payload() for response in done.results]
+
+    assert len(chaos) == len(baseline)
+    for fault_free, recovered in zip(baseline, chaos):
+        fault_free = json.loads(json.dumps(fault_free))
+        recovered = json.loads(json.dumps(recovered))
+        fault_free["result"].pop("timings", None)
+        recovered["result"].pop("timings", None)
+        assert recovered == fault_free
