@@ -1,0 +1,141 @@
+"""Wire overhead of the multi-host execution plane (PR 10).
+
+Two questions about :mod:`repro.cluster`:
+
+* What does one claim cost over TCP versus the local spool?  A remote
+  ``claim`` adds JSON framing, a socket round trip, and the
+  coordinator's dispatch on top of the same
+  :meth:`~repro.exec.queue.JobQueue.claim` arbitration, so the delta is
+  the pure protocol tax.  Reported, not bounded — the tax is paid per
+  job, and jobs run benchmarks that are orders of magnitude slower.
+* How does claim/complete throughput scale as agents join?  Worker
+  threads drain a pre-filled spool through one coordinator at fleet
+  sizes 1/2/4; the spool stays the single arbiter, so this measures the
+  coordinator's ability to feed a growing fleet, with contention and
+  the fair-share ledger in the loop.
+
+Results land in ``benchmarks/output/BENCH_PR10.json``.
+"""
+
+import statistics
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.cluster import ClusterCoordinator, RemoteQueue
+from repro.exec.queue import JobQueue
+
+from conftest import emit, record_bench
+
+CLAIM_REPEATS = 80
+DRAIN_JOBS = 120
+FLEET_SIZES = (1, 2, 4)
+
+
+def fill(queue, count):
+    for i in range(count):
+        queue.submit("run", {"benchmark": "open", "n": i}, 1, 3,
+                     client_id=f"client-{i % 4}")
+
+
+def median_claim_seconds(claim, complete, repeats):
+    """Median seconds for one claim (each claimed job completed so the
+    ledger stays realistic, the way a real worker would drive it)."""
+    samples = []
+    for i in range(repeats):
+        started = time.perf_counter()
+        record = claim(f"bench:w{i}.g1")
+        samples.append(time.perf_counter() - started)
+        assert record is not None
+        complete(record["job_id"])
+    return statistics.median(samples)
+
+
+def drain_with_agents(agents, jobs):
+    """Wall seconds for ``agents`` claim/complete loops to drain the spool."""
+    with tempfile.TemporaryDirectory(prefix="provmark-cluster-bench-") as tmp:
+        with ClusterCoordinator(Path(tmp) / "spool") as coord:
+            fill(coord.queue, jobs)
+
+            def worker(index):
+                client = RemoteQueue(coord.host, coord.port,
+                                     f"node-{index}")
+                try:
+                    client.register(workers=1)
+                    while True:
+                        record = client.claim(f"node-{index}:w0.g1")
+                        if record is None:
+                            return
+                        client.complete(record["job_id"],
+                                        result={"ok": True})
+                finally:
+                    client.close()
+
+            threads = [
+                threading.Thread(target=worker, args=(index,), daemon=True)
+                for index in range(agents)
+            ]
+            started = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - started
+            assert coord.counters["completions_total"] == jobs
+    return elapsed
+
+
+def test_cluster_claim_latency_and_fleet_throughput():
+    # -- per-claim latency: local spool vs one TCP hop -----------------------
+    with tempfile.TemporaryDirectory(prefix="provmark-cluster-bench-") as tmp:
+        local_queue = JobQueue(Path(tmp) / "local-spool")
+        fill(local_queue, CLAIM_REPEATS + 1)
+        local = median_claim_seconds(
+            local_queue.claim,
+            lambda job_id: local_queue.complete(job_id, result={"ok": True}),
+            CLAIM_REPEATS,
+        )
+
+        with ClusterCoordinator(Path(tmp) / "spool") as coord:
+            fill(coord.queue, CLAIM_REPEATS + 1)
+            client = RemoteQueue(coord.host, coord.port, "bench-node")
+            try:
+                client.register(workers=1)
+                remote = median_claim_seconds(
+                    client.claim,
+                    lambda job_id: client.complete(job_id,
+                                                   result={"ok": True}),
+                    CLAIM_REPEATS,
+                )
+            finally:
+                client.close()
+
+    # -- fleet drain throughput ---------------------------------------------
+    throughput = {}
+    for agents in FLEET_SIZES:
+        elapsed = drain_with_agents(agents, DRAIN_JOBS)
+        throughput[agents] = DRAIN_JOBS / elapsed
+
+    lines = [
+        f"local claim           {local * 1e3:8.3f} ms",
+        f"remote claim (1 hop)  {remote * 1e3:8.3f} ms",
+        f"protocol tax          {(remote - local) * 1e3:8.3f} ms/claim",
+    ] + [
+        f"drain {DRAIN_JOBS} jobs, {agents} agent(s): "
+        f"{throughput[agents]:8.1f} claims+completes/s"
+        for agents in FLEET_SIZES
+    ]
+    emit("cluster_overhead", lines)
+    record_bench("cluster_overhead", {
+        "local_claim_s": local,
+        "remote_claim_s": remote,
+        "protocol_tax_s": remote - local,
+        "drain_jobs": DRAIN_JOBS,
+        "throughput_jobs_per_s": {
+            str(agents): throughput[agents] for agents in FLEET_SIZES
+        },
+    })
+
+    # sanity, not a perf bound: the wire must not be pathological
+    assert remote < local + 0.05

@@ -7,8 +7,8 @@ into ``benchmarks/output/`` so EXPERIMENTS.md can reference them.
 Benchmarks can additionally call :func:`record_bench` with structured
 payloads (per-stage timings, solver step counts, cache/store hits);
 everything recorded during a session is consolidated into a per-PR file
-(``benchmarks/output/BENCH_PR7.json`` currently; earlier snapshots stay
-in ``BENCH_PR1.json`` through ``BENCH_PR5.json``) at session end, so
+(``benchmarks/output/BENCH_PR10.json`` currently; earlier snapshots stay
+in ``BENCH_PR1.json`` through ``BENCH_PR7.json``) at session end, so
 successive PRs leave a performance trajectory.
 """
 
@@ -19,7 +19,7 @@ from pathlib import Path
 from typing import Dict, Iterable
 
 OUTPUT_DIR = Path(__file__).resolve().parent / "output"
-CONSOLIDATED_NAME = "BENCH_PR7.json"
+CONSOLIDATED_NAME = "BENCH_PR10.json"
 
 _recorded: Dict[str, object] = {}
 

@@ -96,6 +96,8 @@ from repro.api.specs import BenchmarkSpec, spec_digest
 from repro.api.types import (
     API_VERSION,
     JOB_STATES,
+    ClusterNodeInfo,
+    ClusterStatus,
     RunRequest,
     SynthConfig,
     ToolQuery,
@@ -129,6 +131,8 @@ def _resolve_route(path: str) -> Optional[Tuple[Dict[str, str], Optional[str]]]:
         return {"GET": "_get_health"}, None
     if clean == "/v1/metrics":
         return {"GET": "_get_metrics"}, None
+    if clean == "/v1/cluster":
+        return {"GET": "_get_cluster"}, None
     if clean == "/v1/tools":
         return {"GET": "_get_tools"}, None
     if clean == "/v1/benchmarks":
@@ -316,7 +320,52 @@ class ApiRequestHandler(BaseHTTPRequestHandler):
             # per-priority-class pending/running counts and queue-wait
             # quantiles, plus the monotonic aging-promotion count
             "sched": self.service.jobs.sched_stats(),
+            # always-shaped fleet block: {"enabled": False, ...} on a
+            # single-host plane, node/worker counts when clustered
+            "cluster": self._cluster_summary(),
         })
+
+    def _cluster_summary(self) -> Dict[str, object]:
+        summary = getattr(self.service.jobs, "cluster_summary", None)
+        if callable(summary):
+            return summary()
+        return {"enabled": False, "nodes": 0, "remote_workers": 0}
+
+    def _get_cluster(self, ctx: RequestContext, arg: Optional[str]) -> Response:
+        stats_fn = getattr(self.service.jobs, "cluster_stats", None)
+        stats = stats_fn() if callable(stats_fn) else None
+        if stats is None:
+            # single-host plane: same schema, everything zero
+            payload = ClusterStatus(enabled=False).to_payload()
+            payload["recent_events"] = []
+            return Response(payload=payload)
+        queue_stats = self.service.jobs.queue_stats()
+        counters = stats.get("counters") or {}
+        status = ClusterStatus(
+            enabled=True,
+            coordinator=str(stats.get("address") or ""),
+            draining=bool(stats.get("draining")),
+            nodes=tuple(
+                ClusterNodeInfo(
+                    node_id=str(n.get("node_id") or ""),
+                    host=str(n.get("host") or ""),
+                    workers=int(n.get("workers") or 0),
+                    claims=int(n.get("claims") or 0),
+                    last_seen_age=float(n.get("last_seen_age") or 0.0),
+                )
+                for n in stats.get("nodes") or ()
+            ),
+            remote_workers=int(stats.get("remote_workers") or 0),
+            local_workers=int(queue_stats.get("workers") or 0),
+            claims_total=int(counters.get("claims_total") or 0),
+            completions_total=int(counters.get("completions_total") or 0),
+            events_seq=int(stats.get("events_seq") or 0),
+        )
+        payload = status.to_payload()
+        # the raw event tail rides alongside the typed snapshot (events
+        # are already strict codecs; dashboards render them verbatim)
+        payload["recent_events"] = list(stats.get("recent_events") or ())
+        return Response(payload=payload)
 
     def _get_metrics(self, ctx: RequestContext, arg: Optional[str]) -> Response:
         payload = self.chain.metrics.render()

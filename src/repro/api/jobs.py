@@ -37,7 +37,12 @@ from repro.api.errors import (
 from repro.api.types import JobStatus, RunResponse
 from repro.core.stages import ProgressEvent
 from repro.sched.admission import AdmissionController
-from repro.sched.policy import DEFAULT_CLASS_BY_KIND, PRIORITY_CLASSES
+from repro.sched.policy import (
+    DEFAULT_CLASS_BY_KIND,
+    PRIORITY_CLASSES,
+    summarize_class_stats,
+    zeroed_class_stats,
+)
 
 
 class JobCancelled(Exception):
@@ -264,10 +269,7 @@ class JobManager:
         stays 0)."""
         now = time.time()
         with self._lock:
-            per: Dict[str, Dict[str, object]] = {
-                name: {"pending": 0, "running": 0, "waits": []}
-                for name in PRIORITY_CLASSES
-            }
+            per: Dict[str, Dict[str, object]] = zeroed_class_stats()
             for job in self._jobs.values():
                 cls = job.priority or DEFAULT_CLASS_BY_KIND.get(
                     job.kind, "batch"
@@ -284,17 +286,7 @@ class JobManager:
                     row["waits"].append(
                         max(0.0, job.started_at - job.submitted_at)
                     )
-        classes: Dict[str, Dict[str, object]] = {}
-        for name, row in per.items():
-            waits = sorted(row.pop("waits"))
-            classes[name] = {
-                "pending": row["pending"],
-                "running": row["running"],
-                "waited": len(waits),
-                "wait_p50": waits[len(waits) // 2] if waits else 0.0,
-                "wait_max": waits[-1] if waits else 0.0,
-            }
-        return {"classes": classes, "promotions": 0}
+        return {"classes": summarize_class_stats(per), "promotions": 0}
 
     def drain(self, timeout: float = 30.0) -> bool:
         """Graceful drain: refuse new jobs, wait out in-flight ones.

@@ -830,3 +830,106 @@ class JobStatus:
         if kwargs.get("report") is not None:
             kwargs["report"] = SynthReport.from_payload(kwargs["report"])
         return _construct(cls, kwargs)
+
+
+@dataclass(frozen=True)
+class ClusterNodeInfo:
+    """One registered agent node as ``GET /v1/cluster`` describes it."""
+
+    node_id: str
+    host: str = ""
+    workers: int = 0
+    claims: int = 0
+    last_seen_age: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_str("ClusterNodeInfo", "node_id", self.node_id, non_empty=True)
+        _check_str("ClusterNodeInfo", "host", self.host)
+        _check_int("ClusterNodeInfo", "workers", self.workers, minimum=0)
+        _check_int("ClusterNodeInfo", "claims", self.claims, minimum=0)
+        _check_number("ClusterNodeInfo", "last_seen_age", self.last_seen_age,
+                      minimum=0.0)
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "node_id": self.node_id,
+            "host": self.host,
+            "workers": self.workers,
+            "claims": self.claims,
+            "last_seen_age": self.last_seen_age,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "ClusterNodeInfo":
+        return _construct(cls, _decode_kwargs(cls, payload))
+
+
+@dataclass(frozen=True)
+class ClusterStatus:
+    """The fleet snapshot behind ``GET /v1/cluster``.
+
+    ``enabled=False`` (a single-host plane) carries zeroed counters and
+    no nodes — the schema is stable either way, so dashboards never
+    branch on key presence.
+    """
+
+    enabled: bool
+    coordinator: str = ""
+    draining: bool = False
+    nodes: Tuple[ClusterNodeInfo, ...] = ()
+    remote_workers: int = 0
+    local_workers: int = 0
+    claims_total: int = 0
+    completions_total: int = 0
+    events_seq: int = 0
+    api_version: str = API_VERSION
+
+    def __post_init__(self) -> None:
+        _check_bool("ClusterStatus", "enabled", self.enabled)
+        _check_str("ClusterStatus", "coordinator", self.coordinator)
+        _check_bool("ClusterStatus", "draining", self.draining)
+        if not isinstance(self.nodes, tuple) or any(
+            not isinstance(n, ClusterNodeInfo) for n in self.nodes
+        ):
+            _fail("ClusterStatus", "nodes",
+                  "must be a tuple of ClusterNodeInfo")
+        _check_int("ClusterStatus", "remote_workers", self.remote_workers,
+                   minimum=0)
+        _check_int("ClusterStatus", "local_workers", self.local_workers,
+                   minimum=0)
+        _check_int("ClusterStatus", "claims_total", self.claims_total,
+                   minimum=0)
+        _check_int("ClusterStatus", "completions_total",
+                   self.completions_total, minimum=0)
+        _check_int("ClusterStatus", "events_seq", self.events_seq, minimum=0)
+        if self.api_version != API_VERSION:
+            _fail("ClusterStatus", "api_version",
+                  f"must be {API_VERSION!r}, got {self.api_version!r}")
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "api_version": self.api_version,
+            "enabled": self.enabled,
+            "coordinator": self.coordinator,
+            "draining": self.draining,
+            "nodes": [n.to_payload() for n in self.nodes],
+            "remote_workers": self.remote_workers,
+            "local_workers": self.local_workers,
+            "claims_total": self.claims_total,
+            "completions_total": self.completions_total,
+            "events_seq": self.events_seq,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "ClusterStatus":
+        kwargs = _decode_kwargs(cls, payload)
+        if "nodes" in kwargs:
+            nodes = kwargs["nodes"]
+            if not isinstance(nodes, tuple):
+                raise ValidationError(
+                    "ClusterStatus.nodes payload must be an array"
+                )
+            kwargs["nodes"] = tuple(
+                ClusterNodeInfo.from_payload(n) for n in nodes
+            )
+        return _construct(cls, kwargs)

@@ -233,13 +233,17 @@ def _make_serve_scheduler(args: argparse.Namespace):
 
 def _make_serve_jobs(args: argparse.Namespace):
     """The job manager behind ``provmark serve``: a process fleet over a
-    durable queue with ``--workers``, else the in-process thread pool."""
+    durable queue with ``--workers`` (and, with ``--cluster``, a TCP
+    coordinator arbitrating that queue for remote agents), else the
+    in-process thread pool."""
+    cluster_port = getattr(args, "cluster", None)
     faults = None
     if getattr(args, "faults", None):
-        if args.workers <= 0:
+        if args.workers <= 0 and cluster_port is None:
             raise ValidationError(
-                "--faults requires --workers (fault plans are installed "
-                "into the supervised worker processes)"
+                "--faults requires --workers or --cluster (fault plans "
+                "are installed into the supervised worker processes and "
+                "the coordinator)"
             )
         from repro.faults import FaultPlan
 
@@ -253,17 +257,21 @@ def _make_serve_jobs(args: argparse.Namespace):
             ) from None
         faults = FaultPlan.from_payload(payload)
     scheduler = _make_serve_scheduler(args)
-    if args.workers > 0:
+    if args.workers > 0 or cluster_port is not None:
         if not args.queue:
             raise ValidationError(
-                "--workers requires --queue DIR (the execution-plane "
-                "root holding the shared store and the durable spool)"
+                "--workers/--cluster require --queue DIR (the "
+                "execution-plane root holding the shared store and the "
+                "durable spool)"
             )
         from repro.exec import FleetJobManager
 
         return FleetJobManager(
             args.queue, workers=args.workers, capacity=args.capacity,
             faults=faults, scheduler=scheduler,
+            cluster_port=cluster_port,
+            cluster_host=getattr(args, "cluster_host", "127.0.0.1"),
+            cluster_token=getattr(args, "cluster_token", "") or "",
         )
     from repro.api.jobs import JobManager
 
@@ -318,11 +326,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
     import threading
 
+    # the chain is validated *before* the manager exists: a malformed
+    # --middleware config must exit 2 without ever spawning (and then
+    # killing) a worker fleet
+    chain = _make_serve_chain(args)
     manager = _make_serve_jobs(args)
     service = BenchmarkService(jobs=manager)
     server = make_server(
-        service, host=args.host, port=args.port,
-        chain=_make_serve_chain(args),
+        service, host=args.host, port=args.port, chain=chain,
     )
     host, port = server.server_address[:2]
 
@@ -343,6 +354,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "(Ctrl-C to stop)",
         flush=True,
     )
+    coordinator = getattr(manager, "coordinator", None)
+    if coordinator is not None:
+        print(
+            f"cluster coordinator on {coordinator.address} "
+            "(join with: provmark agent --coordinator "
+            f"{coordinator.address} --workers N)",
+            flush=True,
+        )
     serving = threading.Thread(
         target=server.serve_forever, name="provmark-serve", daemon=True
     )
@@ -372,6 +391,48 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("drain cut short; cancelled remaining jobs", flush=True)
     service.close()
     return 0 if drained else 1
+
+
+def _cmd_agent(args: argparse.Namespace) -> int:
+    """``provmark agent``: join a coordinator as a remote worker node."""
+    import signal
+    import threading
+
+    faults = None
+    if getattr(args, "faults", None):
+        from repro.faults import FaultPlan
+
+        try:
+            payload = json.loads(Path(args.faults).read_text())
+        except OSError as exc:
+            raise ValidationError(f"cannot read fault plan: {exc}") from None
+        except ValueError as exc:
+            raise ValidationError(
+                f"fault plan {args.faults} is not valid JSON: {exc}"
+            ) from None
+        faults = FaultPlan.from_payload(payload)
+    if args.workers < 1:
+        raise ValidationError(
+            f"agent --workers must be >= 1, got {args.workers}"
+        )
+
+    from repro.cluster import run_agent
+
+    stop = threading.Event()
+    signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    signal.signal(signal.SIGINT, lambda *_: stop.set())
+    return run_agent(
+        args.coordinator,
+        workers=args.workers,
+        plane=args.plane,
+        node_id=args.node_id,
+        token=args.token,
+        poll_interval=args.poll,
+        faults=faults,
+        drain_timeout=args.drain_timeout,
+        stop_event=stop,
+        log=lambda msg: print(msg, flush=True),
+    )
 
 
 def _cmd_table2(args: argparse.Namespace) -> int:
@@ -666,7 +727,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="LRU-bound the idempotent response cache to N entries "
         "(requires --middleware with an 'idempotency' section)",
     )
+    serve.add_argument(
+        "--cluster", type=int, default=None, metavar="PORT",
+        help="start a cluster coordinator on this TCP port (0 picks a "
+        "free one): remote 'provmark agent' nodes then claim jobs from "
+        "this plane's queue (requires --queue; --workers may be 0 for "
+        "a coordinator-only node)",
+    )
+    serve.add_argument(
+        "--cluster-host", default="127.0.0.1", metavar="HOST",
+        help="coordinator bind address (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--cluster-token", default="", metavar="TOKEN",
+        help="shared auth token every cluster message must carry "
+        "(default: none)",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    agent = sub.add_parser(
+        "agent",
+        help="run remote worker processes against a cluster coordinator "
+        "(the multi-host half of 'serve --cluster')",
+    )
+    agent.add_argument(
+        "--coordinator", required=True, metavar="HOST:PORT",
+        help="the coordinator started by 'provmark serve --cluster'",
+    )
+    agent.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="supervised worker processes on this node (default: 2)",
+    )
+    agent.add_argument(
+        "--plane", default=".provmark-agent", metavar="DIR",
+        help="agent plane root: DIR/store is the (shared) artifact "
+        "store results ship through (default: .provmark-agent)",
+    )
+    agent.add_argument(
+        "--node-id", default="", metavar="ID",
+        help="stable node name in the fleet registry (default: "
+        "<hostname>-<pid>)",
+    )
+    agent.add_argument(
+        "--token", default="", metavar="TOKEN",
+        help="cluster auth token (must match the coordinator's)",
+    )
+    agent.add_argument(
+        "--poll", type=float, default=0.05, metavar="SECONDS",
+        help="idle claim poll interval (default: 0.05)",
+    )
+    agent.add_argument(
+        "--faults", default=None, metavar="PLAN.json",
+        help="fault-injection plan installed into this node's workers "
+        "and its coordinator connection (chaos testing)",
+    )
+    agent.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="on SIGINT/SIGTERM, let in-flight jobs finish for this "
+        "long before killing workers (default: 30)",
+    )
+    agent.set_defaults(func=_cmd_agent)
 
     table2 = sub.add_parser("table2", help="regenerate paper Table 2")
     table2.add_argument("--seed", type=int, default=None)

@@ -1,0 +1,495 @@
+"""ClusterCoordinator: the TCP claim arbiter colocated with the spool.
+
+One coordinator runs next to the durable spool and exports the
+:class:`~repro.exec.queue.JobQueue` over the wire protocol.  Remote
+claims go through the *same* ``claim()`` path local workers use, so
+every PR 9 scheduling property — strict priority from ``p<rank>.``
+token prefixes, aging promotion, fair-share ledger charges — holds
+fleet-wide by construction: there is exactly one arbiter and it is the
+queue itself.
+
+Beyond relaying queue verbs, the coordinator owns what only a
+fleet-level view can:
+
+* **node registry** — agents register (the response downloads the
+  spool's scheduler config and the fleet retry policy), heartbeat, and
+  deregister; every authenticated message from a node refreshes its
+  liveness stamp;
+* **dead-node recovery** — a sweeper thread declares nodes silent past
+  ``node_ttl`` dead and recovers every lease held by owners under the
+  node's ``<node_id>:`` prefix, exactly like the PR 6 supervisor
+  recovers a dead worker's leases by owner id;
+* **events** — every transition is published into an
+  :class:`~repro.cluster.events.EventHub`; a ``subscribe`` request
+  turns its connection into a push stream of event frames;
+* **chaos seams** — ``conn_drop`` fault specs fire here, closing the
+  connection after processing a matching op but *before* the response
+  leaves, which is precisely the window where client-side idempotency
+  earns its keep.
+
+Each connection is handled by one daemon thread (``ThreadingTCPServer``)
+looping frames until EOF; the queue's no-locks on-disk coordination
+makes concurrent dispatch safe, with one coordinator-side lock guarding
+only the node registry and counters.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+import time
+from typing import Dict, List, Optional, Union
+
+from repro.api.errors import ApiError, UnauthorizedError
+from repro.cluster import protocol
+from repro.cluster.events import EventHub
+from repro.cluster.protocol import (
+    FrameError,
+    ProtocolError,
+    error_response,
+    event_frame,
+    ok_response,
+    recv_frame,
+    send_frame,
+)
+from repro.exec.policy import RetryPolicy
+from repro.exec.queue import JobQueue
+from repro.faults import FaultPlan
+
+#: seconds of node silence before its leases are recovered
+DEFAULT_NODE_TTL = 5.0
+
+#: sweeper cadence is a fraction of the TTL, bounded sane
+_SWEEP_MIN, _SWEEP_MAX = 0.05, 1.0
+
+
+class _NodeState:
+    """Registry row for one live agent node."""
+
+    __slots__ = ("node_id", "host", "workers", "registered_at",
+                 "last_seen", "claims")
+
+    def __init__(self, node_id: str, host: str, workers: int) -> None:
+        now = time.time()
+        self.node_id = node_id
+        self.host = host
+        self.workers = workers
+        self.registered_at = now
+        self.last_seen = now
+        self.claims = 0
+
+    def payload(self, now: float) -> Dict[str, object]:
+        return {
+            "node_id": self.node_id,
+            "host": self.host,
+            "workers": self.workers,
+            "claims": self.claims,
+            "registered_at": self.registered_at,
+            "last_seen_age": max(0.0, now - self.last_seen),
+        }
+
+
+class ClusterCoordinator:
+    """The fleet's single claim arbiter, spool-colocated."""
+
+    def __init__(
+        self,
+        spool_root: Union[str, "object"],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        auth_token: str = "",
+        policy: Optional[RetryPolicy] = None,
+        node_ttl: float = DEFAULT_NODE_TTL,
+        faults: Optional[FaultPlan] = None,
+        queue: Optional[JobQueue] = None,
+    ) -> None:
+        self.queue = queue if queue is not None else JobQueue(spool_root)
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.auth_token = auth_token
+        self.node_ttl = max(0.1, float(node_ttl))
+        self.events = EventHub()
+        # conn_drop specs fire coordinator-side; bind to the spool's
+        # token dir so `times` budgets hold across coordinator restarts
+        self._faults = (
+            faults.bind(None, str(self.queue.root / "faults"))
+            if faults is not None else None
+        )
+        self._nodes: Dict[str, _NodeState] = {}
+        self._lock = threading.Lock()
+        self._draining = False
+        self._stop = threading.Event()
+        self._sweeper: Optional[threading.Thread] = None
+        #: wire-level counters surfaced by stats()/metrics
+        self.counters: Dict[str, int] = {
+            "connections_total": 0,
+            "claims_total": 0,
+            "completions_total": 0,
+            "failures_total": 0,
+            "retries_total": 0,
+            "recovered_leases_total": 0,
+            "dead_nodes_total": 0,
+            "conn_drops_total": 0,
+            "auth_failures_total": 0,
+        }
+        coordinator = self
+
+        class _Handler(socketserver.BaseRequestHandler):
+            def handle(self) -> None:  # noqa: D102 — socketserver API
+                coordinator._handle_connection(self.request)
+
+        class _Server(socketserver.ThreadingTCPServer):
+            daemon_threads = True
+            allow_reuse_address = True
+
+        self._server = _Server((host, int(port)), _Handler)
+        self.host, self.port = self._server.server_address[:2]
+        self._serve_thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        self._serve_thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="cluster-coordinator",
+            daemon=True,
+        )
+        self._serve_thread.start()
+        self._sweeper = threading.Thread(
+            target=self._sweep_loop, name="cluster-sweeper", daemon=True
+        )
+        self._sweeper.start()
+
+    def set_draining(self, draining: bool = True) -> None:
+        """While draining, claims answer empty: agents idle, jobs stay
+        durable, and the fleet can be stopped without losing work."""
+        with self._lock:
+            self._draining = bool(draining)
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._server.shutdown()
+        self._server.server_close()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+            self._serve_thread = None
+        if self._sweeper is not None:
+            self._sweeper.join(timeout=5.0)
+            self._sweeper = None
+
+    def __enter__(self) -> "ClusterCoordinator":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    # -- fleet view -----------------------------------------------------------
+
+    def remote_workers(self) -> int:
+        """Live remote worker slots (the autoscaler's fleet-wide term)."""
+        with self._lock:
+            return sum(node.workers for node in self._nodes.values())
+
+    def node_count(self) -> int:
+        with self._lock:
+            return len(self._nodes)
+
+    def stats(self) -> Dict[str, object]:
+        """The fleet snapshot behind ``stats`` / ``/v1/cluster``."""
+        now = time.time()
+        with self._lock:
+            nodes = [
+                node.payload(now)
+                for node in sorted(
+                    self._nodes.values(), key=lambda n: n.registered_at
+                )
+            ]
+            counters = dict(self.counters)
+            draining = self._draining
+        return {
+            "address": self.address,
+            "draining": draining,
+            "node_ttl": self.node_ttl,
+            "nodes": nodes,
+            "remote_workers": sum(int(n["workers"]) for n in nodes),
+            "counters": counters,
+            "events_seq": self.events.seq,
+            "recent_events": [
+                e.to_payload() for e in self.events.recent()
+            ],
+        }
+
+    # -- connection handling ---------------------------------------------------
+
+    def _handle_connection(self, sock) -> None:
+        with self._lock:
+            self.counters["connections_total"] += 1
+        try:
+            while not self._stop.is_set():
+                try:
+                    payload = recv_frame(sock)
+                except FrameError:
+                    return  # torn client write; nothing to answer
+                if payload is None:
+                    return  # clean close
+                try:
+                    message, auth = protocol.decode_request(payload)
+                except ProtocolError as exc:
+                    send_frame(sock, error_response(exc))
+                    return
+                if self.auth_token and auth != self.auth_token:
+                    with self._lock:
+                        self.counters["auth_failures_total"] += 1
+                    send_frame(sock, error_response(UnauthorizedError(
+                        "cluster auth token mismatch"
+                    )))
+                    return
+                self._touch_node(message)
+                if message.op == "subscribe":
+                    self._stream_events(sock, message)
+                    return
+                response = self._dispatch(message)
+                if self._fire_conn_drop(message.op):
+                    return  # op processed, response dropped: chaos seam
+                send_frame(sock, response)
+        except OSError:
+            pass  # client went away; its retry path owns the recovery
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _fire_conn_drop(self, op: str) -> bool:
+        if self._faults is None:
+            return False
+        if not self._faults.on_cluster_op(op):
+            return False
+        with self._lock:
+            self.counters["conn_drops_total"] += 1
+        return True
+
+    def _touch_node(self, message) -> None:
+        node_id = getattr(message, "node_id", "")
+        if not node_id:
+            return
+        with self._lock:
+            node = self._nodes.get(node_id)
+            if node is not None:
+                node.last_seen = time.time()
+
+    def _dispatch(self, message) -> Dict[str, object]:
+        try:
+            handler = getattr(self, f"_op_{message.op}")
+            return ok_response(handler(message))
+        except ApiError as exc:
+            return error_response(exc)
+        except Exception as exc:  # noqa: BLE001 — never kill the handler
+            return error_response(exc)
+
+    # -- ops -------------------------------------------------------------------
+
+    def _op_register(self, msg: protocol.Register) -> Dict[str, object]:
+        with self._lock:
+            known = msg.node_id in self._nodes
+            node = _NodeState(msg.node_id, msg.host, msg.workers)
+            self._nodes[msg.node_id] = node
+        if not known:
+            self.events.publish(
+                "node_join", node_id=msg.node_id,
+                detail=f"{msg.workers} worker(s)",
+            )
+        # config download: one scheduler policy and one retry policy
+        # fleet-wide, both owned by the spool side
+        return {
+            "node_id": msg.node_id,
+            "node_ttl": self.node_ttl,
+            "sched": self.queue.sched.to_payload(),
+            "policy": self.policy.to_payload(),
+        }
+
+    def _op_deregister(self, msg: protocol.Deregister) -> Dict[str, object]:
+        with self._lock:
+            node = self._nodes.pop(msg.node_id, None)
+        if node is not None:
+            self.events.publish(
+                "node_leave", node_id=msg.node_id, detail="deregistered"
+            )
+        # defensive: a deregistering node should have drained, but any
+        # lease its workers still hold must not wait out the TTL
+        recovered = self._recover_node_leases(msg.node_id)
+        return {"recovered": recovered}
+
+    def _op_heartbeat(self, msg: protocol.Heartbeat) -> Dict[str, object]:
+        # node liveness was touched in the connection loop; refresh the
+        # job lease when one is named.  `known` tells a swept node it
+        # must re-register (e.g. after outliving a partition).
+        if msg.job_id:
+            self.queue.heartbeat(msg.job_id, msg.owner, msg.stage)
+        with self._lock:
+            known = msg.node_id in self._nodes
+        return {"known": known}
+
+    def _op_claim(self, msg: protocol.Claim) -> Dict[str, object]:
+        with self._lock:
+            draining = self._draining
+        if draining:
+            return {"record": None}
+        record = self.queue.claim(msg.owner)
+        if record is not None:
+            with self._lock:
+                self.counters["claims_total"] += 1
+                node = self._nodes.get(msg.node_id)
+                if node is not None:
+                    node.claims += 1
+            self.events.publish(
+                "claim", node_id=msg.node_id,
+                job_id=str(record.get("job_id") or ""),
+                detail=str(record.get("priority") or ""),
+            )
+        return {"record": record}
+
+    def _op_progress(self, msg: protocol.Progress) -> Dict[str, object]:
+        self.queue.update_progress(msg.job_id, msg.completed, msg.stage)
+        return {}
+
+    def _op_complete(self, msg: protocol.Complete) -> Dict[str, object]:
+        prior = self.queue.record(msg.job_id)
+        already_done = prior is not None and prior.get("state") == "done"
+        record = self.queue.complete(
+            msg.job_id,
+            result=dict(msg.result) if msg.result is not None else None,
+            results=(
+                [dict(r) for r in msg.results]
+                if msg.results is not None else None
+            ),
+            report=dict(msg.report) if msg.report is not None else None,
+        )
+        if not already_done:
+            with self._lock:
+                self.counters["completions_total"] += 1
+            self.events.publish(
+                "complete", node_id=msg.node_id, job_id=msg.job_id,
+            )
+        return {"record": record, "already_done": already_done}
+
+    def _op_fail(self, msg: protocol.Fail) -> Dict[str, object]:
+        record = self.queue.fail(msg.job_id, msg.error)
+        with self._lock:
+            self.counters["failures_total"] += 1
+        self.events.publish(
+            "fail", node_id=msg.node_id, job_id=msg.job_id,
+            detail=msg.error[:120],
+        )
+        return {"record": record}
+
+    def _op_retry(self, msg: protocol.Retry) -> Dict[str, object]:
+        record = self.queue.retry_or_fail(msg.job_id, msg.error, self.policy)
+        with self._lock:
+            self.counters["retries_total"] += 1
+        if record.get("state") == "failed":
+            self.events.publish(
+                "fail", node_id=msg.node_id, job_id=msg.job_id,
+                detail=f"retries exhausted: {msg.error[:100]}",
+            )
+        return {"record": record}
+
+    def _op_cancelled(self, msg: protocol.Cancelled) -> Dict[str, object]:
+        record = self.queue.mark_cancelled(msg.job_id)
+        self.events.publish(
+            "cancel", node_id=msg.node_id, job_id=msg.job_id,
+        )
+        return {"record": record}
+
+    def _op_cancel_check(self, msg: protocol.CancelCheck) -> Dict[str, object]:
+        return {"cancel": self.queue.cancel_requested(msg.job_id)}
+
+    def _op_recover(self, msg: protocol.Recover) -> Dict[str, object]:
+        recovered = self.queue.recover(
+            self.policy, dead_owners=list(msg.dead_owners)
+        )
+        if recovered:
+            with self._lock:
+                self.counters["recovered_leases_total"] += len(recovered)
+        return {"recovered": recovered}
+
+    def _op_record(self, msg: protocol.RecordGet) -> Dict[str, object]:
+        return {"record": self.queue.record(msg.job_id)}
+
+    def _op_stats(self, msg: protocol.Stats) -> Dict[str, object]:
+        payload = self.stats()
+        payload["depth"] = self.queue.depth()
+        payload["sched"] = self.queue.sched_stats()
+        return payload
+
+    # -- event streaming -------------------------------------------------------
+
+    def _stream_events(self, sock, msg: protocol.Subscribe) -> None:
+        sub, replayed = self.events.subscribe(msg.replay)
+        try:
+            send_frame(sock, ok_response({
+                "subscribed": True,
+                "history": [e.to_payload() for e in replayed],
+            }))
+            while not self._stop.is_set():
+                try:
+                    event = sub.get(timeout=0.5)
+                except Exception:  # noqa: BLE001 — queue.Empty
+                    continue
+                send_frame(sock, event_frame(event.to_payload()))
+        except OSError:
+            pass  # subscriber went away
+        finally:
+            self.events.unsubscribe(sub)
+
+    # -- dead-node sweeping ----------------------------------------------------
+
+    def _sweep_loop(self) -> None:
+        interval = min(_SWEEP_MAX, max(_SWEEP_MIN, self.node_ttl / 4.0))
+        while not self._stop.wait(interval):
+            self.sweep_dead_nodes()
+
+    def sweep_dead_nodes(self, now: Optional[float] = None) -> List[str]:
+        """Drop TTL-expired nodes and recover their workers' leases."""
+        now = time.time() if now is None else now
+        with self._lock:
+            dead = [
+                node_id for node_id, node in self._nodes.items()
+                if now - node.last_seen > self.node_ttl
+            ]
+            for node_id in dead:
+                del self._nodes[node_id]
+                self.counters["dead_nodes_total"] += 1
+        for node_id in dead:
+            self.events.publish(
+                "node_leave", node_id=node_id,
+                detail=f"lost (no heartbeat for {self.node_ttl:g}s)",
+            )
+            self._recover_node_leases(node_id)
+        return dead
+
+    def _recover_node_leases(self, node_id: str) -> List[str]:
+        """Recover every lease held by the node's worker incarnations.
+
+        Agent worker owner ids are prefixed ``<node_id>:`` (the
+        supervisor's ``owner_prefix``), so a dead node's in-flight jobs
+        are identifiable from lease owners alone — the fleet-level twin
+        of the supervisor recovering ``w<slot>.g<gen>`` owners.
+        """
+        prefix = f"{node_id}:"
+        owners = [
+            owner
+            for owner in self.queue.lease_owners().values()
+            if owner.startswith(prefix)
+        ]
+        if not owners:
+            return []
+        recovered = self.queue.recover(self.policy, dead_owners=owners)
+        if recovered:
+            with self._lock:
+                self.counters["recovered_leases_total"] += len(recovered)
+        return recovered

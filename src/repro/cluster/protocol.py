@@ -1,0 +1,580 @@
+"""Wire protocol of the multi-host execution plane.
+
+Everything the coordinator and its agents say to each other is a
+**frame**: a 4-byte big-endian length prefix followed by one UTF-8 JSON
+object.  Three frame shapes travel over one TCP connection:
+
+* **requests** — ``{"version": 1, "auth": "<token>", "op": "claim",
+  "body": {...}}``; every message carries the shared auth token (the
+  per-message check means a connection hijacked after registration still
+  cannot act);
+* **responses** — ``{"version": 1, "ok": true, "body": {...}}`` or
+  ``{"version": 1, "ok": false, "error": {"type", "message"}}``; error
+  types map back onto the :mod:`repro.api.errors` hierarchy client-side
+  so a remote ``NotFoundError`` raises exactly like a local one;
+* **events** — ``{"version": 1, "event": {...}}``, pushed down a
+  connection that sent ``subscribe`` (see :mod:`repro.cluster.events`).
+
+Message bodies are frozen dataclasses with the strict codec contract of
+the typed API (PR 3/4 style): unknown keys rejected, wrong-typed values
+rejected with full field paths, ``decode(encode(x)) == x``.  The verbs
+cover the whole worker-facing :class:`~repro.exec.queue.JobQueue`
+surface — claim / heartbeat / progress / complete / fail / retry /
+cancel — plus node lifecycle (register / deregister), lease recovery,
+introspection (record / stats), and the event subscription.
+
+Framing errors split in two deliberately:
+
+* :class:`FrameError` — transport-level damage (truncated frame,
+  oversized frame, unparsable JSON).  A client reading a response may
+  retry these: the peer died mid-write, and every mutating verb is
+  idempotent server-side.
+* :class:`ProtocolError` — a well-framed but invalid message (wrong
+  version, unknown op, bad envelope).  Never retried: the same bytes
+  would fail the same way.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from dataclasses import dataclass, fields
+from typing import Dict, Mapping, Optional, Tuple, Type
+
+from repro.api.errors import (
+    ApiError,
+    ConflictError,
+    NotFoundError,
+    UnauthorizedError,
+    ValidationError,
+)
+
+#: version tag every frame carries; mismatches are rejected outright
+#: (a mixed-version fleet must fail loudly, not half-decode)
+PROTOCOL_VERSION = 1
+
+#: hard cap on one frame's JSON payload — batch results of a
+#: 50-benchmark job are a few MB; anything near this is hostile or torn
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+#: the length prefix: 4-byte big-endian unsigned
+_PREFIX = struct.Struct("!I")
+
+
+class ProtocolError(ApiError):
+    """A well-framed but invalid message (never worth retrying)."""
+
+    http_status = 400
+    exit_code = 2
+
+
+class FrameError(ProtocolError):
+    """Transport-level framing damage (truncation, oversize, bad JSON)."""
+
+
+class ClusterUnavailableError(ApiError):
+    """The coordinator stayed unreachable past the retry budget."""
+
+    http_status = 503
+    exit_code = 3
+
+
+class RemoteOpError(ApiError):
+    """A coordinator-side failure of a type this client cannot map."""
+
+
+# -- framing -----------------------------------------------------------------
+
+
+def send_frame(sock: socket.socket, payload: Mapping[str, object]) -> None:
+    """Serialize and write one frame (length prefix + JSON body)."""
+    blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+    if len(blob) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame too large to send ({len(blob)} > {MAX_FRAME_BYTES} bytes)"
+        )
+    sock.sendall(_PREFIX.pack(len(blob)) + blob)
+
+
+def recv_frame(
+    sock: socket.socket, max_bytes: int = MAX_FRAME_BYTES
+) -> Optional[Dict[str, object]]:
+    """Read one frame; ``None`` on clean EOF at a frame boundary.
+
+    EOF *inside* a frame is a :class:`FrameError` (the peer died
+    mid-write), as are oversized length prefixes and unparsable bodies.
+    """
+    prefix = _recv_exact(sock, _PREFIX.size, eof_ok=True)
+    if prefix is None:
+        return None
+    (length,) = _PREFIX.unpack(prefix)
+    if length > max_bytes:
+        raise FrameError(
+            f"incoming frame too large ({length} > {max_bytes} bytes)"
+        )
+    blob = _recv_exact(sock, length, eof_ok=False)
+    try:
+        payload = json.loads(blob.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise FrameError(f"frame body is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise FrameError(
+            f"frame body must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def _recv_exact(
+    sock: socket.socket, count: int, eof_ok: bool
+) -> Optional[bytes]:
+    chunks = []
+    remaining = count
+    while remaining > 0:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if eof_ok and remaining == count:
+                return None  # clean close between frames
+            raise FrameError(
+                f"connection closed mid-frame ({count - remaining}/{count} "
+                "bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# -- message vocabulary ------------------------------------------------------
+
+
+def _fail(type_name: str, field: str, message: str) -> None:
+    raise ProtocolError(f"{type_name}.{field}: {message}")
+
+
+def _check_str(
+    type_name: str, field: str, value: object, non_empty: bool = False
+) -> None:
+    if not isinstance(value, str):
+        _fail(type_name, field,
+              f"must be a string, got {type(value).__name__}")
+    if non_empty and not value:
+        _fail(type_name, field, "must be non-empty")
+
+
+def _check_int(
+    type_name: str, field: str, value: object, minimum: int = 0
+) -> None:
+    if not isinstance(value, int) or isinstance(value, bool):
+        _fail(type_name, field,
+              f"must be an int, got {type(value).__name__}")
+    if value < minimum:
+        _fail(type_name, field, f"must be >= {minimum}, got {value}")
+
+
+def _check_obj_or_none(type_name: str, field: str, value: object) -> None:
+    if value is not None and not isinstance(value, Mapping):
+        _fail(type_name, field,
+              f"must be an object or null, got {type(value).__name__}")
+
+
+class _Message:
+    """Shared strict codec over the frozen message dataclasses."""
+
+    op = ""  # overridden per message
+
+    def to_payload(self) -> Dict[str, object]:
+        out: Dict[str, object] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            out[spec.name] = list(value) if isinstance(value, tuple) else value
+        return out
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "_Message":
+        if not isinstance(payload, Mapping):
+            raise ProtocolError(
+                f"{cls.__name__} body must be a JSON object, "
+                f"got {type(payload).__name__}"
+            )
+        specs = {spec.name: spec for spec in fields(cls)}
+        unknown = sorted(set(payload) - set(specs))
+        if unknown:
+            raise ProtocolError(
+                f"{cls.__name__} body has unknown key(s): {', '.join(unknown)}"
+            )
+        kwargs: Dict[str, object] = {}
+        for name, value in payload.items():
+            if isinstance(value, list):
+                value = tuple(value)
+            kwargs[name] = value
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:
+            raise ProtocolError(
+                f"malformed {cls.__name__} body: {exc}"
+            ) from exc
+
+
+@dataclass(frozen=True)
+class Register(_Message):
+    """A node joins the fleet (response carries scheduler + retry policy)."""
+
+    node_id: str
+    workers: int = 1
+    host: str = ""
+
+    op = "register"
+
+    def __post_init__(self) -> None:
+        _check_str("Register", "node_id", self.node_id, non_empty=True)
+        _check_int("Register", "workers", self.workers, minimum=0)
+        _check_str("Register", "host", self.host)
+
+
+@dataclass(frozen=True)
+class Deregister(_Message):
+    """A node leaves the fleet gracefully (after draining its workers)."""
+
+    node_id: str
+
+    op = "deregister"
+
+    def __post_init__(self) -> None:
+        _check_str("Deregister", "node_id", self.node_id, non_empty=True)
+
+
+@dataclass(frozen=True)
+class Heartbeat(_Message):
+    """Node liveness; with a ``job_id``, also refreshes that job's lease."""
+
+    node_id: str
+    job_id: str = ""
+    owner: str = ""
+    stage: str = ""
+
+    op = "heartbeat"
+
+    def __post_init__(self) -> None:
+        _check_str("Heartbeat", "node_id", self.node_id, non_empty=True)
+        _check_str("Heartbeat", "job_id", self.job_id)
+        _check_str("Heartbeat", "owner", self.owner)
+        _check_str("Heartbeat", "stage", self.stage)
+        if self.job_id and not self.owner:
+            _fail("Heartbeat", "owner",
+                  "must be non-empty when job_id is set")
+
+
+@dataclass(frozen=True)
+class Claim(_Message):
+    """Claim the best runnable job for ``owner`` (a remote worker uid)."""
+
+    node_id: str
+    owner: str
+
+    op = "claim"
+
+    def __post_init__(self) -> None:
+        _check_str("Claim", "node_id", self.node_id, non_empty=True)
+        _check_str("Claim", "owner", self.owner, non_empty=True)
+
+
+@dataclass(frozen=True)
+class Progress(_Message):
+    """Stage/progress publication for a running job."""
+
+    node_id: str
+    job_id: str
+    completed: int = 0
+    stage: str = ""
+
+    op = "progress"
+
+    def __post_init__(self) -> None:
+        _check_str("Progress", "node_id", self.node_id, non_empty=True)
+        _check_str("Progress", "job_id", self.job_id, non_empty=True)
+        _check_int("Progress", "completed", self.completed)
+        _check_str("Progress", "stage", self.stage)
+
+
+@dataclass(frozen=True)
+class Complete(_Message):
+    """Record success (idempotent: a retried complete never re-charges)."""
+
+    node_id: str
+    job_id: str
+    result: Optional[Mapping[str, object]] = None
+    results: Optional[Tuple[object, ...]] = None
+    report: Optional[Mapping[str, object]] = None
+
+    op = "complete"
+
+    def __post_init__(self) -> None:
+        _check_str("Complete", "node_id", self.node_id, non_empty=True)
+        _check_str("Complete", "job_id", self.job_id, non_empty=True)
+        _check_obj_or_none("Complete", "result", self.result)
+        _check_obj_or_none("Complete", "report", self.report)
+        if self.results is not None:
+            if not isinstance(self.results, tuple):
+                _fail("Complete", "results",
+                      f"must be an array or null, "
+                      f"got {type(self.results).__name__}")
+            for i, item in enumerate(self.results):
+                if not isinstance(item, Mapping):
+                    _fail("Complete", f"results[{i}]",
+                          f"must be an object, got {type(item).__name__}")
+
+
+@dataclass(frozen=True)
+class Fail(_Message):
+    """Record a permanent failure (API errors: retrying cannot fix)."""
+
+    node_id: str
+    job_id: str
+    error: str
+
+    op = "fail"
+
+    def __post_init__(self) -> None:
+        _check_str("Fail", "node_id", self.node_id, non_empty=True)
+        _check_str("Fail", "job_id", self.job_id, non_empty=True)
+        _check_str("Fail", "error", self.error, non_empty=True)
+
+
+@dataclass(frozen=True)
+class Retry(_Message):
+    """A failed attempt: requeue under the *coordinator's* retry policy."""
+
+    node_id: str
+    job_id: str
+    error: str
+
+    op = "retry"
+
+    def __post_init__(self) -> None:
+        _check_str("Retry", "node_id", self.node_id, non_empty=True)
+        _check_str("Retry", "job_id", self.job_id, non_empty=True)
+        _check_str("Retry", "error", self.error, non_empty=True)
+
+
+@dataclass(frozen=True)
+class Cancelled(_Message):
+    """A worker observed the cancel marker and stopped the job."""
+
+    node_id: str
+    job_id: str
+
+    op = "cancelled"
+
+    def __post_init__(self) -> None:
+        _check_str("Cancelled", "node_id", self.node_id, non_empty=True)
+        _check_str("Cancelled", "job_id", self.job_id, non_empty=True)
+
+
+@dataclass(frozen=True)
+class CancelCheck(_Message):
+    """Poll the cancel marker (one stage boundary = one check)."""
+
+    node_id: str
+    job_id: str
+
+    op = "cancel_check"
+
+    def __post_init__(self) -> None:
+        _check_str("CancelCheck", "node_id", self.node_id, non_empty=True)
+        _check_str("CancelCheck", "job_id", self.job_id, non_empty=True)
+
+
+@dataclass(frozen=True)
+class Recover(_Message):
+    """An agent supervisor reports its locally dead worker incarnations."""
+
+    node_id: str
+    dead_owners: Tuple[str, ...] = ()
+
+    op = "recover"
+
+    def __post_init__(self) -> None:
+        _check_str("Recover", "node_id", self.node_id, non_empty=True)
+        if not isinstance(self.dead_owners, tuple):
+            _fail("Recover", "dead_owners",
+                  f"must be an array, got {type(self.dead_owners).__name__}")
+        for i, owner in enumerate(self.dead_owners):
+            if not isinstance(owner, str) or not owner:
+                _fail("Recover", f"dead_owners[{i}]",
+                      f"must be a non-empty string, got {owner!r}")
+
+
+@dataclass(frozen=True)
+class RecordGet(_Message):
+    """Fetch one job record (tests and tooling; not on the hot path)."""
+
+    node_id: str
+    job_id: str
+
+    op = "record"
+
+    def __post_init__(self) -> None:
+        _check_str("RecordGet", "node_id", self.node_id, non_empty=True)
+        _check_str("RecordGet", "job_id", self.job_id, non_empty=True)
+
+
+@dataclass(frozen=True)
+class Stats(_Message):
+    """Fleet snapshot: nodes, counters, queue depth, sched stats."""
+
+    node_id: str
+
+    op = "stats"
+
+    def __post_init__(self) -> None:
+        _check_str("Stats", "node_id", self.node_id, non_empty=True)
+
+
+@dataclass(frozen=True)
+class Subscribe(_Message):
+    """Switch this connection into an event stream (see events.py)."""
+
+    node_id: str
+    replay: int = 0
+
+    op = "subscribe"
+
+    def __post_init__(self) -> None:
+        _check_str("Subscribe", "node_id", self.node_id, non_empty=True)
+        _check_int("Subscribe", "replay", self.replay)
+
+
+#: every request message type, keyed by wire op
+MESSAGE_TYPES: Dict[str, Type[_Message]] = {
+    cls.op: cls
+    for cls in (
+        Register, Deregister, Heartbeat, Claim, Progress, Complete,
+        Fail, Retry, Cancelled, CancelCheck, Recover, RecordGet,
+        Stats, Subscribe,
+    )
+}
+
+
+# -- envelopes ---------------------------------------------------------------
+
+
+def encode_request(message: _Message, auth: str = "") -> Dict[str, object]:
+    return {
+        "version": PROTOCOL_VERSION,
+        "auth": auth,
+        "op": message.op,
+        "body": message.to_payload(),
+    }
+
+
+def decode_request(payload: Mapping[str, object]) -> Tuple[_Message, str]:
+    """Envelope + body validation; returns ``(message, auth token)``."""
+    if not isinstance(payload, Mapping):
+        raise ProtocolError(
+            f"request must be a JSON object, got {type(payload).__name__}"
+        )
+    unknown = sorted(set(payload) - {"version", "auth", "op", "body"})
+    if unknown:
+        raise ProtocolError(
+            f"request envelope has unknown key(s): {', '.join(unknown)}"
+        )
+    version = payload.get("version")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version!r} "
+            f"(this node speaks {PROTOCOL_VERSION})"
+        )
+    auth = payload.get("auth", "")
+    if not isinstance(auth, str):
+        raise ProtocolError(
+            f"request 'auth' must be a string, got {type(auth).__name__}"
+        )
+    op = payload.get("op")
+    cls = MESSAGE_TYPES.get(op) if isinstance(op, str) else None
+    if cls is None:
+        raise ProtocolError(
+            f"unknown op {op!r} (known: {', '.join(sorted(MESSAGE_TYPES))})"
+        )
+    return cls.from_payload(payload.get("body", {})), auth
+
+
+def ok_response(body: Optional[Mapping[str, object]] = None) -> Dict[str, object]:
+    return {
+        "version": PROTOCOL_VERSION,
+        "ok": True,
+        "body": dict(body or {}),
+    }
+
+
+def error_response(error: BaseException) -> Dict[str, object]:
+    return {
+        "version": PROTOCOL_VERSION,
+        "ok": False,
+        "error": {
+            "type": type(error).__name__,
+            "message": str(error) or type(error).__name__,
+        },
+    }
+
+
+#: error types a response may carry that map back onto local exceptions;
+#: anything else raises :class:`RemoteOpError` with the type in the text
+_ERROR_TYPES: Dict[str, Type[Exception]] = {
+    cls.__name__: cls
+    for cls in (
+        ProtocolError, FrameError, ValidationError, NotFoundError,
+        UnauthorizedError, ConflictError,
+    )
+}
+
+
+def decode_response(payload: Mapping[str, object]) -> Dict[str, object]:
+    """The body of an ok response; error responses raise.
+
+    Mapped error types re-raise as their local
+    :mod:`repro.api.errors` class, so remote failures propagate through
+    worker code exactly like local ones (a remote ``NotFoundError`` is
+    permanent, a remote ``RemoteOpError`` is retryable infrastructure).
+    """
+    if not isinstance(payload, Mapping):
+        raise ProtocolError(
+            f"response must be a JSON object, got {type(payload).__name__}"
+        )
+    if payload.get("version") != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported response version {payload.get('version')!r}"
+        )
+    if payload.get("ok") is True:
+        body = payload.get("body", {})
+        if not isinstance(body, Mapping):
+            raise ProtocolError(
+                f"response body must be an object, got {type(body).__name__}"
+            )
+        return dict(body)
+    error = payload.get("error")
+    if not isinstance(error, Mapping):
+        raise ProtocolError("response is neither ok nor a typed error")
+    type_name = str(error.get("type") or "RemoteOpError")
+    message = str(error.get("message") or "remote operation failed")
+    cls = _ERROR_TYPES.get(type_name)
+    if cls is not None:
+        raise cls(message)
+    raise RemoteOpError(f"{type_name}: {message}")
+
+
+def event_frame(event_payload: Mapping[str, object]) -> Dict[str, object]:
+    return {"version": PROTOCOL_VERSION, "event": dict(event_payload)}
+
+
+def decode_event(payload: Mapping[str, object]) -> Dict[str, object]:
+    """The event payload of a pushed event frame (see events.py)."""
+    if not isinstance(payload, Mapping) or "event" not in payload:
+        raise ProtocolError("expected an event frame")
+    if payload.get("version") != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported event version {payload.get('version')!r}"
+        )
+    event = payload["event"]
+    if not isinstance(event, Mapping):
+        raise ProtocolError("event frame payload must be an object")
+    return dict(event)

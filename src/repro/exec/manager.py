@@ -78,7 +78,15 @@ class FleetJobManager:
         capacity: Optional[int] = None,
         poll_interval: float = 0.05,
         scheduler: Optional[SchedulerConfig] = None,
+        cluster_port: Optional[int] = None,
+        cluster_host: str = "127.0.0.1",
+        cluster_token: str = "",
     ) -> None:
+        """``cluster_port`` (0 = ephemeral) starts a
+        :class:`~repro.cluster.ClusterCoordinator` over this plane's
+        spool: remote agents then claim from the same queue local
+        workers do.  ``workers`` may be 0 when a coordinator runs — a
+        pure arbiter node whose execution capacity is all remote."""
         plane = Path(plane_root)
         self.store_path = str(plane / STORE_DIR)
         self.spool_root = str(plane / SPOOL_DIR)
@@ -93,11 +101,24 @@ class FleetJobManager:
         self.queue = JobQueue(self.spool_root)
         # persist scheduler policy into the spool *before* the
         # supervisor and workers open their own JobQueue over it, so
-        # claim-side fairness/aging agree fleet-wide
+        # claim-side fairness/aging agree fleet-wide (remote claimants
+        # inherit it too: the coordinator arbitrates over this spool)
         self.queue.configure(self.scheduler)
+        self.coordinator = None
+        if cluster_port is not None:
+            from repro.cluster.coordinator import ClusterCoordinator
+
+            self.coordinator = ClusterCoordinator(
+                self.spool_root,
+                host=cluster_host,
+                port=cluster_port,
+                auth_token=cluster_token,
+                policy=self.policy,
+                faults=faults,
+            )
         autoscale = self.scheduler.autoscale
         initial = workers
-        if autoscale is not None:
+        if autoscale is not None and workers > 0:
             initial = min(
                 max(workers, autoscale.min_workers), autoscale.max_workers
             )
@@ -110,12 +131,26 @@ class FleetJobManager:
             poll_interval=poll_interval,
             finished_cap=self.MAX_FINISHED_JOBS,
         )
-        if autoscale is not None:
+        if autoscale is not None and initial > 0:
+            coordinator = self.coordinator
             self.supervisor.autoscaler = QueueAutoscaler(
-                self.supervisor.queue, autoscale
+                self.supervisor.queue,
+                autoscale,
+                fleet_workers=(
+                    coordinator.remote_workers
+                    if coordinator is not None else None
+                ),
+                on_scale=(
+                    (lambda old, new: coordinator.events.publish(
+                        "autoscale", detail=f"local target {old} -> {new}",
+                    ))
+                    if coordinator is not None else None
+                ),
             )
         self._lock = threading.Lock()
         self._closed = False
+        if self.coordinator is not None:
+            self.coordinator.start()
         self.supervisor.start()
 
     # -- JobManager surface --------------------------------------------------
@@ -205,18 +240,46 @@ class FleetJobManager:
             auto = autoscaler.stats()
             auto["target"] = self.supervisor.target
             stats["autoscale"] = auto
+        if self.coordinator is not None:
+            stats["cluster"] = self.cluster_summary()
         return stats
 
     def sched_stats(self) -> Dict[str, object]:
         """Per-class depth/wait stats + promotion total, for metrics."""
         return self.queue.sched_stats()
 
+    def cluster_stats(self) -> Optional[Dict[str, object]]:
+        """The coordinator's full fleet snapshot (None when single-host)."""
+        if self.coordinator is None:
+            return None
+        return self.coordinator.stats()
+
+    def cluster_summary(self) -> Dict[str, object]:
+        """Small always-shaped cluster block for health dashboards."""
+        if self.coordinator is None:
+            return {"enabled": False, "nodes": 0, "remote_workers": 0}
+        return {
+            "enabled": True,
+            "address": self.coordinator.address,
+            "nodes": self.coordinator.node_count(),
+            "remote_workers": self.coordinator.remote_workers(),
+        }
+
     def drain(self, timeout: float = 30.0) -> bool:
         """Graceful drain: refuse new jobs, let workers finish in-flight
-        leases, stop the fleet.  True when every worker exited in time."""
+        leases, stop the fleet.  True when every worker exited in time.
+
+        With a coordinator, remote claims stop first (agents idle while
+        keeping their in-flight jobs), then local workers drain, then
+        the coordinator goes down — fleet-wide SIGTERM order."""
         with self._lock:
             self._closed = True
-        return self.supervisor.drain(timeout)
+        if self.coordinator is not None:
+            self.coordinator.set_draining(True)
+        clean = self.supervisor.drain(timeout)
+        if self.coordinator is not None:
+            self.coordinator.stop()
+        return clean
 
     def shutdown(self, wait: bool = True, cancel: bool = False) -> None:
         """Stop the fleet.  ``cancel=True`` marks every active job
@@ -224,8 +287,13 @@ class FleetJobManager:
         Records stay durable (and pollable) after shutdown."""
         with self._lock:
             if self._closed and self.supervisor.alive_workers() == 0:
+                if self.coordinator is not None:
+                    self.coordinator.stop()
+                    self.coordinator = None
                 return
             self._closed = True
+        if self.coordinator is not None:
+            self.coordinator.set_draining(True)
         if cancel:
             for record in self.queue.records():
                 if record.get("state") not in TERMINAL_STATES:
@@ -243,6 +311,9 @@ class FleetJobManager:
             self.supervisor.drain()
         else:
             self.supervisor.stop()
+        if self.coordinator is not None:
+            self.coordinator.stop()
+            self.coordinator = None
 
     # -- internals -----------------------------------------------------------
 

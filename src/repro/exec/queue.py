@@ -57,6 +57,8 @@ from repro.sched.policy import (
     SchedulerConfig,
     class_of_rank,
     class_rank,
+    summarize_class_stats,
+    zeroed_class_stats,
 )
 
 #: bump when the record schema changes incompatibly
@@ -521,6 +523,21 @@ class JobQueue:
     def cancel_requested(self, job_id: str) -> bool:
         return (self._cancel / job_id).exists()
 
+    def lease_owners(self) -> Dict[str, str]:
+        """Current lease holders: ``{job_id: owner}``.
+
+        The cluster coordinator recovers a dead *node* by matching
+        owners on the node's ``<node_id>:`` prefix — the fleet-level
+        analogue of the supervisor naming its reaped workers' uids.
+        """
+        owners: Dict[str, str] = {}
+        for lease in sorted(self._leases.iterdir()):
+            beat = _read_json(lease) or {}
+            owner = str(beat.get("owner") or "")
+            if owner:
+                owners[lease.name] = owner
+        return owners
+
     def recover(
         self,
         policy: RetryPolicy,
@@ -665,10 +682,7 @@ class JobQueue:
         their live wait so starvation is visible while it happens.
         """
         now = _now() if now is None else now
-        per: Dict[str, Dict[str, object]] = {
-            name: {"pending": 0, "running": 0, "waits": []}
-            for name in PRIORITY_CLASSES
-        }
+        per: Dict[str, Dict[str, object]] = zeroed_class_stats()
         for record in self.records():
             cls = str(record.get("priority") or "")
             if cls not in per:
@@ -686,17 +700,10 @@ class JobQueue:
                 row["running"] += 1
             if started:
                 row["waits"].append(max(0.0, float(started) - submitted))
-        classes: Dict[str, Dict[str, object]] = {}
-        for name, row in per.items():
-            waits = sorted(row.pop("waits"))
-            classes[name] = {
-                "pending": row["pending"],
-                "running": row["running"],
-                "waited": len(waits),
-                "wait_p50": waits[len(waits) // 2] if waits else 0.0,
-                "wait_max": waits[-1] if waits else 0.0,
-            }
-        return {"classes": classes, "promotions": self.promotions()}
+        return {
+            "classes": summarize_class_stats(per),
+            "promotions": self.promotions(),
+        }
 
     # -- internals -----------------------------------------------------------
 

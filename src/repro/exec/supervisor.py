@@ -24,7 +24,7 @@ from __future__ import annotations
 import multiprocessing
 import threading
 import time
-from typing import List, Optional
+from typing import List, Mapping, Optional
 
 from repro.exec.policy import RetryPolicy
 from repro.exec.queue import JobQueue
@@ -61,12 +61,28 @@ class Supervisor:
         faults: Optional[FaultPlan] = None,
         poll_interval: float = 0.05,
         finished_cap: int = 256,
+        owner_prefix: str = "",
+        remote: Optional[Mapping[str, object]] = None,
     ) -> None:
+        """``owner_prefix`` namespaces worker owner ids (a cluster agent
+        passes ``"<node_id>:"`` so the coordinator can recover a dead
+        node's leases by prefix).  ``remote`` is a
+        ``RemoteQueue.to_payload()`` mapping: when set, this supervisor's
+        queue — and every worker it spawns — speaks to a coordinator
+        instead of a local spool.  ``workers`` may be 0 for a
+        coordinator-only plane (the monitor still sweeps leases)."""
         self.spool_root = str(spool_root)
         self.store_path = str(store_path)
-        self.workers = max(1, int(workers))
+        self.workers = max(0, int(workers))
         self.policy = policy if policy is not None else RetryPolicy()
-        self.queue = JobQueue(spool_root)
+        self.owner_prefix = owner_prefix
+        self._remote = dict(remote) if remote is not None else None
+        if self._remote is not None:
+            from repro.cluster.remote import RemoteQueue
+
+            self.queue = RemoteQueue.from_payload(self._remote)
+        else:
+            self.queue = JobQueue(spool_root)
         self.poll_interval = poll_interval
         self.finished_cap = finished_cap
         self._fault_payload = (
@@ -231,7 +247,7 @@ class Supervisor:
     def _spawn(self, slot: int) -> None:
         """Start a fresh incarnation in ``slot`` (called under _lock)."""
         self._generations[slot] += 1
-        uid = f"w{slot}.g{self._generations[slot]}"
+        uid = f"{self.owner_prefix}w{slot}.g{self._generations[slot]}"
         proc = self._ctx.Process(
             target=worker_main,
             args=(
@@ -242,6 +258,7 @@ class Supervisor:
                 self.policy.to_payload(),
                 self._fault_payload,
                 self.poll_interval,
+                self._remote,
             ),
             name=f"provmark-{uid}",
         )
@@ -261,5 +278,8 @@ class Supervisor:
         owners = [uid for uid in self._uids if uid]
         # past generations too: w<slot>.g1 .. g<current>
         for slot, gen in enumerate(self._generations):
-            owners.extend(f"w{slot}.g{g}" for g in range(1, gen + 1))
+            owners.extend(
+                f"{self.owner_prefix}w{slot}.g{g}"
+                for g in range(1, gen + 1)
+            )
         self.queue.recover(self.policy, dead_owners=owners)

@@ -61,6 +61,7 @@ def worker_main(
     policy_payload: Mapping[str, object],
     fault_payload: Optional[Mapping[str, object]] = None,
     poll_interval: float = 0.05,
+    remote_payload: Optional[Mapping[str, object]] = None,
 ) -> None:
     """Run one worker process until drained (the ``Process`` target).
 
@@ -69,6 +70,11 @@ def worker_main(
     the supervisor can recover exactly the leases a dead incarnation
     held.  SIGTERM requests a graceful drain: stop claiming, finish the
     job in flight, exit.
+
+    With ``remote_payload`` set, the queue is a
+    :class:`~repro.cluster.remote.RemoteQueue` speaking to a cluster
+    coordinator instead of the local spool — the loop itself is
+    unchanged, which is the point of the duck type.
     """
     draining = threading.Event()
     signal.signal(signal.SIGTERM, lambda *_: draining.set())
@@ -83,7 +89,14 @@ def worker_main(
             slot, str(Path(spool_root) / FAULT_TOKEN_DIR)
         )
         install_store_gate(plan)
-    queue = JobQueue(spool_root)
+    if remote_payload is not None:
+        # imported here: repro.cluster depends on repro.exec, not the
+        # other way around, except through this runtime seam
+        from repro.cluster.remote import RemoteQueue
+
+        queue = RemoteQueue.from_payload(remote_payload, faults=plan)
+    else:
+        queue = JobQueue(spool_root)
     service = BenchmarkService()
     try:
         while not draining.is_set():
@@ -96,6 +109,9 @@ def worker_main(
             )
     finally:
         install_store_gate(None)
+        close = getattr(queue, "close", None)
+        if callable(close):
+            close()
         service.close()
 
 

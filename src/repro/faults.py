@@ -54,6 +54,8 @@ FAULT_KINDS = (
     "torn_write",      # artifact store publishes a truncated file, then fails
     "stage_latency",   # sleep at a stage boundary (deadline/lease pressure)
     "heartbeat_loss",  # worker keeps running but stops heartbeating
+    "conn_drop",       # coordinator drops the connection before responding
+    "partition",       # client loses all connectivity for `latency` seconds
 )
 
 #: exit code of a fault-killed worker (mirrors SIGKILL's 128+9)
@@ -84,10 +86,12 @@ class FaultSpec:
     at: int = 1
     times: int = 1
     probability: float = 1.0
-    #: seconds slept by ``stage_latency``
+    #: seconds slept by ``stage_latency``; window of a ``partition``
     latency: float = 0.0
     #: bytes kept by ``torn_write`` (-1 = half the payload)
     keep_bytes: int = -1
+    #: wire op filter for ``conn_drop``/``partition`` (empty matches any)
+    op: str = ""
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -123,6 +127,7 @@ class FaultSpec:
             "probability": self.probability,
             "latency": self.latency,
             "keep_bytes": self.keep_bytes,
+            "op": self.op,
         }
 
     @classmethod
@@ -134,7 +139,7 @@ class FaultSpec:
             )
         known = {
             "kind", "stage", "benchmark", "status", "worker",
-            "at", "times", "probability", "latency", "keep_bytes",
+            "at", "times", "probability", "latency", "keep_bytes", "op",
         }
         unknown = sorted(set(payload) - known)
         if unknown:
@@ -279,6 +284,39 @@ class FaultPlan:
     def heartbeat_suppressed(self) -> bool:
         """True once a ``heartbeat_loss`` fault has fired in this process."""
         return self._heartbeat_lost
+
+    def on_cluster_op(self, op: str) -> bool:
+        """Coordinator-side hook: True when a ``conn_drop`` fires on this
+        wire op — the server then closes the connection *after* doing the
+        work but before the response leaves, the exact window where the
+        client's retry must rely on idempotency."""
+        for index, spec in enumerate(self.specs):
+            if spec.kind != "conn_drop":
+                continue
+            if spec.op and spec.op != op:
+                continue
+            if not self._arm(index, spec):
+                continue
+            self.fired.append(("conn_drop", op, spec.at))
+            return True
+        return False
+
+    def partition_seconds(self, op: str) -> float:
+        """Client-side hook: a firing ``partition`` returns its window in
+        seconds (``latency``); the remote queue then refuses to connect
+        for that long, feeding real backoff/retry machinery."""
+        for index, spec in enumerate(self.specs):
+            if spec.kind != "partition":
+                continue
+            if spec.op and spec.op != op:
+                continue
+            if spec.worker is not None and spec.worker != self.worker:
+                continue
+            if not self._arm(index, spec):
+                continue
+            self.fired.append(("partition", op, spec.at))
+            return max(0.0, spec.latency)
+        return 0.0
 
     # -- internals -----------------------------------------------------------
 

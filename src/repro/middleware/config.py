@@ -125,8 +125,8 @@ def build_chain(
             )
         middlewares.append(
             RateLimitMiddleware(
-                rate=float(ratelimit.get("rate", 10.0)),
-                burst=float(ratelimit.get("burst", 20.0)),
+                rate=_number(ratelimit, "rate", 10.0, "ratelimit.rate"),
+                burst=_number(ratelimit, "burst", 20.0, "ratelimit.burst"),
                 quotas=ratelimit.get("clients"),
                 roles=ratelimit.get("roles"),
             )
@@ -139,16 +139,34 @@ def build_chain(
                 "middleware config: 'idempotency' needs a 'store' directory"
             )
         max_entries = idempotency.get("max_entries")
+        if max_entries is not None and (
+            not isinstance(max_entries, int) or isinstance(max_entries, bool)
+        ):
+            raise ValidationError(
+                f"middleware config: 'idempotency.max_entries' must be an "
+                f"integer, got {max_entries!r}"
+            )
         middlewares.append(
             IdempotencyMiddleware(
                 _resolve(root, str(idempotency["store"])),
-                max_entries=(
-                    int(max_entries) if max_entries is not None else None
-                ),
+                max_entries=max_entries,
             )
         )
 
     return MiddlewareChain(middlewares)
+
+
+def _number(
+    section: Mapping[str, object], key: str, default: float, where: str
+) -> float:
+    """A numeric config field, or a uniform ValidationError — a typoed
+    ``{"rate": "fast"}`` must exit 2 like any bad config, not traceback."""
+    value = section.get(key, default)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ValidationError(
+            f"middleware config: '{where}' must be a number, got {value!r}"
+        )
+    return float(value)
 
 
 def _resolve(root: Path, value: str) -> Path:

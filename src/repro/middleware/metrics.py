@@ -275,3 +275,33 @@ def register_service_gauges(registry: MetricsRegistry, service) -> None:
             "sched_promotions_total",
             lambda: sched_stats().get("promotions", 0),
         )
+
+    cluster_stats = getattr(service.jobs, "cluster_stats", None)
+    cluster_summary = getattr(service.jobs, "cluster_summary", None)
+    if callable(cluster_stats) and callable(cluster_summary):
+        def cluster_gauge() -> Dict[str, object]:
+            """Full fleet payload, per-node rows included."""
+            stats = cluster_stats()
+            if stats is None:
+                return {"enabled": False, "nodes": []}
+            return {
+                "enabled": True,
+                "address": stats.get("address"),
+                "draining": stats.get("draining"),
+                "remote_workers": stats.get("remote_workers"),
+                "counters": stats.get("counters"),
+                "nodes": stats.get("nodes"),
+            }
+
+        registry.gauge_fn("cluster", cluster_gauge)
+        registry.gauge_fn(
+            "cluster_nodes",
+            lambda: cluster_summary().get("nodes", 0),
+        )
+        registry.gauge_fn(
+            "cluster_claims_total",
+            lambda: (
+                ((cluster_stats() or {}).get("counters") or {})
+                .get("claims_total", 0)
+            ),
+        )

@@ -63,15 +63,15 @@ class RateLimitMiddleware(Middleware):
         for client, entry in (quotas or {}).items():
             self._quotas[str(client)] = self._check_quota(
                 client,
-                float(entry.get("rate", rate)),
-                float(entry.get("burst", burst)),
+                self._entry_number(client, entry, "rate", rate),
+                self._entry_number(client, entry, "burst", burst),
             )
         self._roles: Dict[str, Tuple[float, float]] = {}
         for role, entry in (roles or {}).items():
             self._roles[str(role)] = self._check_quota(
                 f"role {role}",
-                float(entry.get("rate", rate)),
-                float(entry.get("burst", burst)),
+                self._entry_number(f"role {role}", entry, "rate", rate),
+                self._entry_number(f"role {role}", entry, "burst", burst),
             )
         self._clock = clock
         self._lock = threading.Lock()
@@ -84,6 +84,26 @@ class RateLimitMiddleware(Middleware):
         if role and role in self._roles:
             return self._roles[role]
         return self._default
+
+    @staticmethod
+    def _entry_number(
+        who: str, entry: object, key: str, default: float
+    ) -> float:
+        """One numeric quota field, uniformly validated — a quota entry
+        like ``{"rate": "fast"}`` must fail as a ValidationError (config
+        error, exit 2), never as a bare ValueError traceback."""
+        if not isinstance(entry, Mapping):
+            raise ValidationError(
+                f"ratelimit: quota for {who!r} must be an object with "
+                f"'rate'/'burst', got {type(entry).__name__}"
+            )
+        value = entry.get(key, default)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ValidationError(
+                f"ratelimit: quota for {who!r} has non-numeric "
+                f"{key}={value!r}"
+            )
+        return float(value)
 
     @staticmethod
     def _check_quota(

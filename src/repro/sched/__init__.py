@@ -30,6 +30,8 @@ from repro.sched.policy import (
     class_rank,
     class_of_rank,
     load_scheduler_config,
+    summarize_class_stats,
+    zeroed_class_stats,
 )
 
 __all__ = [
@@ -48,4 +50,6 @@ __all__ = [
     "class_rank",
     "class_of_rank",
     "load_scheduler_config",
+    "summarize_class_stats",
+    "zeroed_class_stats",
 ]

@@ -39,10 +39,19 @@ class QueueAutoscaler:
         queue,
         policy: AutoscalePolicy,
         clock: Callable[[], float] = time.monotonic,
+        fleet_workers: Optional[Callable[[], int]] = None,
+        on_scale: Optional[Callable[[int, int], None]] = None,
     ) -> None:
+        """``fleet_workers`` reports *remote* worker slots (a cluster
+        coordinator's registry count) so pressure is judged against the
+        whole fleet's capacity, not just local slots.  ``on_scale`` is
+        called with ``(old_target, new_target)`` after each change —
+        the coordinator publishes it as an ``autoscale`` event."""
         self.queue = queue
         self.policy = policy
         self.clock = clock
+        self.fleet_workers = fleet_workers
+        self.on_scale = on_scale
         self.scale_up_total = 0
         self.scale_down_total = 0
         self._last_up: Optional[float] = None
@@ -58,18 +67,25 @@ class QueueAutoscaler:
         leased: int,
         latency_pending: int,
         now: float,
+        remote: int = 0,
     ) -> int:
         """The next worker target (pure decision logic, no side effects
-        beyond idle-tracking — injectable inputs make it unit-testable)."""
+        beyond idle-tracking — injectable inputs make it unit-testable).
+
+        ``remote`` adds cluster agents' worker slots to capacity: the
+        autoscaler only moves *local* slots, but judges busyness and
+        backlog against the fleet-wide total.
+        """
         pol = self.policy
         # clamp drifted targets (e.g. a fleet started outside the band)
         bounded = min(max(target, pol.min_workers), pol.max_workers)
         if bounded != target:
             return bounded
-        busy = leased >= target
+        capacity = target + max(0, int(remote))
+        busy = leased >= capacity
         pressure = (
             (latency_pending > 0 and busy)
-            or pending > target * pol.backlog_per_worker
+            or pending > capacity * pol.backlog_per_worker
         )
         if pressure:
             self._idle_since = None
@@ -78,7 +94,7 @@ class QueueAutoscaler:
             ):
                 return target + 1
             return target
-        if pending == 0 and leased < target:
+        if pending == 0 and leased < capacity:
             if self._idle_since is None:
                 self._idle_since = now
             if (
@@ -107,8 +123,10 @@ class QueueAutoscaler:
             if class_rank(name) <= _LATENCY_RANK
         )
         now = self.clock()
+        remote = self.fleet_workers() if self.fleet_workers is not None else 0
         new = self.desired_target(
-            target, depth["pending"], depth["leased"], latency_pending, now
+            target, depth["pending"], depth["leased"], latency_pending, now,
+            remote=remote,
         )
         if new == target:
             return None
@@ -120,12 +138,16 @@ class QueueAutoscaler:
         else:
             self.scale_down_total += 1
             self._last_down = now
+        if self.on_scale is not None:
+            self.on_scale(target, new)
         return new
 
     def stats(self) -> Dict[str, object]:
+        remote = self.fleet_workers() if self.fleet_workers is not None else 0
         return {
             "min_workers": self.policy.min_workers,
             "max_workers": self.policy.max_workers,
             "scale_up_total": self.scale_up_total,
             "scale_down_total": self.scale_down_total,
+            "remote_workers": remote,
         }

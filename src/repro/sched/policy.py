@@ -473,3 +473,39 @@ def load_scheduler_config(path: Union[str, Path]) -> SchedulerConfig:
             f"scheduler config {path} is not valid JSON: {exc}"
         ) from exc
     return SchedulerConfig.from_payload(payload)
+
+
+def zeroed_class_stats() -> Dict[str, Dict[str, object]]:
+    """One accumulator row per priority class, all zero.
+
+    Shared by every ``sched_stats()`` implementation so an empty spool
+    still reports all classes — dashboards get a stable schema instead
+    of keys that appear when traffic does.
+    """
+    return {
+        name: {"pending": 0, "running": 0, "waits": []}
+        for name in PRIORITY_CLASSES
+    }
+
+
+def summarize_class_stats(
+    per: Mapping[str, Mapping[str, object]],
+) -> Dict[str, Dict[str, object]]:
+    """Fold accumulator rows into the wire shape, covering every class.
+
+    Classes missing from ``per`` (or with no traffic) come out zeroed,
+    in canonical priority order — the satellite guarantee that the
+    ``/v1/health`` sched block never omits a class.
+    """
+    classes: Dict[str, Dict[str, object]] = {}
+    for name in PRIORITY_CLASSES:
+        row = per.get(name) or {}
+        waits = sorted(row.get("waits") or ())
+        classes[name] = {
+            "pending": int(row.get("pending") or 0),
+            "running": int(row.get("running") or 0),
+            "waited": len(waits),
+            "wait_p50": waits[len(waits) // 2] if waits else 0.0,
+            "wait_max": waits[-1] if waits else 0.0,
+        }
+    return classes

@@ -1,0 +1,507 @@
+"""Wire-protocol codecs of the multi-host execution plane (PR 10).
+
+Property-style, in the ``test_api_types.py`` mold: round-trip every
+message type in :data:`repro.cluster.protocol.MESSAGE_TYPES` through a
+real JSON wire trip (``decode_request(json(encode_request(msg)))``),
+reject malformed envelopes and bodies, and exercise the framing layer
+over real socket pairs — truncated prefixes, mid-frame EOF, oversized
+frames, and non-object JSON must all surface as :class:`FrameError`,
+while a clean close between frames reads as ``None``.
+"""
+
+import json
+import socket
+import struct
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.errors import (
+    ConflictError,
+    NotFoundError,
+    UnauthorizedError,
+    ValidationError,
+)
+from repro.api.types import ClusterNodeInfo, ClusterStatus
+from repro.cluster.events import EVENT_KINDS, ClusterEvent, EventHub
+from repro.cluster.protocol import (
+    MAX_FRAME_BYTES,
+    MESSAGE_TYPES,
+    PROTOCOL_VERSION,
+    Cancelled,
+    CancelCheck,
+    Claim,
+    Complete,
+    Deregister,
+    Fail,
+    FrameError,
+    Heartbeat,
+    Progress,
+    ProtocolError,
+    RecordGet,
+    Recover,
+    Register,
+    RemoteOpError,
+    Retry,
+    Stats,
+    Subscribe,
+    decode_event,
+    decode_request,
+    decode_response,
+    encode_request,
+    error_response,
+    event_frame,
+    ok_response,
+    recv_frame,
+    send_frame,
+)
+
+# -- generators --------------------------------------------------------------
+
+names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=12
+)
+maybe_name = st.just("") | names
+small_ints = st.integers(min_value=0, max_value=1000)
+json_objects = st.none() | st.dictionaries(
+    names, names | small_ints, max_size=3
+)
+
+MESSAGE_STRATEGIES = {
+    "register": st.builds(
+        Register, node_id=names, workers=small_ints, host=maybe_name
+    ),
+    "deregister": st.builds(Deregister, node_id=names),
+    "heartbeat": st.builds(
+        Heartbeat, node_id=names, job_id=st.just(""), stage=maybe_name
+    ) | st.builds(
+        Heartbeat, node_id=names, job_id=names, owner=names, stage=maybe_name
+    ),
+    "claim": st.builds(Claim, node_id=names, owner=names),
+    "progress": st.builds(
+        Progress, node_id=names, job_id=names, completed=small_ints,
+        stage=maybe_name,
+    ),
+    "complete": st.builds(
+        Complete, node_id=names, job_id=names, result=json_objects,
+        results=st.none() | st.tuples() | st.tuples(
+            st.dictionaries(names, small_ints, max_size=2)
+        ),
+        report=json_objects,
+    ),
+    "fail": st.builds(Fail, node_id=names, job_id=names, error=names),
+    "retry": st.builds(Retry, node_id=names, job_id=names, error=names),
+    "cancelled": st.builds(Cancelled, node_id=names, job_id=names),
+    "cancel_check": st.builds(CancelCheck, node_id=names, job_id=names),
+    "recover": st.builds(
+        Recover, node_id=names,
+        dead_owners=st.tuples() | st.tuples(names) | st.tuples(names, names),
+    ),
+    "record": st.builds(RecordGet, node_id=names, job_id=names),
+    "stats": st.builds(Stats, node_id=names),
+    "subscribe": st.builds(Subscribe, node_id=names, replay=small_ints),
+}
+
+any_message = st.one_of(*MESSAGE_STRATEGIES.values())
+
+#: one concrete, valid instance per verb (rejection tests mutate these)
+SAMPLE_MESSAGES = {
+    "register": Register(node_id="n", workers=2, host="h"),
+    "deregister": Deregister(node_id="n"),
+    "heartbeat": Heartbeat(node_id="n", job_id="j", owner="w"),
+    "claim": Claim(node_id="n", owner="w"),
+    "progress": Progress(node_id="n", job_id="j", completed=1, stage="s"),
+    "complete": Complete(node_id="n", job_id="j", result={"ok": 1}),
+    "fail": Fail(node_id="n", job_id="j", error="e"),
+    "retry": Retry(node_id="n", job_id="j", error="e"),
+    "cancelled": Cancelled(node_id="n", job_id="j"),
+    "cancel_check": CancelCheck(node_id="n", job_id="j"),
+    "recover": Recover(node_id="n", dead_owners=("n:w1.g1",)),
+    "record": RecordGet(node_id="n", job_id="j"),
+    "stats": Stats(node_id="n"),
+    "subscribe": Subscribe(node_id="n", replay=4),
+}
+
+cluster_events = st.builds(
+    ClusterEvent,
+    seq=st.integers(min_value=1, max_value=10**6),
+    ts=st.floats(min_value=0.0, max_value=2e9, allow_nan=False),
+    kind=st.sampled_from(EVENT_KINDS),
+    node_id=maybe_name,
+    job_id=maybe_name,
+    detail=maybe_name,
+)
+
+node_infos = st.builds(
+    ClusterNodeInfo,
+    node_id=names,
+    host=maybe_name,
+    workers=small_ints,
+    claims=small_ints,
+    last_seen_age=st.floats(min_value=0.0, max_value=3600.0, allow_nan=False),
+)
+
+cluster_statuses = st.builds(
+    ClusterStatus,
+    enabled=st.booleans(),
+    coordinator=maybe_name,
+    draining=st.booleans(),
+    nodes=st.tuples() | st.tuples(node_infos) | st.tuples(
+        node_infos, node_infos
+    ),
+    remote_workers=small_ints,
+    local_workers=small_ints,
+    claims_total=small_ints,
+    completions_total=small_ints,
+    events_seq=small_ints,
+)
+
+
+def wire(payload):
+    """One real JSON serialization round (what the socket would carry)."""
+    return json.loads(json.dumps(payload, sort_keys=True))
+
+
+# -- message round-trips -----------------------------------------------------
+
+
+class TestMessageRoundTrip:
+    def test_every_op_has_a_strategy(self):
+        # a new verb must get generator coverage here, or this fails
+        assert set(MESSAGE_STRATEGIES) == set(MESSAGE_TYPES)
+        assert set(SAMPLE_MESSAGES) == set(MESSAGE_TYPES)
+
+    @settings(max_examples=200, deadline=None)
+    @given(message=any_message)
+    def test_request_roundtrip(self, message):
+        decoded, auth = decode_request(wire(encode_request(message, "tok")))
+        assert decoded == message
+        assert decoded.op == message.op
+        assert auth == "tok"
+
+    @settings(max_examples=50, deadline=None)
+    @given(message=any_message)
+    def test_default_auth_is_empty(self, message):
+        _, auth = decode_request(wire(encode_request(message)))
+        assert auth == ""
+
+    @settings(max_examples=100, deadline=None)
+    @given(event=cluster_events)
+    def test_event_roundtrip(self, event):
+        pushed = wire(event_frame(event.to_payload()))
+        assert ClusterEvent.from_payload(decode_event(pushed)) == event
+
+    @settings(max_examples=100, deadline=None)
+    @given(status=cluster_statuses)
+    def test_cluster_status_roundtrip(self, status):
+        assert ClusterStatus.from_payload(wire(status.to_payload())) == status
+
+    @settings(max_examples=50, deadline=None)
+    @given(info=node_infos)
+    def test_node_info_roundtrip(self, info):
+        assert ClusterNodeInfo.from_payload(wire(info.to_payload())) == info
+
+
+# -- malformed bodies and envelopes ------------------------------------------
+
+
+class TestRejection:
+    @pytest.mark.parametrize("op", sorted(MESSAGE_TYPES))
+    def test_unknown_body_key_rejected(self, op):
+        payload = encode_request(SAMPLE_MESSAGES[op], "tok")
+        payload["body"]["surprise"] = 1
+        with pytest.raises(ProtocolError, match="unknown key"):
+            decode_request(wire(payload))
+
+    @pytest.mark.parametrize("op", sorted(MESSAGE_TYPES))
+    def test_missing_required_field_rejected(self, op):
+        # node_id is required (and non-empty) on every verb
+        payload = encode_request(SAMPLE_MESSAGES[op], "tok")
+        del payload["body"]["node_id"]
+        with pytest.raises(ProtocolError):
+            decode_request(wire(payload))
+
+    @pytest.mark.parametrize("body", [
+        {"node_id": ""},
+        {"node_id": 7},
+        {"node_id": None},
+        [],
+        "claim me",
+    ])
+    def test_bad_claim_bodies(self, body):
+        payload = {
+            "version": PROTOCOL_VERSION, "auth": "", "op": "claim",
+            "body": body,
+        }
+        with pytest.raises(ProtocolError):
+            decode_request(payload)
+
+    def test_wrong_version_rejected(self):
+        payload = encode_request(Stats(node_id="n"), "tok")
+        payload["version"] = PROTOCOL_VERSION + 1
+        with pytest.raises(ProtocolError, match="version"):
+            decode_request(payload)
+
+    def test_unknown_op_rejected(self):
+        payload = encode_request(Stats(node_id="n"))
+        payload["op"] = "explode"
+        with pytest.raises(ProtocolError, match="unknown op"):
+            decode_request(payload)
+
+    def test_unknown_envelope_key_rejected(self):
+        payload = encode_request(Stats(node_id="n"))
+        payload["extra"] = True
+        with pytest.raises(ProtocolError, match="envelope"):
+            decode_request(payload)
+
+    def test_non_string_auth_rejected(self):
+        payload = encode_request(Stats(node_id="n"))
+        payload["auth"] = 42
+        with pytest.raises(ProtocolError, match="auth"):
+            decode_request(payload)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"node_id": "n", "workers": -1},
+        {"node_id": "n", "workers": True},
+        {"node_id": "n", "host": 9},
+    ])
+    def test_register_field_validation(self, kwargs):
+        with pytest.raises(ProtocolError):
+            Register(**kwargs)
+
+    def test_heartbeat_with_job_needs_owner(self):
+        with pytest.raises(ProtocolError, match="owner"):
+            Heartbeat(node_id="n", job_id="j")
+
+    def test_recover_rejects_empty_owner(self):
+        with pytest.raises(ProtocolError, match="dead_owners"):
+            Recover(node_id="n", dead_owners=("ok", ""))
+
+    def test_complete_rejects_non_object_results_item(self):
+        with pytest.raises(ProtocolError, match="results"):
+            Complete(node_id="n", job_id="j", results=("nope",))
+
+    @pytest.mark.parametrize("kwargs", [
+        {"seq": 0, "ts": 1.0, "kind": "claim"},
+        {"seq": 1, "ts": "now", "kind": "claim"},
+        {"seq": 1, "ts": 1.0, "kind": "meteor"},
+    ])
+    def test_bad_events_rejected(self, kwargs):
+        with pytest.raises(ProtocolError):
+            ClusterEvent(**kwargs)
+
+    def test_event_payload_unknown_key_rejected(self):
+        payload = ClusterEvent(seq=1, ts=0.0, kind="claim").to_payload()
+        payload["bonus"] = 1
+        with pytest.raises(ProtocolError, match="unknown key"):
+            ClusterEvent.from_payload(payload)
+
+    def test_cluster_status_rejects_unknown_key(self):
+        payload = ClusterStatus(enabled=False).to_payload()
+        payload["bonus"] = 1
+        with pytest.raises(ValidationError):
+            ClusterStatus.from_payload(payload)
+
+    def test_cluster_status_rejects_bad_nodes(self):
+        payload = ClusterStatus(enabled=True).to_payload()
+        payload["nodes"] = "all of them"
+        with pytest.raises(ValidationError):
+            ClusterStatus.from_payload(payload)
+
+
+# -- response envelope -------------------------------------------------------
+
+
+class TestResponses:
+    def test_ok_roundtrip(self):
+        assert decode_response(wire(ok_response({"a": 1}))) == {"a": 1}
+        assert decode_response(wire(ok_response())) == {}
+
+    @pytest.mark.parametrize("exc_cls", [
+        ProtocolError, FrameError, ValidationError, NotFoundError,
+        UnauthorizedError, ConflictError,
+    ])
+    def test_mapped_errors_reraise_local_type(self, exc_cls):
+        payload = wire(error_response(exc_cls("boom")))
+        with pytest.raises(exc_cls, match="boom"):
+            decode_response(payload)
+
+    def test_unmapped_error_becomes_remote_op_error(self):
+        payload = wire(error_response(RuntimeError("kaput")))
+        with pytest.raises(RemoteOpError, match="RuntimeError: kaput"):
+            decode_response(payload)
+
+    def test_wrong_response_version_rejected(self):
+        payload = ok_response({})
+        payload["version"] = 99
+        with pytest.raises(ProtocolError, match="version"):
+            decode_response(payload)
+
+    def test_neither_ok_nor_error_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_response({"version": PROTOCOL_VERSION, "ok": False})
+
+    def test_event_frame_requires_event_key(self):
+        with pytest.raises(ProtocolError, match="event frame"):
+            decode_event({"version": PROTOCOL_VERSION, "body": {}})
+
+
+# -- framing over real sockets -----------------------------------------------
+
+
+def pair():
+    a, b = socket.socketpair()
+    a.settimeout(5.0)
+    b.settimeout(5.0)
+    return a, b
+
+
+class TestFraming:
+    def test_frame_roundtrip(self):
+        a, b = pair()
+        try:
+            payload = encode_request(Claim(node_id="n", owner="w"), "tok")
+            send_frame(a, payload)
+            send_frame(a, ok_response({"x": 1}))
+            assert recv_frame(b) == wire(payload)
+            assert recv_frame(b) == wire(ok_response({"x": 1}))
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_is_none(self):
+        a, b = pair()
+        a.close()
+        try:
+            assert recv_frame(b) is None
+        finally:
+            b.close()
+
+    def test_truncated_prefix_is_frame_error(self):
+        a, b = pair()
+        a.sendall(b"\x00\x00")  # half a length prefix
+        a.close()
+        try:
+            with pytest.raises(FrameError, match="mid-frame"):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_eof_inside_body_is_frame_error(self):
+        a, b = pair()
+        a.sendall(struct.pack("!I", 100) + b"{\"cut\": ")
+        a.close()
+        try:
+            with pytest.raises(FrameError, match="mid-frame"):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_oversized_frame_rejected_without_reading_body(self):
+        a, b = pair()
+        a.sendall(struct.pack("!I", MAX_FRAME_BYTES + 1))
+        try:
+            with pytest.raises(FrameError, match="too large"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_custom_cap_applies(self):
+        a, b = pair()
+        send_frame(a, {"k": "v" * 64})
+        try:
+            with pytest.raises(FrameError, match="too large"):
+                recv_frame(b, max_bytes=16)
+        finally:
+            a.close()
+            b.close()
+
+    def test_unparsable_body_is_frame_error(self):
+        a, b = pair()
+        blob = b"this is not json"
+        a.sendall(struct.pack("!I", len(blob)) + blob)
+        try:
+            with pytest.raises(FrameError, match="not valid JSON"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_non_object_json_is_frame_error(self):
+        a, b = pair()
+        blob = json.dumps([1, 2, 3]).encode()
+        a.sendall(struct.pack("!I", len(blob)) + blob)
+        try:
+            with pytest.raises(FrameError, match="JSON object"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_send_refuses_oversized_payload(self, monkeypatch):
+        import repro.cluster.protocol as protocol
+
+        monkeypatch.setattr(protocol, "MAX_FRAME_BYTES", 16)
+        a, b = pair()
+        try:
+            with pytest.raises(FrameError, match="too large"):
+                send_frame(a, {"blob": "x" * 32})
+        finally:
+            a.close()
+            b.close()
+
+    def test_chunked_delivery_reassembles(self):
+        # frames survive arbitrary TCP segmentation
+        a, b = pair()
+        payload = encode_request(Stats(node_id="n"))
+        blob = json.dumps(payload, sort_keys=True).encode()
+        framed = struct.pack("!I", len(blob)) + blob
+        done = threading.Event()
+
+        def dribble():
+            for i in range(0, len(framed), 3):
+                a.sendall(framed[i:i + 3])
+            done.set()
+
+        t = threading.Thread(target=dribble)
+        t.start()
+        try:
+            assert recv_frame(b) == wire(payload)
+            assert done.wait(5.0)
+        finally:
+            t.join()
+            a.close()
+            b.close()
+
+
+# -- event hub ---------------------------------------------------------------
+
+
+class TestEventHub:
+    def test_seq_is_monotonic_and_replay_atomic(self):
+        hub = EventHub(history=4)
+        for i in range(6):
+            hub.publish("claim", node_id=f"n{i}")
+        assert hub.seq == 6
+        sub, replayed = hub.subscribe(replay=10)
+        # ring bound: only the newest 4 survive for replay
+        assert [e.seq for e in replayed] == [3, 4, 5, 6]
+        live = hub.publish("complete", job_id="j")
+        assert sub.get(timeout=5.0) == live
+        hub.unsubscribe(sub)
+        hub.publish("fail")
+        assert sub.empty()
+
+    def test_recent_returns_newest_first_ordered_tail(self):
+        hub = EventHub()
+        hub.publish("node_join", node_id="a")
+        hub.publish("node_leave", node_id="a")
+        kinds = [e.kind for e in hub.recent(8)]
+        assert kinds == ["node_join", "node_leave"]
+
+    def test_publish_rejects_unknown_kind(self):
+        with pytest.raises(ProtocolError, match="kind"):
+            EventHub().publish("rumor")

@@ -21,6 +21,7 @@ from repro.storage.artifacts import ArtifactStore
 def test_fault_kinds_cover_the_documented_set():
     assert set(FAULT_KINDS) == {
         "worker_kill", "torn_write", "stage_latency", "heartbeat_loss",
+        "conn_drop", "partition",
     }
 
 
